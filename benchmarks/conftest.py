@@ -1,0 +1,20 @@
+"""Shared pytest-benchmark configuration for the per-figure benches.
+
+Each bench regenerates one of the paper's tables or figures, printing the
+rows it produces (run with ``pytest benchmarks/ --benchmark-only -s`` to
+see them) and asserting the headline claim of that experiment.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a heavy experiment exactly once under the benchmark timer."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

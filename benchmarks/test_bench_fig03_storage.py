@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 3 (client storage per inference)."""
+
+from repro.experiments import fig03_storage
+from repro.experiments.common import print_rows
+
+
+def test_fig03_storage(benchmark):
+    rows = benchmark(fig03_storage.run)
+    print_rows("Figure 3: client storage per inference (GB)", rows)
+    for row in rows:
+        assert abs(row["client_storage_gb"] - row["paper_gb"]) / row["paper_gb"] < 0.10

@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 4 (compute latency per primitive)."""
+
+from repro.experiments import fig04_compute
+from repro.experiments.common import print_rows
+
+
+def test_fig04_compute(benchmark):
+    rows = benchmark(fig04_compute.run)
+    print_rows("Figure 4: compute latency per primitive (minutes)", rows)
+    for row in rows:
+        assert row["he_eval_min"] > row["gc_eval_min"] > row["gc_garble_min"]
+    anchor = [
+        r for r in rows if r["model"] == "ResNet-18" and r["dataset"] == "TinyImageNet"
+    ][0]
+    assert 17 < anchor["he_eval_min"] < 19  # paper: 17.76 min

@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 5 (communication latency vs bandwidth)."""
+
+from repro.experiments import fig05_comm
+from repro.experiments.common import print_rows
+
+
+def test_fig05_comm(benchmark):
+    rows = benchmark(fig05_comm.run)
+    print_rows("Figure 5: communication latency vs bandwidth", rows)
+    gigabit = rows[-1]
+    assert 10 <= gigabit["total_min"] <= 15  # paper: ~11 min at 1 Gbps
+    assert fig05_comm.download_share() > 0.8

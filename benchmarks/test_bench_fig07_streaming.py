@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 7 (streaming latency decomposition)."""
+
+from repro.experiments import fig07_streaming
+from repro.experiments.common import print_rows
+
+
+def test_fig07_streaming(once):
+    rows = once(fig07_streaming.run, replications=3)
+    print_rows("Figure 7: streaming latency decomposition", rows)
+    assert rows[0]["offline_min"] < 1.0  # online-only at near-zero rate
+    assert rows[-1]["queue_min"] > rows[0]["queue_min"]  # queue builds up
+    assert rows[-1]["mean_latency_min"] > 3 * rows[0]["mean_latency_min"]

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 8 (client storage: Server- vs Client-Garbler)."""
+
+from repro.experiments import fig08_client_garbler
+from repro.experiments.common import print_rows
+
+
+def test_fig08_client_garbler(benchmark):
+    rows = benchmark(fig08_client_garbler.run)
+    print_rows("Figure 8: client storage by protocol (GB)", rows)
+    mean = sum(r["reduction"] for r in rows) / len(rows)
+    assert 4.5 < mean < 5.5  # paper: ~5x reduction

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 9 (sequential vs layer-parallel HE)."""
+
+from repro.experiments import fig09_lphe
+from repro.experiments.common import print_rows
+
+
+def test_fig09_lphe(benchmark):
+    rows = benchmark(fig09_lphe.run)
+    print_rows("Figure 9: sequential vs LPHE (seconds)", rows)
+    assert all(r["speedup"] > 5 for r in rows)
+    assert 7 <= fig09_lphe.mean_speedup() <= 16  # paper: 9.7x

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 10 (LPHE vs RLP across storage budgets)."""
+
+from repro.experiments import fig10_lphe_vs_rlp
+from repro.experiments.common import print_rows
+
+
+def test_fig10_low_storage(once):
+    rows = once(fig10_lphe_vs_rlp.run, storage_gb=16, replications=2)
+    print_rows("Figure 10a: LPHE vs RLP at 16 GB", rows)
+    lphe = [r for r in rows if r["strategy"] == "lphe"]
+    rlp = [r for r in rows if r["strategy"] == "rlp"]
+    assert lphe[0]["mean_latency_min"] <= rlp[0]["mean_latency_min"] * 1.05
+
+
+def test_fig10_high_storage(once):
+    rows = once(fig10_lphe_vs_rlp.run, storage_gb=140, replications=2)
+    print_rows("Figure 10c: LPHE vs RLP at 140 GB", rows)
+    lphe = [r for r in rows if r["strategy"] == "lphe"]
+    rlp = [r for r in rows if r["strategy"] == "rlp"]
+    assert rlp[-1]["mean_latency_min"] < lphe[-1]["mean_latency_min"]

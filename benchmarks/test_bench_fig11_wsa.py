@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 11 (wireless slot allocation sweep)."""
+
+from repro.experiments import fig11_wsa
+from repro.experiments.common import print_rows
+
+
+def test_fig11_wsa(benchmark):
+    rows = benchmark(fig11_wsa.run)
+    print_rows("Figure 11: WSA sweep at 1 Gbps", rows)
+    stats = fig11_wsa.optima()
+    assert stats["server-garbler"]["optimal_download_mbps"] > 700  # paper: 802
+    assert stats["client-garbler"]["optimal_upload_mbps"] > 750  # paper: 835
+    for protocol in stats.values():
+        assert 0 < protocol["improvement_vs_even"] <= 0.40  # paper: up to 35%

@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 13 (client/server compute sensitivity)."""
+
+import pytest
+
+from repro.experiments import fig13_sensitivity
+from repro.experiments.common import print_rows
+
+
+@pytest.mark.parametrize("server_scale", [1, 4])
+def test_fig13_panel(once, server_scale):
+    rows = once(fig13_sensitivity.run, server_scale=server_scale, replications=1)
+    print_rows(f"Figure 13: AMD server ({server_scale}x)", rows)
+    by_system = {}
+    for row in rows:
+        by_system.setdefault(row["system"], []).append(row["mean_latency_min"])
+    # CG with 16 GB buffers a pre-compute; SG cannot -> CG wins at low rate.
+    assert by_system["CG - Atom"][0] < by_system["SG - Atom"][0]
+
+
+def test_fig13_garble_anchors(benchmark):
+    lat = benchmark(fig13_sensitivity.garble_latencies)
+    assert abs(lat["Atom"] - 382.6) / 382.6 < 0.1
+    assert abs(lat["i5"] - 107.2) / 107.2 < 0.1
+    assert abs(lat["i5 (2x)"] - 53.8) / 53.8 < 0.1

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 14 (future-optimization waterfall)."""
+
+from repro.experiments import fig14_future
+from repro.experiments.common import print_rows
+
+
+def test_fig14_future(benchmark):
+    rows = benchmark(fig14_future.run)
+    print_rows("Figure 14: future-optimization waterfall (seconds)", rows)
+    for row in rows:
+        assert abs(row["total_s"] - row["paper_s"]) / row["paper_s"] < 0.35, row["step"]
+    components = fig14_future.components()
+    print_rows("Figure 14 (bottom): normalized components (%)", components)

@@ -1,0 +1,16 @@
+"""Bench: the paper's headline claims (1.8x speedup, 2.24x arrival rate)."""
+
+from repro.experiments import headline
+from repro.experiments.common import print_rows
+
+
+def test_headline_claims(benchmark):
+    rows = benchmark(headline.run)
+    print_rows("Headline: proposed vs baseline", rows)
+    speedup = headline.mean_total_speedup()
+    rate = headline.mean_rate_improvement()
+    print(f"mean speedup {speedup:.2f}x (paper 1.8x); rate gain {rate:.2f}x (paper 2.24x)")
+    assert 1.5 <= speedup <= 2.2
+    assert 1.5 <= rate <= 2.6
+    r18 = [r for r in rows if r["model"] == "ResNet-18" and r["dataset"] == "TinyImageNet"][0]
+    assert 1.9 <= r18["rate_improvement"] <= 2.6  # paper: 2.24x

@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the cryptographic substrates themselves.
+
+Not a paper figure — these measure this library's own primitive throughput
+(BFV ops, garbling, OT extension) so regressions in the functional layer
+are visible, and they ground the "pure Python is ~10^3-10^4x slower than
+the paper's testbed" substitution note in DESIGN.md.
+"""
+
+import numpy as np
+
+from repro.crypto.rng import SecureRandom
+from repro.gc.circuit import int_to_bits
+from repro.gc.evaluate import Evaluator
+from repro.gc.garble import Garbler
+from repro.gc.relu import ReluCircuitSpec, build_relu_circuit
+from repro.he.bfv import BfvContext
+from repro.he.encoder import BatchEncoder
+from repro.he.params import toy_params
+from repro.ot.extension import iknp_transfer
+
+PARAMS = toy_params(n=256)
+
+
+def test_bench_bfv_encrypt(benchmark):
+    ctx = BfvContext(PARAMS, SecureRandom(1))
+    encoder = BatchEncoder(PARAMS)
+    sk, pk = ctx.keygen()
+    pt = encoder.encode(list(range(100)))
+    benchmark(lambda: ctx.encrypt(pk, pt))
+
+
+def test_bench_bfv_mul_plain(benchmark):
+    ctx = BfvContext(PARAMS, SecureRandom(2))
+    encoder = BatchEncoder(PARAMS)
+    sk, pk = ctx.keygen()
+    ct = ctx.encrypt(pk, encoder.encode(list(range(100))))
+    pt = encoder.encode([7] * PARAMS.n)
+    benchmark(lambda: ctx.mul_plain(ct, pt))
+
+
+def test_bench_bfv_rotation(benchmark):
+    ctx = BfvContext(PARAMS, SecureRandom(3))
+    encoder = BatchEncoder(PARAMS)
+    sk, pk = ctx.keygen()
+    g = encoder.galois_element_for_rotation(1)
+    gk = ctx.galois_keygen(sk, [g])
+    ct = ctx.encrypt(pk, encoder.encode(list(range(100))))
+    benchmark(lambda: ctx.rotate(ct, g, gk))
+
+
+def test_bench_garble_relu(benchmark):
+    spec = ReluCircuitSpec(bits=17, modulus=PARAMS.t, mask_owner="evaluator")
+    circuit = build_relu_circuit(spec)
+    garbler = Garbler(SecureRandom(4))
+    benchmark(lambda: garbler.garble(circuit))
+
+
+def test_bench_evaluate_relu(benchmark):
+    spec = ReluCircuitSpec(bits=17, modulus=PARAMS.t, mask_owner="evaluator")
+    circuit = build_relu_circuit(spec)
+    garbled, encoding = Garbler(SecureRandom(5)).garble(circuit)
+    labels = Garbler.encode_inputs(encoding, circuit, int_to_bits(123, 17))
+    for wire, bit in zip(
+        circuit.evaluator_inputs, int_to_bits(456, 17) + int_to_bits(789, 17)
+    ):
+        labels[wire] = encoding.label_for(wire, bit)
+    evaluator = Evaluator()
+    benchmark(lambda: evaluator.evaluate(garbled, labels))
+
+
+def test_bench_iknp_1000_ots(benchmark):
+    rng = np.random.default_rng(0)
+    pairs = [(bytes(rng.bytes(16)), bytes(rng.bytes(16))) for _ in range(1000)]
+    choices = rng.integers(0, 2, 1000).tolist()
+    benchmark.pedantic(
+        lambda: iknp_transfer(pairs, choices, SecureRandom(6)),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 1 (Server-Garbler time breakdown)."""
+
+from repro.experiments import table1
+from repro.experiments.common import print_rows
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1.run)
+    print_rows("Table 1: Server-Garbler breakdown (seconds)", rows)
+    totals = [r for r in rows if r["phase"] == "total"][0]
+    assert abs(totals["Total"] - 2052) / 2052 < 0.08

@@ -1,0 +1,66 @@
+"""Characterize a streaming PI deployment (the paper's Figure 7/12 flow).
+
+Profiles ResNet-18 on TinyImageNet, then sweeps inference arrival rates
+through the discrete-event system simulator for the baseline Server-
+Garbler protocol and the paper's proposed stack (Client-Garbler + layer-
+parallel HE + wireless slot allocation), printing the latency
+decomposition for each.
+
+Run:  python examples/characterize_workload.py
+"""
+
+from repro import (
+    TINY_IMAGENET,
+    OfflineParallelism,
+    Protocol,
+    SystemConfig,
+    profile_network,
+    resnet18,
+    simulate_mean_latency,
+)
+
+
+def main() -> None:
+    profile = profile_network(resnet18(TINY_IMAGENET))
+    print(f"network: {profile.network_name}")
+    print(f"  ReLUs: {profile.relu_count:,}")
+    print(f"  Server-Garbler client footprint: "
+          f"{profile.storage(Protocol.SERVER_GARBLER).client_bytes / 1e9:.1f} GB")
+    print(f"  Client-Garbler client footprint: "
+          f"{profile.storage(Protocol.CLIENT_GARBLER).client_bytes / 1e9:.1f} GB")
+
+    systems = {
+        "baseline  (SG, 64 GB, sequential, even split)": SystemConfig(
+            profile=profile,
+            protocol=Protocol.SERVER_GARBLER,
+            client_storage_bytes=64e9,
+            wsa=False,
+            parallelism=OfflineParallelism.SEQUENTIAL,
+        ),
+        "proposed  (CG, 16 GB, LPHE, WSA)": SystemConfig(
+            profile=profile,
+            protocol=Protocol.CLIENT_GARBLER,
+            client_storage_bytes=16e9,
+            wsa=True,
+            parallelism=OfflineParallelism.LPHE,
+        ),
+    }
+
+    for label, config in systems.items():
+        print(f"\n{label}")
+        print(f"  {'arrival':>12s} {'latency':>9s} {'queue':>8s} "
+              f"{'offline':>8s} {'online':>8s} {'hit':>5s}")
+        for minutes in (100, 54, 36, 28, 22, 18):
+            stats = simulate_mean_latency(
+                config, minutes * 60, replications=3
+            )
+            print(
+                f"  1 per {minutes:3d} min "
+                f"{stats['latency'] / 60:8.1f}m {stats['queue'] / 60:7.1f}m "
+                f"{stats['offline'] / 60:7.1f}m {stats['online'] / 60:7.1f}m "
+                f"{stats['hit']:5.0%}"
+            )
+
+
+if __name__ == "__main__":
+    main()

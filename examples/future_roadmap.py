@@ -1,0 +1,43 @@
+"""Project PI latency under future research advances (the paper's §6).
+
+Accumulates hypothetical improvements — GC accelerators, HE accelerators,
+next-generation wireless, and ReLU-lean architectures — on top of the
+optimized Client-Garbler protocol and prints the Figure 14 waterfall with
+the component breakdown at each step.
+
+Run:  python examples/future_roadmap.py
+"""
+
+from repro import TINY_IMAGENET, profile_network, resnet18
+from repro.core.future import breakdown_components, waterfall
+
+
+def main() -> None:
+    profile = profile_network(resnet18(TINY_IMAGENET))
+    steps = waterfall(profile)
+
+    print("Total PI latency under accumulating optimizations "
+          "(ResNet-18 / TinyImageNet):\n")
+    previous = None
+    for step in steps:
+        speedup = ""
+        if previous is not None and previous > 0:
+            speedup = f"  ({previous / step.total_seconds:4.2f}x step speedup)"
+        print(f"  {step.label:16s} {step.total_seconds:8.1f} s  "
+              f"offline {step.offline_percent:3.0f}%{speedup}")
+        previous = step.total_seconds
+
+    final = steps[-1]
+    print(f"\nafter every projected advance, one private inference still takes "
+          f"{final.total_seconds:.1f} s")
+    print("dominant remaining components:")
+    for name, share in sorted(
+        breakdown_components(final).items(), key=lambda kv: -kv[1]
+    )[:3]:
+        print(f"  {name:14s} {share:6.1%}")
+    print("\nas the paper concludes: even optimistic accelerators leave PI far")
+    print("from plaintext speed — the remaining gap is a systems problem.")
+
+
+if __name__ == "__main__":
+    main()

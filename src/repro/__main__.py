@@ -1,0 +1,57 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro --list
+    python -m repro fig3 fig9 table1
+    python -m repro all          # everything (simulation figures are slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+
+FAST = ("fig3", "fig4", "fig5", "table1", "fig8", "fig9", "fig11", "fig14")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures from 'Characterizing and "
+        "Optimizing End-to-End Systems for Private Inference' (ASPLOS'23).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (fig3..fig14, table1), 'fast', or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for key, module in ALL_EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{key:8s} {doc}")
+        return 0
+
+    selected: list[str] = []
+    for item in args.experiments:
+        if item == "all":
+            selected.extend(ALL_EXPERIMENTS)
+        elif item == "fast":
+            selected.extend(FAST)
+        elif item in ALL_EXPERIMENTS:
+            selected.append(item)
+        else:
+            print(f"unknown experiment {item!r}; try --list", file=sys.stderr)
+            return 2
+    for key in selected:
+        ALL_EXPERIMENTS[key].main()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""Analytic queueing approximations for the PI serving system.
+
+A cross-check on the discrete-event simulator: with Poisson arrivals and a
+(nearly) deterministic service time the system is M/D/1, whose mean queue
+wait has the Pollaczek-Khinchine closed form. Two regimes bracket the
+simulator's behaviour:
+
+* buffer never depletes  -> service time = online phase only;
+* buffer always empty    -> service time = offline + online ("incurred
+  online", the paper's high-rate asymptote).
+
+The simulator must land between these curves (and approach each in its
+regime); ``tests/test_core_analytic.py`` enforces this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.system import SystemConfig, pipeline_times
+from repro.profiling.model_costs import Protocol
+
+
+@dataclass(frozen=True)
+class AnalyticLatency:
+    service_seconds: float
+    queue_seconds: float
+    utilization: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.service_seconds + self.queue_seconds
+
+    @property
+    def stable(self) -> bool:
+        return self.utilization < 1.0
+
+
+def online_service_seconds(config: SystemConfig) -> float:
+    """Online-phase duration: comm + GC evaluation + SS."""
+    profile = config.profile
+    link = config.link()
+    volumes = profile.comm(config.protocol)
+    evaluator = (
+        config.client if config.protocol is Protocol.SERVER_GARBLER else config.server
+    )
+    return (
+        link.transfer_seconds(volumes.online_up, volumes.online_down)
+        + profile.gc_eval_seconds(evaluator)
+        + profile.ss_online_seconds(config.server)
+    )
+
+
+def offline_service_seconds(config: SystemConfig) -> float:
+    """Full offline pipeline duration when incurred inline."""
+    t = pipeline_times(config)
+    link = config.link()
+    return (
+        t.client_he
+        + t.server_he
+        + t.garble
+        + link.upload_seconds(t.offline_up_bytes)
+        + link.download_seconds(t.offline_down_bytes)
+    )
+
+
+def md1_mean_wait(service: float, mean_interarrival: float) -> float:
+    """Pollaczek-Khinchine mean queue wait for M/D/1 (infinite if unstable)."""
+    rho = service / mean_interarrival
+    if rho >= 1.0:
+        return float("inf")
+    lam = 1.0 / mean_interarrival
+    return rho * rho / (2.0 * lam * (1.0 - rho))
+
+
+def best_case_latency(config: SystemConfig, mean_interarrival: float) -> AnalyticLatency:
+    """Latency if every request finds a buffered pre-compute."""
+    service = online_service_seconds(config)
+    return AnalyticLatency(
+        service_seconds=service,
+        queue_seconds=md1_mean_wait(service, mean_interarrival),
+        utilization=service / mean_interarrival,
+    )
+
+
+def worst_case_latency(config: SystemConfig, mean_interarrival: float) -> AnalyticLatency:
+    """Latency if every request must run the offline phase inline."""
+    service = online_service_seconds(config) + offline_service_seconds(config)
+    return AnalyticLatency(
+        service_seconds=service,
+        queue_seconds=md1_mean_wait(service, mean_interarrival),
+        utilization=service / mean_interarrival,
+    )
+
+
+def max_sustainable_rate_per_minute(config: SystemConfig) -> float:
+    """Upper bound on throughput (requests/minute) from the service floor.
+
+    With no buffer the full protocol serializes per request. With a buffer
+    the binding resource is the slower of the online chain and the offline
+    production period; RLP amortizes production across its concurrent
+    workers (bounded by buffer slots and server cores).
+    """
+    from repro.core.system import OfflineParallelism
+
+    online = online_service_seconds(config)
+    production = offline_service_seconds(config)
+    if config.buffer_capacity < 1:
+        return 60.0 / (online + production)
+    if config.parallelism is OfflineParallelism.RLP:
+        workers = min(config.server.cores, config.buffer_capacity)
+        production /= max(1, workers)
+    return 60.0 / max(online, production)

@@ -1,0 +1,471 @@
+"""The functional two-party hybrid private-inference protocol (DELPHI).
+
+Executes real cryptography end to end on small networks: BFV homomorphic
+encryption generates the linear-layer share correlations offline, garbled
+circuits evaluate ReLUs, IKNP OT extension delivers wire labels, and both
+parties exchange every message through a byte-counted channel. The result
+is bit-exact against the plaintext field evaluation of the same network.
+
+Two garbling roles are supported (§2.2 and §5.1 of the paper):
+
+* ``ServerGarbler`` — the baseline: the server garbles ReLUs offline and
+  the client stores and later evaluates them. The client's input labels
+  travel by offline OT; the server's share labels are sent online.
+* ``ClientGarbler`` — the proposed optimization: the client garbles and
+  the *server* stores and evaluates, so the heavy storage moves server-side
+  and online GC evaluation runs on the fast server; the server's input
+  labels must now be fetched by *online* OT.
+
+The protocol invariant through the network is DELPHI's: before linear
+layer i the server holds x_i - r_i and the client holds r_i; after it the
+server holds W(x_i - r_i) + s_i and the client's offline share is
+W r_i - s_i, so their sum is the true activation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crypto.rng import SecureRandom
+from repro.gc.circuit import Circuit, int_to_bits, words_to_int
+from repro.gc.evaluate import Evaluator
+from repro.gc.garble import GarbledCircuit, Garbler, InputEncoding
+from repro.gc.relu import ReluCircuitSpec, build_relu_circuit
+from repro.he.bfv import BfvContext
+from repro.he.encoder import BatchEncoder
+from repro.he.linear import HomomorphicLinearEvaluator
+from repro.he.params import BfvParams, toy_params
+from repro.network.channel import CLIENT, SERVER, Channel
+from repro.nn.layers import Conv2d, Flatten, Linear, ReLU
+from repro.nn.network import Network
+from repro.ot.extension import iknp_transfer
+
+
+@dataclass
+class LoweredLinear:
+    """A linear layer lowered to an explicit field matrix."""
+
+    name: str
+    matrix: list[list[int]]
+
+    @property
+    def n_in(self) -> int:
+        return len(self.matrix[0])
+
+    @property
+    def n_out(self) -> int:
+        return len(self.matrix)
+
+
+@dataclass
+class LoweredNetwork:
+    """Alternating linear/ReLU program extracted from a Network.
+
+    ``steps`` is a list of ("linear", index) / ("relu", index) tags;
+    shape-only layers (Flatten) vanish during lowering.
+    """
+
+    linears: list[LoweredLinear]
+    steps: list[tuple[str, int]]
+    modulus: int
+    input_size: int
+    output_size: int
+
+
+def lower_network(network: Network, modulus: int) -> LoweredNetwork:
+    """Lower a stride-1 conv/FC/ReLU/Flatten network to field matrices."""
+    from repro.nn.shapes import TensorShape
+
+    linears: list[LoweredLinear] = []
+    steps: list[tuple[str, int]] = []
+    shape = network.input_shape
+    for layer in network.layers:
+        if isinstance(layer, Conv2d):
+            if layer.stride != 1:
+                raise ValueError("functional runner supports stride-1 convs only")
+            matrix = HomomorphicLinearEvaluator.conv_as_matrix(
+                np.asarray(layer.weights), (shape.channels, shape.height, shape.width),
+                layer.padding, modulus,
+            )
+            steps.append(("linear", len(linears)))
+            linears.append(LoweredLinear(layer.name, matrix))
+        elif isinstance(layer, Linear):
+            matrix = [
+                [int(w) % modulus for w in row] for row in np.asarray(layer.weights)
+            ]
+            steps.append(("linear", len(linears)))
+            linears.append(LoweredLinear(layer.name, matrix))
+        elif isinstance(layer, ReLU):
+            if not steps or steps[-1][0] != "linear":
+                raise ValueError("ReLU must follow a linear layer")
+            steps.append(("relu", steps[-1][1]))
+        elif isinstance(layer, Flatten):
+            pass  # pure reshape; the flattened ordering matches lowering
+        else:
+            raise ValueError(
+                f"functional runner cannot lower layer {type(layer).__name__}"
+            )
+        shape = layer.output_shape(shape)
+    if steps[-1][0] != "linear":
+        raise ValueError("network must end with a linear layer")
+    return LoweredNetwork(
+        linears=linears,
+        steps=steps,
+        modulus=modulus,
+        input_size=network.input_shape.elements,
+        output_size=network.output_shape.elements,
+    )
+
+
+@dataclass
+class ReluBundle:
+    """Everything stored for one garbled ReLU layer."""
+
+    circuits: list[GarbledCircuit]
+    encodings: list[InputEncoding] | None  # garbler side only
+    evaluator_labels: list[dict[int, bytes]] | None  # evaluator side only
+    mask_index: int  # which linear layer's r masks this ReLU's output
+
+
+@dataclass
+class ProtocolCounters:
+    """Operation counters accumulated during a run."""
+
+    he_encryptions: int = 0
+    he_decryptions: int = 0
+    he_rotations: int = 0
+    he_plain_mults: int = 0
+    gc_circuits_garbled: int = 0
+    gc_circuits_evaluated: int = 0
+    ots_performed: int = 0
+
+
+class HybridProtocol:
+    """Runs one private inference between an in-process client and server.
+
+    The ``garbler`` argument selects Server-Garbler ("server") or
+    Client-Garbler ("client"). Weights live on the server; the input vector
+    is the client's secret.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        params: BfvParams | None = None,
+        garbler: str = "server",
+        seed: int | None = None,
+        truncate_bits: int = 0,
+    ):
+        if garbler not in ("server", "client"):
+            raise ValueError("garbler must be 'server' or 'client'")
+        self.params = params or toy_params(n=256)
+        self.garbler_role = garbler
+        self.modulus = self.params.t
+        self.bits = self.modulus.bit_length()
+        self.truncate_bits = truncate_bits
+        self.lowered = lower_network(network, self.modulus)
+        self.rng = SecureRandom(seed)
+        self.channel = Channel(field_bytes=(self.bits + 7) // 8)
+        self.counters = ProtocolCounters()
+        self._offline_done = False
+        self._validate_packing()
+
+    def _validate_packing(self) -> None:
+        row = self.params.row_size
+        for lin in self.lowered.linears:
+            if row % lin.n_in != 0:
+                raise ValueError(
+                    f"{lin.name}: width {lin.n_in} must divide row size {row}"
+                )
+            if lin.n_out > row:
+                raise ValueError(f"{lin.name}: height {lin.n_out} exceeds row size")
+
+    # -- offline phase ---------------------------------------------------------
+
+    def run_offline(self) -> None:
+        """Execute the full offline phase (HE correlations + garbling + OT)."""
+        self.channel.set_phase("offline")
+        ctx = BfvContext(self.params, self.rng.spawn())
+        encoder = BatchEncoder(self.params)
+        sk, pk = ctx.keygen()
+        gk = ctx.galois_keygen(sk, [encoder.galois_element_for_rotation(1)])
+        self.channel.send(CLIENT, pk)
+        self.channel.send(CLIENT, gk)
+        self.channel.recv(SERVER)
+        self.channel.recv(SERVER)
+        self._ctx, self._encoder, self._sk = ctx, encoder, sk
+        evaluator = HomomorphicLinearEvaluator(ctx, encoder, gk)
+
+        p = self.modulus
+        # Client randomness r_i per linear layer input; server randomness s_i
+        # per linear layer output.
+        self.client_r = [
+            self.rng.field_vector(lin.n_in, p) for lin in self.lowered.linears
+        ]
+        self.server_s = [
+            self.rng.field_vector(lin.n_out, p) for lin in self.lowered.linears
+        ]
+        # HE pass: client sends Enc(r_i); server returns Enc(W r_i - s_i).
+        self.client_linear_share = []
+        for lin, r, s in zip(self.lowered.linears, self.client_r, self.server_s):
+            packed = evaluator.pack_vector(r)
+            ct = ctx.encrypt(pk, encoder.encode(packed))
+            self.counters.he_encryptions += 1
+            self.channel.send(CLIENT, ct)
+            ct = self.channel.recv(SERVER)
+            ct_y = evaluator.matvec(ct, lin.matrix)
+            row = self.params.row_size
+            s_row = list(s) + [0] * (row - lin.n_out)
+            ct_out = ctx.sub_plain(ct_y, encoder.encode(s_row + s_row))
+            self.channel.send(SERVER, ct_out)
+            ct_out = self.channel.recv(CLIENT)
+            share = encoder.decode(ctx.decrypt(sk, ct_out))[: lin.n_out]
+            self.counters.he_decryptions += 1
+            self.client_linear_share.append(share)
+        self.counters.he_rotations = evaluator.rotations_performed
+        self.counters.he_plain_mults = evaluator.plain_mults_performed
+
+        # GC pass: garble one circuit per ReLU activation.
+        self._relu_bundles: dict[int, ReluBundle] = {}
+        relu_steps = [
+            (pos, lin_idx)
+            for pos, (kind, lin_idx) in enumerate(self.lowered.steps)
+            if kind == "relu"
+        ]
+        for pos, lin_idx in relu_steps:
+            mask_index = self._next_linear_index(pos)
+            self._offline_relu_layer(pos, lin_idx, mask_index)
+        self._offline_done = True
+
+    def _next_linear_index(self, relu_pos: int) -> int:
+        for kind, idx in self.lowered.steps[relu_pos + 1 :]:
+            if kind == "linear":
+                return idx
+        raise ValueError("ReLU with no following linear layer")
+
+    def _offline_relu_layer(self, pos: int, lin_idx: int, mask_index: int) -> None:
+        p = self.modulus
+        n = self.lowered.linears[lin_idx].n_out
+        mask = self.client_r[mask_index]
+        if len(mask) != n:
+            raise ValueError("mask length mismatch (unsupported layer between)")
+        mask_owner = "evaluator" if self.garbler_role == "server" else "garbler"
+        spec = ReluCircuitSpec(
+            bits=self.bits,
+            modulus=p,
+            mask_owner=mask_owner,
+            truncate_bits=self.truncate_bits,
+        )
+        circuit = build_relu_circuit(spec)
+        garbler = Garbler(self.rng.spawn())
+
+        circuits, encodings = [], []
+        for _ in range(n):
+            garbled, encoding = garbler.garble(circuit)
+            self.counters.gc_circuits_garbled += 1
+            circuits.append(garbled)
+            encodings.append(encoding)
+
+        if self.garbler_role == "server":
+            # Server -> client: circuits with decode bits stripped (the
+            # evaluator must not learn outputs), then client label OT.
+            wire_circuits = [
+                GarbledCircuit(c.circuit, c.tables, []) for c in circuits
+            ]
+            self.channel.send(SERVER, wire_circuits)
+            self.channel.recv(CLIENT)
+            evaluator_labels = self._client_labels_via_ot(
+                circuit, circuits, encodings, lin_idx, mask_index, sender=SERVER
+            )
+            self._relu_bundles[pos] = ReluBundle(
+                circuits=wire_circuits,
+                encodings=encodings,
+                evaluator_labels=evaluator_labels,
+                mask_index=mask_index,
+            )
+        else:
+            # Client garbles: ships circuits (with decode bits — the server
+            # may learn x - r) plus the labels of its own inputs.
+            self.channel.send(CLIENT, circuits)
+            self.channel.recv(SERVER)
+            garbler_labels = []
+            for j, (garbled, encoding) in enumerate(zip(circuits, encodings)):
+                share_bits = int_to_bits(self.client_linear_share[lin_idx][j], self.bits)
+                mask_bits = int_to_bits(self.client_r[mask_index][j], self.bits)
+                labels = Garbler.encode_inputs(
+                    encoding, garbled.circuit, share_bits + mask_bits
+                )
+                garbler_labels.append(labels)
+            self.channel.send(
+                CLIENT, [list(lbls.values()) for lbls in garbler_labels]
+            )
+            self.channel.recv(SERVER)
+            self._relu_bundles[pos] = ReluBundle(
+                circuits=circuits,
+                encodings=encodings,
+                evaluator_labels=garbler_labels,
+                mask_index=mask_index,
+            )
+
+    def _client_labels_via_ot(
+        self, circuit: Circuit, circuits, encodings, lin_idx, mask_index, sender
+    ) -> list[dict[int, bytes]]:
+        """Offline OT delivering the client's input labels (Server-Garbler)."""
+        pairs, choices = [], []
+        for j, encoding in enumerate(encodings):
+            share_bits = int_to_bits(self.client_linear_share[lin_idx][j], self.bits)
+            mask_bits = int_to_bits(self.client_r[mask_index][j], self.bits)
+            for wire, bit in zip(circuit.evaluator_inputs, share_bits + mask_bits):
+                pairs.append((encoding.label_for(wire, 0), encoding.label_for(wire, 1)))
+                choices.append(bit)
+        received, transcript = iknp_transfer(pairs, choices, self.rng.spawn())
+        self.counters.ots_performed += len(pairs)
+        receiver = CLIENT if sender == SERVER else SERVER
+        self.channel.send(receiver, None, nbytes=transcript.column_bytes)
+        self.channel.recv(sender)
+        self.channel.send(
+            sender, None, nbytes=transcript.base_ot_bytes + transcript.ciphertext_bytes
+        )
+        self.channel.recv(receiver)
+
+        labels: list[dict[int, bytes]] = []
+        per = len(circuit.evaluator_inputs)
+        for j, (garbled, encoding) in enumerate(zip(circuits, encodings)):
+            chunk = received[j * per : (j + 1) * per]
+            label_map = dict(zip(circuit.evaluator_inputs, chunk))
+            label_map[Circuit.CONST_ZERO] = encoding.label_for(Circuit.CONST_ZERO, 0)
+            label_map[Circuit.CONST_ONE] = encoding.label_for(Circuit.CONST_ONE, 1)
+            labels.append(label_map)
+        return labels
+
+    # -- online phase ------------------------------------------------------------
+
+    def run_online(self, x: list[int]) -> list[int]:
+        """Run one inference on the client input ``x``; returns the logits."""
+        if not self._offline_done:
+            raise RuntimeError("offline phase must run before online phase")
+        if len(x) != self.lowered.input_size:
+            raise ValueError("input size mismatch")
+        self.channel.set_phase("online")
+        p = self.modulus
+        masked = [(v - r) % p for v, r in zip(x, self.client_r[0])]
+        self.channel.send(CLIENT, masked)
+        server_vec = self.channel.recv(SERVER)
+
+        evaluator = Evaluator()
+        for pos, (kind, lin_idx) in enumerate(self.lowered.steps):
+            if kind == "linear":
+                lin = self.lowered.linears[lin_idx]
+                s = self.server_s[lin_idx]
+                server_vec = [
+                    (sum(lin.matrix[i][j] * server_vec[j] for j in range(lin.n_in)) + s[i])
+                    % p
+                    for i in range(lin.n_out)
+                ]
+            else:
+                server_vec = self._online_relu(pos, lin_idx, server_vec, evaluator)
+
+        # Final reconstruction: server sends its output share to the client.
+        self.channel.send(SERVER, server_vec)
+        final_server_share = self.channel.recv(CLIENT)
+        final_client_share = self.client_linear_share[
+            self.lowered.steps[-1][1]
+        ]
+        return [
+            (a + b) % p for a, b in zip(final_server_share, final_client_share)
+        ]
+
+    def _online_relu(self, pos, lin_idx, server_share, evaluator) -> list[int]:
+        bundle = self._relu_bundles[pos]
+        p = self.modulus
+        if self.garbler_role == "server":
+            # Server sends the labels of its own share; client evaluates and
+            # returns output labels; server decodes.
+            out = []
+            all_labels = []
+            for j, value in enumerate(server_share):
+                encoding = bundle.encodings[j]
+                circuit = bundle.circuits[j].circuit
+                bits = int_to_bits(value, self.bits)
+                all_labels.append(
+                    [encoding.label_for(w, b) for w, b in zip(circuit.garbler_inputs, bits)]
+                )
+            self.channel.send(SERVER, all_labels)
+            all_labels = self.channel.recv(CLIENT)
+            output_label_batch = []
+            for j, garbler_labels in enumerate(all_labels):
+                circuit = bundle.circuits[j].circuit
+                labels = dict(bundle.evaluator_labels[j])
+                labels.update(zip(circuit.garbler_inputs, garbler_labels))
+                output_label_batch.append(
+                    evaluator.evaluate(bundle.circuits[j], labels)
+                )
+                self.counters.gc_circuits_evaluated += 1
+            self.channel.send(CLIENT, output_label_batch)
+            output_label_batch = self.channel.recv(SERVER)
+            for j, out_labels in enumerate(output_label_batch):
+                bits = Garbler.decode_output_labels(
+                    bundle.encodings[j], bundle.circuits[j].circuit, out_labels
+                )
+                out.append(words_to_int(bits))
+            return out
+
+        # Client-Garbler: the server fetches labels for its share via online
+        # OT, evaluates, and decodes locally (decode bits shipped offline).
+        pairs, choices = [], []
+        for j, value in enumerate(server_share):
+            encoding = bundle.encodings[j]
+            circuit = bundle.circuits[j].circuit
+            bits = int_to_bits(value, self.bits)
+            for wire, bit in zip(circuit.evaluator_inputs, bits):
+                pairs.append((encoding.label_for(wire, 0), encoding.label_for(wire, 1)))
+                choices.append(bit)
+        received, transcript = iknp_transfer(pairs, choices, self.rng.spawn())
+        self.counters.ots_performed += len(pairs)
+        self.channel.send(SERVER, None, nbytes=transcript.column_bytes)
+        self.channel.recv(CLIENT)
+        self.channel.send(
+            CLIENT, None, nbytes=transcript.base_ot_bytes + transcript.ciphertext_bytes
+        )
+        self.channel.recv(SERVER)
+
+        out = []
+        per = self.bits
+        for j in range(len(server_share)):
+            circuit = bundle.circuits[j].circuit
+            # The garbler's label dict preserves insertion order:
+            # [CONST_ZERO, CONST_ONE] then its own input wires.
+            labels = dict(
+                zip(
+                    [Circuit.CONST_ZERO, Circuit.CONST_ONE] + circuit.garbler_inputs,
+                    bundle.evaluator_labels[j].values(),
+                )
+            )
+            chunk = received[j * per : (j + 1) * per]
+            labels.update(zip(circuit.evaluator_inputs, chunk))
+            out_labels = evaluator.evaluate(bundle.circuits[j], labels)
+            self.counters.gc_circuits_evaluated += 1
+            out.append(words_to_int(evaluator.decode(bundle.circuits[j], out_labels)))
+        return out
+
+    # -- reference ---------------------------------------------------------------
+
+    def plaintext_reference(self, x: list[int]) -> list[int]:
+        """Field-exact plaintext evaluation of the lowered program."""
+        p = self.modulus
+        vec = [v % p for v in x]
+        threshold = (p + 1) // 2
+        for kind, lin_idx in self.lowered.steps:
+            lin = self.lowered.linears[lin_idx]
+            if kind == "linear":
+                vec = [
+                    sum(lin.matrix[i][j] * vec[j] for j in range(lin.n_in)) % p
+                    for i in range(lin.n_out)
+                ]
+            else:
+                vec = [
+                    (v >> self.truncate_bits) if v < threshold else 0 for v in vec
+                ]
+        return vec

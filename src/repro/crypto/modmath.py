@@ -1,0 +1,134 @@
+"""Modular arithmetic helpers used across the HE, SS, and OT substrates.
+
+Everything here operates on plain Python integers so that moduli larger than
+64 bits (e.g. the ~41-bit DELPHI share prime or a 60-bit RLWE ciphertext
+modulus) are handled exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_probable_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for n < 3.3e24, probabilistic above."""
+    if n < 2:
+        return False
+    for p in _MR_WITNESSES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def mod_inverse(a: int, m: int) -> int:
+    """Multiplicative inverse of ``a`` modulo ``m`` (raises if not coprime)."""
+    g, x, _ = _extended_gcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} is not invertible modulo {m}")
+    return x % m
+
+
+def _extended_gcd(a: int, b: int) -> tuple[int, int, int]:
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def find_prime_one_mod(bits: int, modulus: int) -> int:
+    """Smallest prime with ``bits`` bits congruent to 1 mod ``modulus``."""
+    candidate = (1 << (bits - 1)) + 1
+    rem = (candidate - 1) % modulus
+    if rem:
+        candidate += modulus - rem
+    while candidate < (1 << bits):
+        if is_probable_prime(candidate):
+            return candidate
+        candidate += modulus
+    raise ValueError(f"no {bits}-bit prime congruent to 1 mod {modulus}")
+
+
+def find_ntt_prime(bits: int, n: int) -> int:
+    """Smallest prime of ``bits`` bits congruent to 1 mod 2n (NTT friendly).
+
+    Such primes admit a primitive 2n-th root of unity, which is what both the
+    negacyclic NTT (ciphertext ring) and BFV batching (plaintext slots)
+    require.
+    """
+    return find_prime_one_mod(bits, 2 * n)
+
+
+def primitive_root_of_unity(order: int, p: int) -> int:
+    """A primitive ``order``-th root of unity modulo prime ``p``.
+
+    Raises candidates to the power (p-1)/order — the result always has
+    order dividing ``order`` — and accepts the first whose order is exactly
+    ``order``. Only ``order`` itself (small) is ever factored, so this stays
+    fast for wide moduli where factoring p-1 would be intractable.
+    """
+    if order == 1:
+        return 1
+    if (p - 1) % order != 0:
+        raise ValueError(f"{order} does not divide {p}-1")
+    order_factors = _prime_factors(order)
+    exponent = (p - 1) // order
+    for candidate in range(2, p):
+        root = pow(candidate, exponent, p)
+        if root != 1 and all(
+            pow(root, order // f, p) != 1 for f in order_factors
+        ):
+            return root
+    raise ValueError(f"no primitive {order}-th root of unity modulo {p}")
+
+
+def _prime_factors(n: int) -> list[int]:
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def random_prime(bits: int, rng: random.Random | None = None) -> int:
+    """A random prime with exactly ``bits`` bits."""
+    rng = rng or random.Random()
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate):
+            return candidate
+
+
+def centered(value: int, modulus: int) -> int:
+    """Map ``value`` mod ``modulus`` into the centered range (-m/2, m/2]."""
+    value %= modulus
+    if value > modulus // 2:
+        value -= modulus
+    return value

@@ -1,0 +1,88 @@
+"""Pseudo-random generation and hashing primitives.
+
+Garbled-circuit constructions are specified in terms of a fixed-key block
+cipher used as a correlation-robust hash. We substitute SHA-256 in counter
+mode: the security argument is the standard random-oracle one and the byte
+layout (16-byte blocks, tweakable) matches what an AES-based implementation
+would produce, so all size and count accounting is faithful.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+LABEL_BYTES = 16  # 128-bit wire labels, as in DELPHI / fancy-garbling.
+
+
+def hash_label(label: bytes, tweak: int) -> bytes:
+    """Correlation-robust hash H(label, tweak) -> 16 bytes.
+
+    ``tweak`` is the gate index (point-and-permute position folded in by the
+    caller); including it makes each gate's ciphertexts domain-separated.
+    """
+    digest = hashlib.sha256(label + struct.pack("<Q", tweak)).digest()
+    return digest[:LABEL_BYTES]
+
+
+def hash_pair(a: bytes, b: bytes, tweak: int) -> bytes:
+    """Hash of two labels (classic two-input garbling hash)."""
+    digest = hashlib.sha256(a + b + struct.pack("<Q", tweak)).digest()
+    return digest[:LABEL_BYTES]
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return (int.from_bytes(a, "little") ^ int.from_bytes(b, "little")).to_bytes(
+        len(a), "little"
+    )
+
+
+class Prg:
+    """Deterministic expandable PRG (SHA-256 in counter mode).
+
+    Used for OT-extension column expansion and anywhere the protocol calls
+    for expanding a short seed into a long pseudo-random string.
+    """
+
+    def __init__(self, seed: bytes):
+        if not seed:
+            raise ValueError("PRG seed must be non-empty")
+        self._seed = bytes(seed)
+        self._counter = 0
+        self._buffer = b""
+
+    def read(self, n: int) -> bytes:
+        """Return the next ``n`` pseudo-random bytes."""
+        if n < 0:
+            raise ValueError("cannot read a negative number of bytes")
+        while len(self._buffer) < n:
+            block = hashlib.sha256(
+                self._seed + struct.pack("<Q", self._counter)
+            ).digest()
+            self._counter += 1
+            self._buffer += block
+        out, self._buffer = self._buffer[:n], self._buffer[n:]
+        return out
+
+    def read_int(self, bits: int) -> int:
+        """Return a pseudo-random integer with at most ``bits`` bits."""
+        nbytes = (bits + 7) // 8
+        value = int.from_bytes(self.read(nbytes), "little")
+        return value & ((1 << bits) - 1)
+
+    def read_bits(self, n: int) -> list[int]:
+        """Return ``n`` pseudo-random bits as a list of 0/1 ints."""
+        value = self.read_int(n)
+        return [(value >> i) & 1 for i in range(n)]
+
+
+def key_derivation(*parts: bytes) -> bytes:
+    """Derive a 16-byte key from a transcript of byte strings (for OT)."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(struct.pack("<I", len(part)))
+        h.update(part)
+    return h.digest()[:LABEL_BYTES]

@@ -1,0 +1,62 @@
+"""Seedable randomness sources for protocol parties.
+
+Every party in the two-party protocols owns a :class:`SecureRandom` so tests
+can make entire protocol executions deterministic by fixing seeds while the
+default construction remains unpredictable.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+
+class SecureRandom:
+    """Random source with the handful of draws the protocols need."""
+
+    def __init__(self, seed: int | bytes | None = None):
+        if seed is None:
+            seed = int.from_bytes(os.urandom(16), "little")
+        self._rng = random.Random(seed)
+
+    def field_element(self, modulus: int) -> int:
+        """Uniform element of Z_modulus."""
+        return self._rng.randrange(modulus)
+
+    def field_vector(self, n: int, modulus: int) -> list[int]:
+        """Vector of ``n`` uniform elements of Z_modulus."""
+        return [self._rng.randrange(modulus) for _ in range(n)]
+
+    def bit(self) -> int:
+        return self._rng.getrandbits(1)
+
+    def bits(self, n: int) -> list[int]:
+        return [self._rng.getrandbits(1) for _ in range(n)]
+
+    def bytes(self, n: int) -> bytes:
+        return self._rng.getrandbits(n * 8).to_bytes(n, "little") if n else b""
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        return self._rng.randint(low, high)
+
+    def ternary(self) -> int:
+        """Uniform draw from {-1, 0, 1} (RLWE secret coefficient)."""
+        return self._rng.randrange(3) - 1
+
+    def centered_binomial(self, eta: int = 4) -> int:
+        """Centered-binomial noise draw, the standard discrete-Gaussian stand-in."""
+        return sum(self._rng.getrandbits(1) for _ in range(eta)) - sum(
+            self._rng.getrandbits(1) for _ in range(eta)
+        )
+
+    def shuffle(self, items: list) -> None:
+        self._rng.shuffle(items)
+
+    def exponential(self, mean: float) -> float:
+        """Exponential inter-arrival draw (Poisson process) with given mean."""
+        return self._rng.expovariate(1.0 / mean)
+
+    def spawn(self) -> "SecureRandom":
+        """Independent child stream (for per-request generators)."""
+        return SecureRandom(self._rng.getrandbits(128))

@@ -1,0 +1,54 @@
+"""Per-figure/table experiment runners reproducing the paper's evaluation.
+
+Each module exposes ``run()`` returning structured rows and ``main()``
+printing them; the benchmark harness under ``benchmarks/`` wraps these.
+
+| Module              | Reproduces |
+|---------------------|------------|
+| fig03_storage       | Figure 3: client storage per inference |
+| fig04_compute       | Figure 4: HE.Eval / GC.Eval / GC.Garble latency |
+| fig05_comm          | Figure 5: communication latency vs bandwidth |
+| table1              | Table 1: Server-Garbler time breakdown |
+| fig07_streaming     | Figure 7: latency under arrival rates |
+| fig08_client_garbler| Figure 8: client storage SG vs CG |
+| fig09_lphe          | Figure 9: sequential vs layer-parallel HE |
+| fig10_lphe_vs_rlp   | Figure 10: LPHE vs RLP across storage budgets |
+| fig11_wsa           | Figure 11: wireless slot allocation sweep |
+| fig12_end_to_end    | Figure 12: baseline vs proposed, all pairs |
+| fig13_sensitivity   | Figure 13: device capability sensitivity |
+| fig14_future        | Figure 14: future-optimization waterfall |
+"""
+
+from repro.experiments import (
+    fig03_storage,
+    fig04_compute,
+    fig05_comm,
+    fig07_streaming,
+    fig08_client_garbler,
+    fig09_lphe,
+    fig10_lphe_vs_rlp,
+    fig11_wsa,
+    fig12_end_to_end,
+    fig13_sensitivity,
+    fig14_future,
+    headline,
+    table1,
+)
+
+ALL_EXPERIMENTS = {
+    "fig3": fig03_storage,
+    "fig4": fig04_compute,
+    "fig5": fig05_comm,
+    "table1": table1,
+    "fig7": fig07_streaming,
+    "fig8": fig08_client_garbler,
+    "fig9": fig09_lphe,
+    "fig10": fig10_lphe_vs_rlp,
+    "fig11": fig11_wsa,
+    "fig12": fig12_end_to_end,
+    "fig13": fig13_sensitivity,
+    "fig14": fig14_future,
+    "headline": headline,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

@@ -1,0 +1,60 @@
+"""Shared helpers for the per-figure experiment runners."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.nn.datasets import CIFAR100, IMAGENET, TINY_IMAGENET, DatasetSpec
+from repro.nn.models import resnet18, resnet32, vgg16
+from repro.nn.network import Network
+from repro.profiling.model_costs import NetworkCostProfile, profile_network
+
+# Evaluation order used throughout the paper's figures.
+EVAL_PAIRS: tuple[tuple[str, str], ...] = (
+    ("ResNet-32", "CIFAR-100"),
+    ("VGG-16", "CIFAR-100"),
+    ("ResNet-18", "CIFAR-100"),
+    ("ResNet-32", "TinyImageNet"),
+    ("VGG-16", "TinyImageNet"),
+    ("ResNet-18", "TinyImageNet"),
+)
+
+STORAGE_PAIRS = EVAL_PAIRS + (
+    ("ResNet-32", "ImageNet"),
+    ("VGG-16", "ImageNet"),
+    ("ResNet-18", "ImageNet"),
+)
+
+_DATASETS = {d.name: d for d in (CIFAR100, TINY_IMAGENET, IMAGENET)}
+_BUILDERS = {"ResNet-18": resnet18, "ResNet-32": resnet32, "VGG-16": vgg16}
+
+
+@lru_cache(maxsize=None)
+def build(model: str, dataset: str) -> Network:
+    return _BUILDERS[model](_DATASETS[dataset])
+
+
+@lru_cache(maxsize=None)
+def profile(model: str, dataset: str) -> NetworkCostProfile:
+    return profile_network(build(model, dataset))
+
+
+def print_rows(title: str, rows: list[dict]) -> None:
+    """Render experiment rows as an aligned text table."""
+    print(f"\n== {title} ==")
+    if not rows:
+        print("(no rows)")
+        return
+    keys = list(rows[0])
+    widths = {
+        k: max(len(k), *(len(_fmt(r[k])) for r in rows)) for k in keys
+    }
+    print("  ".join(k.ljust(widths[k]) for k in keys))
+    for row in rows:
+        print("  ".join(_fmt(row[k]).ljust(widths[k]) for k in keys))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

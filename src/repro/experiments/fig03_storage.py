@@ -1,0 +1,49 @@
+"""Figure 3: per-inference pre-processing storage on the client.
+
+Paper values (GB): CIFAR-100 — VGG-16 5, ResNet-32 6, ResNet-18 10;
+TinyImageNet — 20, 22, 41; ImageNet — 247, 271, 498. Garbled circuits
+dominate; the counts fall straight out of our architecture builders times
+the measured 18.2 KB/ReLU.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import STORAGE_PAIRS, print_rows, profile
+from repro.profiling.model_costs import Protocol
+
+PAPER_GB = {
+    ("VGG-16", "CIFAR-100"): 5,
+    ("ResNet-32", "CIFAR-100"): 6,
+    ("ResNet-18", "CIFAR-100"): 10,
+    ("VGG-16", "TinyImageNet"): 20,
+    ("ResNet-32", "TinyImageNet"): 22,
+    ("ResNet-18", "TinyImageNet"): 41,
+    ("VGG-16", "ImageNet"): 247,
+    ("ResNet-32", "ImageNet"): 271,
+    ("ResNet-18", "ImageNet"): 498,
+}
+
+
+def run() -> list[dict]:
+    rows = []
+    for model, dataset in STORAGE_PAIRS:
+        p = profile(model, dataset)
+        gb = p.storage(Protocol.SERVER_GARBLER).client_bytes / 1e9
+        rows.append(
+            {
+                "model": model,
+                "dataset": dataset,
+                "relus": p.relu_count,
+                "client_storage_gb": gb,
+                "paper_gb": PAPER_GB[(model, dataset)],
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    print_rows("Figure 3: client storage per inference", run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Figure 4: per-inference compute latency of the cryptographic primitives.
+
+HE.Eval (server, offline) dominates; GC.Eval (Atom client, online) is the
+next largest; GC.Garble (server, offline) is almost negligible. Paper
+anchor: ResNet-18/TinyImageNet at roughly 18 / 3.3 / 0.4 minutes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import EVAL_PAIRS, print_rows, profile
+from repro.profiling.devices import ATOM, EPYC
+
+
+def run() -> list[dict]:
+    rows = []
+    for model, dataset in EVAL_PAIRS:
+        p = profile(model, dataset)
+        rows.append(
+            {
+                "model": model,
+                "dataset": dataset,
+                "he_eval_min": p.he_sequential_seconds(EPYC) / 60,
+                "gc_eval_min": p.gc_eval_seconds(ATOM) / 60,
+                "gc_garble_min": p.garble_seconds(EPYC) / 60,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    print_rows("Figure 4: compute latency per primitive (minutes)", run())
+
+
+if __name__ == "__main__":
+    main()

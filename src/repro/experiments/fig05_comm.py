@@ -1,0 +1,46 @@
+"""Figure 5: communication latency vs total wireless bandwidth.
+
+ResNet-18 on TinyImageNet, Server-Garbler, even upload/download split.
+Download (GC transmission) dominates — 11 minutes even at 1 Gbps; upload
+carries only a few percent of the bytes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import print_rows, profile
+from repro.network.bandwidth import MBPS, TddLink
+from repro.profiling.model_costs import Protocol
+
+BANDWIDTH_SWEEP_MBPS = (150, 250, 350, 450, 550, 650, 750, 850, 950, 1000)
+
+
+def run(model: str = "ResNet-18", dataset: str = "TinyImageNet") -> list[dict]:
+    volumes = profile(model, dataset).comm(Protocol.SERVER_GARBLER)
+    rows = []
+    for mbps in BANDWIDTH_SWEEP_MBPS:
+        link = TddLink(mbps * MBPS, 0.5)
+        rows.append(
+            {
+                "bandwidth_mbps": mbps,
+                "upload_min": link.upload_seconds(volumes.upload) / 60,
+                "download_min": link.download_seconds(volumes.download) / 60,
+                "total_min": link.transfer_seconds(volumes.upload, volumes.download)
+                / 60,
+            }
+        )
+    return rows
+
+
+def download_share(model: str = "ResNet-18", dataset: str = "TinyImageNet") -> float:
+    """Fraction of total transferred bytes that is download (paper: 81.5%)."""
+    volumes = profile(model, dataset).comm(Protocol.SERVER_GARBLER)
+    return volumes.download / volumes.total
+
+
+def main() -> None:
+    print_rows("Figure 5: communication latency vs bandwidth (even split)", run())
+    print(f"download share of bytes: {download_share():.1%} (paper 81.5%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Figure 7: mean PI latency under streaming inference requests.
+
+Baseline Server-Garbler (sequential HE, even bandwidth split), ResNet-18 on
+TinyImageNet, 128 GB of client storage, 24 h Poisson workloads. As the
+arrival rate rises, latency decomposes into online, then offline (buffer
+depleted), then queueing (server saturated) components.
+"""
+
+from __future__ import annotations
+
+from repro.core.system import OfflineParallelism, SystemConfig, simulate_mean_latency
+from repro.experiments.common import print_rows, profile
+from repro.profiling.model_costs import Protocol
+
+ARRIVAL_MINUTES = (180, 120, 95, 80, 65, 50, 40, 35, 30)
+
+
+def run(
+    model: str = "ResNet-18",
+    dataset: str = "TinyImageNet",
+    storage_gb: float = 128.0,
+    replications: int = 5,
+    horizon_hours: float = 24.0,
+) -> list[dict]:
+    config = SystemConfig(
+        profile=profile(model, dataset),
+        protocol=Protocol.SERVER_GARBLER,
+        client_storage_bytes=storage_gb * 1e9,
+        wsa=False,
+        parallelism=OfflineParallelism.SEQUENTIAL,
+    )
+    rows = []
+    for minutes in ARRIVAL_MINUTES:
+        stats = simulate_mean_latency(
+            config, minutes * 60, horizon=horizon_hours * 3600,
+            replications=replications,
+        )
+        rows.append(
+            {
+                "req_per_min": f"1/{minutes}",
+                "mean_latency_min": stats["latency"] / 60,
+                "queue_min": stats["queue"] / 60,
+                "offline_min": stats["offline"] / 60,
+                "online_min": stats["online"] / 60,
+                "precompute_hit": stats["hit"],
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    print_rows("Figure 7: streaming latency decomposition (Server-Garbler)", run())
+
+
+if __name__ == "__main__":
+    main()

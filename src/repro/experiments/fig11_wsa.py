@@ -1,0 +1,63 @@
+"""Figure 11: wireless slot allocation sweep for both protocols.
+
+Total communication latency (offline + online) at 1 Gbps as the fraction
+of slots allocated to upload sweeps 0.1-0.9. Paper optima: Server-Garbler
+at ~802 Mbps download, Client-Garbler at ~835 Mbps upload; picking the
+optimum saves up to 35% vs the even split.
+"""
+
+from __future__ import annotations
+
+from repro.core.wsa import (
+    improvement_over_even_split,
+    optimal_upload_fraction,
+    sweep_allocations,
+)
+from repro.experiments.common import print_rows, profile
+from repro.profiling.model_costs import Protocol
+
+GBPS = 1e9
+
+
+def run(model: str = "ResNet-18", dataset: str = "TinyImageNet") -> list[dict]:
+    p = profile(model, dataset)
+    rows = []
+    for protocol in (Protocol.SERVER_GARBLER, Protocol.CLIENT_GARBLER):
+        volumes = p.comm(protocol)
+        for point in sweep_allocations(volumes, GBPS):
+            rows.append(
+                {
+                    "protocol": protocol.value,
+                    "upload_fraction": point.upload_fraction,
+                    "latency_min": point.latency_seconds / 60,
+                }
+            )
+    return rows
+
+
+def optima(model: str = "ResNet-18", dataset: str = "TinyImageNet") -> dict[str, dict]:
+    p = profile(model, dataset)
+    out = {}
+    for protocol in (Protocol.SERVER_GARBLER, Protocol.CLIENT_GARBLER):
+        volumes = p.comm(protocol)
+        f_star = optimal_upload_fraction(volumes)
+        out[protocol.value] = {
+            "optimal_upload_mbps": f_star * 1000,
+            "optimal_download_mbps": (1 - f_star) * 1000,
+            "improvement_vs_even": improvement_over_even_split(volumes, GBPS),
+        }
+    return out
+
+
+def main() -> None:
+    print_rows("Figure 11: WSA sweep (1 Gbps)", run())
+    for name, stats in optima().items():
+        print(
+            f"{name}: optimal up {stats['optimal_upload_mbps']:.0f} Mbps / "
+            f"down {stats['optimal_download_mbps']:.0f} Mbps, "
+            f"saves {stats['improvement_vs_even']:.0%} vs even split"
+        )
+
+
+if __name__ == "__main__":
+    main()

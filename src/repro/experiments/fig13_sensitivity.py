@@ -1,0 +1,74 @@
+"""Figure 13: sensitivity to client and server compute capabilities.
+
+ResNet-18 on TinyImageNet at 16 GB client storage. Clients: Atom, i5,
+2x i5; servers: EPYC at 1x/2x/4x. Server-Garbler cannot buffer (41 GB >
+16 GB) so its latency stays high regardless of devices; Client-Garbler
+buffers (8 GB) and its sustainable rate scales with client garbling speed.
+"""
+
+from __future__ import annotations
+
+from repro.core.system import OfflineParallelism, SystemConfig, simulate_mean_latency
+from repro.experiments.common import print_rows, profile
+from repro.profiling.devices import ATOM, EPYC, I5, I5_2X
+from repro.profiling.model_costs import Protocol
+
+ARRIVAL_MINUTES = (65, 31, 20, 15, 12, 10)
+CLIENTS = (("Atom", ATOM), ("i5", I5), ("i5 (2x)", I5_2X))
+SERVER_SCALES = (1, 2, 4)
+
+
+def run(
+    server_scale: int = 1,
+    replications: int = 2,
+    horizon_hours: float = 24.0,
+    model: str = "ResNet-18",
+    dataset: str = "TinyImageNet",
+) -> list[dict]:
+    p = profile(model, dataset)
+    server = EPYC if server_scale == 1 else EPYC.scaled(server_scale)
+    rows = []
+    for protocol, tag in (
+        (Protocol.SERVER_GARBLER, "SG"),
+        (Protocol.CLIENT_GARBLER, "CG"),
+    ):
+        for client_name, client in CLIENTS:
+            config = SystemConfig(
+                profile=p,
+                protocol=protocol,
+                client=client,
+                server=server,
+                client_storage_bytes=16e9,
+                wsa=True,
+                parallelism=OfflineParallelism.LPHE,
+            )
+            for minutes in ARRIVAL_MINUTES:
+                stats = simulate_mean_latency(
+                    config, minutes * 60, horizon=horizon_hours * 3600,
+                    replications=replications,
+                )
+                rows.append(
+                    {
+                        "system": f"{tag} - {client_name}",
+                        "server_scale": f"{server_scale}x",
+                        "req_per_min": f"1/{minutes}",
+                        "mean_latency_min": stats["latency"] / 60,
+                    }
+                )
+    return rows
+
+
+def garble_latencies() -> dict[str, float]:
+    """Client-side offline garbling seconds (paper: 382.6 / 107.2 / 53.8)."""
+    p = profile("ResNet-18", "TinyImageNet")
+    return {name: p.garble_seconds(device) for name, device in CLIENTS}
+
+
+def main() -> None:
+    for scale in SERVER_SCALES:
+        print_rows(f"Figure 13: AMD server ({scale}x)", run(server_scale=scale))
+    print("client garble seconds:", garble_latencies())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Figure 14: total PI latency under accumulating future optimizations.
+
+Paper series (seconds): Server-Garbler* 930, Client-Garbler 1052,
+GC FASE 19x 662, GC 100x 645, HE 1000x 492, BW 10x 54, Fewer ReLUs 6 —
+with offline fractions 76/89/85/84/79/80/73%.
+"""
+
+from __future__ import annotations
+
+from repro.core.future import breakdown_components, waterfall
+from repro.experiments.common import print_rows, profile
+
+PAPER_SECONDS = {
+    "Server Garbler*": 930,
+    "Client Garbler": 1052,
+    "GC FASE 19x": 662,
+    "GC 100x": 645,
+    "HE 1000x": 492,
+    "BW 10x": 54,
+    "Fewer ReLUs": 6,
+}
+
+
+def run(model: str = "ResNet-18", dataset: str = "TinyImageNet") -> list[dict]:
+    rows = []
+    for step in waterfall(profile(model, dataset)):
+        rows.append(
+            {
+                "step": step.label,
+                "total_s": step.total_seconds,
+                "paper_s": PAPER_SECONDS[step.label],
+                "offline_pct": step.offline_percent,
+            }
+        )
+    return rows
+
+
+def components(model: str = "ResNet-18", dataset: str = "TinyImageNet") -> list[dict]:
+    rows = []
+    for step in waterfall(profile(model, dataset)):
+        row = {"step": step.label}
+        row.update(
+            {k: 100 * v for k, v in breakdown_components(step).items()}
+        )
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    print_rows("Figure 14: future-optimization waterfall", run())
+    print_rows("Figure 14 (bottom): normalized latency components (%)", components())
+
+
+if __name__ == "__main__":
+    main()

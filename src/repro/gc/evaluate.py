@@ -1,0 +1,46 @@
+"""Evaluator side of the half-gates garbled circuit protocol."""
+
+from __future__ import annotations
+
+from repro.crypto.prg import hash_label, xor_bytes
+from repro.gc.circuit import GateType
+from repro.gc.garble import GarbledCircuit
+
+
+def _lsb(label: bytes) -> int:
+    return label[0] & 1
+
+
+class Evaluator:
+    """Evaluates a garbled circuit given one label per input wire."""
+
+    def evaluate(
+        self, garbled: GarbledCircuit, input_labels: dict[int, bytes]
+    ) -> list[bytes]:
+        """Run the circuit; returns the active label of each output wire."""
+        circuit = garbled.circuit
+        labels: dict[int, bytes] = dict(input_labels)
+        for index, gate in enumerate(circuit.gates):
+            a = labels[gate.a]
+            b = labels[gate.b]
+            if gate.kind is GateType.XOR:
+                labels[gate.out] = xor_bytes(a, b)
+                continue
+            table = garbled.tables[index]
+            tweak_g = 2 * index
+            tweak_e = 2 * index + 1
+            w_g = hash_label(a, tweak_g)
+            if _lsb(a):
+                w_g = xor_bytes(w_g, table.generator_half)
+            w_e = hash_label(b, tweak_e)
+            if _lsb(b):
+                w_e = xor_bytes(w_e, xor_bytes(table.evaluator_half, a))
+            labels[gate.out] = xor_bytes(w_g, w_e)
+        return [labels[w] for w in circuit.outputs]
+
+    def decode(self, garbled: GarbledCircuit, output_labels: list[bytes]) -> list[int]:
+        """Decode output labels to cleartext bits using the decode bits."""
+        return [
+            _lsb(label) ^ bit
+            for label, bit in zip(output_labels, garbled.output_decode_bits)
+        ]

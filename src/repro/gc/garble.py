@@ -1,0 +1,176 @@
+"""Garbling with free-XOR and half-gates (Zahur-Rosulek-Evans 2015).
+
+XOR gates cost nothing; each AND gate produces exactly two 16-byte
+ciphertexts (the generator and evaluator halves). Wire labels are 128 bits
+with the point-and-permute bit in the least significant position of the
+global offset ``delta``, the free-XOR invariant being
+``label1 = label0 XOR delta`` on every wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.prg import LABEL_BYTES, hash_label, xor_bytes
+from repro.crypto.rng import SecureRandom
+from repro.gc.circuit import Circuit, GateType
+
+
+def _lsb(label: bytes) -> int:
+    return label[0] & 1
+
+
+@dataclass
+class GarbledGate:
+    """The two half-gate ciphertexts for one AND gate."""
+
+    generator_half: bytes
+    evaluator_half: bytes
+
+
+@dataclass
+class GarbledCircuit:
+    """Everything the evaluator needs except input labels.
+
+    ``size_bytes`` is the transmitted/stored size: two ciphertexts per AND
+    gate plus one decode bit per output wire — this is what dominates the
+    protocol's storage and communication footprint (18.2 KB per ReLU in the
+    paper's profiling of fancy-garbling).
+    """
+
+    circuit: Circuit
+    tables: dict[int, GarbledGate]
+    output_decode_bits: list[int]
+
+    @property
+    def size_bytes(self) -> int:
+        return 2 * LABEL_BYTES * len(self.tables) + (len(self.output_decode_bits) + 7) // 8
+
+
+@dataclass
+class InputEncoding:
+    """Garbler-private mapping from input wires to their label pairs.
+
+    The garbler keeps this (3.5 KB per ReLU in the paper — the asymmetry
+    with the 18.2 KB garbled circuit is what Client-Garbler exploits).
+    """
+
+    zero_labels: dict[int, bytes]
+    delta: bytes
+    output_zero_labels: dict[int, bytes] = field(default_factory=dict)
+
+    def label_for(self, wire: int, bit: int) -> bytes:
+        zero = self.zero_labels[wire]
+        return xor_bytes(zero, self.delta) if bit else zero
+
+    @property
+    def size_bytes(self) -> int:
+        return LABEL_BYTES * (2 * len(self.zero_labels) + 1)
+
+
+class Garbler:
+    """Produces a garbled circuit plus the private input encoding."""
+
+    def __init__(self, rng: SecureRandom | None = None):
+        self._rng = rng or SecureRandom()
+
+    def garble(self, circuit: Circuit) -> tuple[GarbledCircuit, InputEncoding]:
+        rng = self._rng
+        delta = bytearray(rng.bytes(LABEL_BYTES))
+        delta[0] |= 1  # point-and-permute bit rides on the LSB
+        delta = bytes(delta)
+
+        zero_labels: dict[int, bytes] = {}
+
+        def fresh_label() -> bytes:
+            return rng.bytes(LABEL_BYTES)
+
+        # Constant wires: the garbler knows their truth values, so it hands
+        # the evaluator the label of the actual value; zero-label bookkeeping
+        # stays uniform.
+        zero_labels[Circuit.CONST_ZERO] = fresh_label()
+        zero_labels[Circuit.CONST_ONE] = fresh_label()
+        for wire in circuit.garbler_inputs:
+            zero_labels[wire] = fresh_label()
+        for wire in circuit.evaluator_inputs:
+            zero_labels[wire] = fresh_label()
+
+        tables: dict[int, GarbledGate] = {}
+        for index, gate in enumerate(circuit.gates):
+            a0 = zero_labels[gate.a]
+            b0 = zero_labels[gate.b]
+            if gate.kind is GateType.XOR:
+                zero_labels[gate.out] = xor_bytes(a0, b0)
+                continue
+            a1 = xor_bytes(a0, delta)
+            b1 = xor_bytes(b0, delta)
+            p_a = _lsb(a0)
+            p_b = _lsb(b0)
+            tweak_g = 2 * index
+            tweak_e = 2 * index + 1
+            # Generator half-gate: computes a AND p_b (garbler knows p_b).
+            t_g = xor_bytes(hash_label(a0, tweak_g), hash_label(a1, tweak_g))
+            if p_b:
+                t_g = xor_bytes(t_g, delta)
+            w_g = hash_label(a0, tweak_g)
+            if p_a:
+                w_g = xor_bytes(w_g, t_g)
+            # Evaluator half-gate: computes a AND (b XOR p_b).
+            t_e = xor_bytes(
+                xor_bytes(hash_label(b0, tweak_e), hash_label(b1, tweak_e)), a0
+            )
+            w_e = hash_label(b0, tweak_e)
+            if p_b:
+                w_e = xor_bytes(w_e, xor_bytes(t_e, a0))
+            out0 = xor_bytes(w_g, w_e)
+            zero_labels[gate.out] = out0
+            tables[index] = GarbledGate(t_g, t_e)
+
+        decode_bits = [_lsb(zero_labels[w]) for w in circuit.outputs]
+        encoding = InputEncoding(
+            zero_labels={
+                w: zero_labels[w]
+                for w in (
+                    [Circuit.CONST_ZERO, Circuit.CONST_ONE]
+                    + circuit.garbler_inputs
+                    + circuit.evaluator_inputs
+                )
+            },
+            delta=delta,
+            output_zero_labels={w: zero_labels[w] for w in circuit.outputs},
+        )
+        garbled = GarbledCircuit(circuit, tables, decode_bits)
+        return garbled, encoding
+
+    @staticmethod
+    def encode_inputs(
+        encoding: InputEncoding,
+        circuit: Circuit,
+        garbler_bits: list[int],
+    ) -> dict[int, bytes]:
+        """Labels for the garbler's own inputs plus the constant wires."""
+        labels = {
+            Circuit.CONST_ZERO: encoding.label_for(Circuit.CONST_ZERO, 0),
+            Circuit.CONST_ONE: encoding.label_for(Circuit.CONST_ONE, 1),
+        }
+        if len(garbler_bits) != len(circuit.garbler_inputs):
+            raise ValueError("garbler input length mismatch")
+        for wire, bit in zip(circuit.garbler_inputs, garbler_bits):
+            labels[wire] = encoding.label_for(wire, bit & 1)
+        return labels
+
+    @staticmethod
+    def decode_output_labels(
+        encoding: InputEncoding, circuit: Circuit, labels: list[bytes]
+    ) -> list[int]:
+        """Garbler-side decoding of output labels returned by the evaluator."""
+        bits = []
+        for wire, label in zip(circuit.outputs, labels):
+            zero = encoding.output_zero_labels[wire]
+            if label == zero:
+                bits.append(0)
+            elif label == xor_bytes(zero, encoding.delta):
+                bits.append(1)
+            else:
+                raise ValueError(f"label for wire {wire} is not in the encoding")
+        return bits

@@ -1,0 +1,30 @@
+"""From-scratch BFV homomorphic encryption with batching and rotations."""
+
+from repro.he.bfv import BfvContext, Ciphertext, GaloisKeys, PublicKey, SecretKey
+from repro.he.costmodel import HeOpCount, HeUnitCosts, conv_op_count, fc_op_count
+from repro.he.encoder import BatchEncoder
+from repro.he.linear import HomomorphicLinearEvaluator, required_rotation_steps
+from repro.he.ntt import NegacyclicNtt, Ntt
+from repro.he.params import BfvParams, delphi_params, toy_params
+from repro.he.polynomial import RingPoly
+
+__all__ = [
+    "BatchEncoder",
+    "BfvContext",
+    "BfvParams",
+    "Ciphertext",
+    "GaloisKeys",
+    "HeOpCount",
+    "HeUnitCosts",
+    "HomomorphicLinearEvaluator",
+    "NegacyclicNtt",
+    "Ntt",
+    "PublicKey",
+    "RingPoly",
+    "SecretKey",
+    "conv_op_count",
+    "delphi_params",
+    "fc_op_count",
+    "required_rotation_steps",
+    "toy_params",
+]

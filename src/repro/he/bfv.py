@@ -1,0 +1,200 @@
+"""The BFV (Brakerski/Fan-Vercauteren) homomorphic encryption scheme.
+
+Implements exactly the surface DELPHI needs from SEAL: key generation,
+encryption, decryption, ciphertext addition, plaintext multiplication and
+addition, and slot rotations via Galois automorphisms with digit-decomposed
+key switching. Ciphertext-ciphertext multiplication is deliberately absent —
+the hybrid protocol never uses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rng import SecureRandom
+from repro.he.params import BfvParams
+from repro.he.polynomial import RingPoly
+
+
+@dataclass
+class SecretKey:
+    params: BfvParams
+    s: RingPoly
+
+
+@dataclass
+class PublicKey:
+    params: BfvParams
+    p0: RingPoly  # -(a*s + e)
+    p1: RingPoly  # a
+
+    @property
+    def byte_size(self) -> int:
+        return self.params.ciphertext_bytes
+
+
+@dataclass
+class GaloisKeys:
+    """Key-switching keys for a set of Galois elements."""
+
+    params: BfvParams
+    keys: dict[int, list[tuple[RingPoly, RingPoly]]]
+
+    @property
+    def byte_size(self) -> int:
+        per_digit = self.params.ciphertext_bytes
+        return sum(len(digits) * per_digit for digits in self.keys.values())
+
+
+class Ciphertext:
+    """A two-component BFV ciphertext (c0 + c1*s ≈ delta*m)."""
+
+    __slots__ = ("params", "c0", "c1")
+
+    def __init__(self, params: BfvParams, c0: RingPoly, c1: RingPoly):
+        self.params = params
+        self.c0 = c0
+        self.c1 = c1
+
+    @property
+    def byte_size(self) -> int:
+        return self.params.ciphertext_bytes
+
+    def __add__(self, other: "Ciphertext") -> "Ciphertext":
+        return Ciphertext(self.params, self.c0 + other.c0, self.c1 + other.c1)
+
+    def __sub__(self, other: "Ciphertext") -> "Ciphertext":
+        return Ciphertext(self.params, self.c0 - other.c0, self.c1 - other.c1)
+
+    def __neg__(self) -> "Ciphertext":
+        return Ciphertext(self.params, -self.c0, -self.c1)
+
+
+class BfvContext:
+    """Stateless algorithm bundle for one parameter set.
+
+    Separate from the key material so the client and the server can share a
+    context while holding different keys, mirroring how SEAL contexts are
+    shared in DELPHI.
+    """
+
+    def __init__(self, params: BfvParams, rng: SecureRandom | None = None):
+        self.params = params
+        self._rng = rng or SecureRandom()
+
+    # -- key generation ----------------------------------------------------
+
+    def keygen(self) -> tuple[SecretKey, PublicKey]:
+        p = self.params
+        s = RingPoly([self._rng.ternary() for _ in range(p.n)], p.q)
+        a = self._random_uniform()
+        e = self._noise()
+        pk = PublicKey(p, -(a * s + e), a)
+        return SecretKey(p, s), pk
+
+    def galois_keygen(self, sk: SecretKey, elements: list[int]) -> GaloisKeys:
+        """Generate key-switching keys for each Galois element."""
+        p = self.params
+        keys: dict[int, list[tuple[RingPoly, RingPoly]]] = {}
+        for g in elements:
+            rotated_s = sk.s.automorphism(g)
+            digits = []
+            for j in range(p.num_decomp_digits):
+                a_j = self._random_uniform()
+                e_j = self._noise()
+                factor = pow(2, j * p.decomp_bits, p.q)
+                k0 = -(a_j * sk.s + e_j) + rotated_s * factor
+                digits.append((k0, a_j))
+            keys[g] = digits
+        return GaloisKeys(p, keys)
+
+    # -- encryption / decryption -------------------------------------------
+
+    def encrypt(self, pk: PublicKey, plaintext: RingPoly) -> Ciphertext:
+        """Encrypt a plaintext polynomial with coefficients in [0, t)."""
+        p = self.params
+        self._check_plaintext(plaintext)
+        u = RingPoly([self._rng.ternary() for _ in range(p.n)], p.q)
+        e1, e2 = self._noise(), self._noise()
+        scaled = RingPoly([c * p.delta for c in plaintext.coeffs], p.q)
+        c0 = pk.p0 * u + e1 + scaled
+        c1 = pk.p1 * u + e2
+        return Ciphertext(p, c0, c1)
+
+    def decrypt(self, sk: SecretKey, ct: Ciphertext) -> RingPoly:
+        """Decrypt to a plaintext polynomial over Z_t."""
+        p = self.params
+        noisy = ct.c0 + ct.c1 * sk.s
+        coeffs = [(c * p.t + p.q // 2) // p.q % p.t for c in noisy.coeffs]
+        return RingPoly(coeffs, p.t)
+
+    def noise_budget_bits(self, sk: SecretKey, ct: Ciphertext) -> int:
+        """Remaining noise budget in bits (0 means decryption may fail)."""
+        p = self.params
+        noisy = ct.c0 + ct.c1 * sk.s
+        message = self.decrypt(sk, ct)
+        scaled = RingPoly([c * p.delta for c in message.coeffs], p.q)
+        residual = noisy - scaled
+        worst = max(
+            min(c, p.q - c) for c in residual.coeffs
+        )  # centered magnitude
+        if worst == 0:
+            return p.q_bits
+        return max(0, (p.q // (2 * p.t)).bit_length() - worst.bit_length())
+
+    # -- homomorphic operations ---------------------------------------------
+
+    def add_plain(self, ct: Ciphertext, plaintext: RingPoly) -> Ciphertext:
+        p = self.params
+        self._check_plaintext(plaintext)
+        scaled = RingPoly([c * p.delta for c in plaintext.coeffs], p.q)
+        return Ciphertext(p, ct.c0 + scaled, ct.c1)
+
+    def sub_plain(self, ct: Ciphertext, plaintext: RingPoly) -> Ciphertext:
+        p = self.params
+        self._check_plaintext(plaintext)
+        scaled = RingPoly([c * p.delta for c in plaintext.coeffs], p.q)
+        return Ciphertext(p, ct.c0 - scaled, ct.c1)
+
+    def mul_plain(self, ct: Ciphertext, plaintext: RingPoly) -> Ciphertext:
+        """Multiply by a plaintext polynomial (coefficients in [0, t))."""
+        p = self.params
+        self._check_plaintext(plaintext)
+        lifted = RingPoly(plaintext.coeffs, p.q)
+        return Ciphertext(p, ct.c0 * lifted, ct.c1 * lifted)
+
+    def rotate(self, ct: Ciphertext, galois_element: int, gk: GaloisKeys) -> Ciphertext:
+        """Apply the automorphism X -> X^g and switch back to the original key."""
+        p = self.params
+        if galois_element not in gk.keys:
+            raise KeyError(f"no Galois key for element {galois_element}")
+        rotated_c0 = ct.c0.automorphism(galois_element)
+        rotated_c1 = ct.c1.automorphism(galois_element)
+        digits = rotated_c1.decompose(p.decomp_bits, p.num_decomp_digits)
+        new_c0 = rotated_c0
+        new_c1 = RingPoly.zero(p.n, p.q)
+        for d_j, (k0, k1) in zip(digits, gk.keys[galois_element]):
+            new_c0 = new_c0 + d_j * k0
+            new_c1 = new_c1 + d_j * k1
+        return Ciphertext(p, new_c0, new_c1)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _random_uniform(self) -> RingPoly:
+        p = self.params
+        return RingPoly(
+            [self._rng.field_element(p.q) for _ in range(p.n)], p.q
+        )
+
+    def _noise(self) -> RingPoly:
+        p = self.params
+        return RingPoly(
+            [self._rng.centered_binomial(p.noise_eta) for _ in range(p.n)], p.q
+        )
+
+    def _check_plaintext(self, plaintext: RingPoly) -> None:
+        p = self.params
+        if plaintext.n != p.n:
+            raise ValueError("plaintext degree mismatch")
+        if any(c >= p.t for c in plaintext.coeffs):
+            raise ValueError("plaintext coefficients must be reduced mod t")

@@ -1,0 +1,74 @@
+"""BFV batch (SIMD) encoding.
+
+Maps vectors of n values in Z_t to plaintext polynomials such that
+homomorphic operations act slot-wise, and Galois automorphisms X -> X^(3^r)
+rotate the two n/2-slot rows cyclically — the packing DELPHI inherits from
+Gazelle for its matrix-vector and convolution kernels.
+"""
+
+from __future__ import annotations
+
+from repro.he.ntt import NegacyclicNtt
+from repro.he.params import BfvParams
+from repro.he.polynomial import RingPoly
+
+
+class BatchEncoder:
+    """Encode/decode between slot vectors and plaintext polynomials."""
+
+    def __init__(self, params: BfvParams):
+        self.params = params
+        n = params.n
+        self._ntt = NegacyclicNtt(n, params.t)
+        two_n = 2 * n
+        # Slot i of row 0 lives at evaluation point zeta^(3^i); slot i of
+        # row 1 at zeta^(-3^i). Forward negacyclic NTT output index k holds
+        # the evaluation at zeta^(2k+1), hence the (e-1)/2 mapping.
+        self._slot_to_eval = [0] * n
+        e = 1
+        for i in range(params.row_size):
+            self._slot_to_eval[i] = (e - 1) // 2
+            self._slot_to_eval[i + params.row_size] = (two_n - e - 1) // 2
+            e = e * 3 % two_n
+        self._eval_to_slot = [0] * n
+        for slot, pos in enumerate(self._slot_to_eval):
+            self._eval_to_slot[pos] = slot
+
+    @property
+    def slot_count(self) -> int:
+        return self.params.n
+
+    @property
+    def row_size(self) -> int:
+        return self.params.row_size
+
+    def encode(self, values: list[int]) -> RingPoly:
+        """Encode up to n values (padded with zeros) into a plaintext poly."""
+        p = self.params
+        if len(values) > p.n:
+            raise ValueError(f"too many values for {p.n} slots")
+        evals = [0] * p.n
+        for slot, value in enumerate(values):
+            evals[self._slot_to_eval[slot]] = value % p.t
+        return RingPoly(self._ntt.inverse(evals), p.t)
+
+    def decode(self, plaintext: RingPoly) -> list[int]:
+        """Decode a plaintext polynomial back to its n slot values."""
+        p = self.params
+        if plaintext.n != p.n:
+            raise ValueError("plaintext degree mismatch")
+        evals = self._ntt.forward(plaintext.coeffs)
+        return [evals[self._slot_to_eval[slot]] for slot in range(p.n)]
+
+    def galois_element_for_rotation(self, steps: int) -> int:
+        """Galois element realizing a cyclic row rotation by ``steps``.
+
+        A positive step rotates slot contents left: new[i] = old[i + steps].
+        """
+        p = self.params
+        steps %= p.row_size
+        return pow(3, steps, 2 * p.n)
+
+    def galois_element_for_row_swap(self) -> int:
+        """Galois element swapping the two rows (conjugation, X -> X^(2n-1))."""
+        return 2 * self.params.n - 1

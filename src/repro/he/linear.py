@@ -1,0 +1,182 @@
+"""Homomorphic linear-layer evaluation (Gazelle-style packed kernels).
+
+The hybrid protocol's offline phase asks the server to compute ``W @ r`` on
+an encrypted random vector ``r``. We implement the Halevi-Shoup diagonal
+method for packed matrix-vector products, and evaluate convolutions by
+lowering them to a matrix-vector product over the flattened input (the
+im2col/Toeplitz matrix). Gazelle's rotation-optimized convolution kernels
+differ only in *cost*, never in the computed function; their operation
+counts are modeled separately in :mod:`repro.he.costmodel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.he.bfv import BfvContext, Ciphertext, GaloisKeys, PublicKey, SecretKey
+from repro.he.encoder import BatchEncoder
+
+
+def required_rotation_steps(n_in: int) -> list[int]:
+    """Rotation steps the diagonal method needs for an n_in-wide matvec."""
+    return list(range(1, n_in))
+
+
+class HomomorphicLinearEvaluator:
+    """Server-side evaluator for encrypted matrix-vector products."""
+
+    def __init__(self, ctx: BfvContext, encoder: BatchEncoder, galois_keys: GaloisKeys):
+        self._ctx = ctx
+        self._encoder = encoder
+        self._galois_keys = galois_keys
+        self.rotations_performed = 0
+        self.plain_mults_performed = 0
+
+    def matvec(self, ct_x: Ciphertext, matrix: list[list[int]]) -> Ciphertext:
+        """Homomorphically compute ``matrix @ x`` via the diagonal method.
+
+        ``ct_x`` must encrypt x replicated to fill a batching row (see
+        :meth:`pack_vector`); the matrix width must divide the row size.
+        """
+        encoder = self._encoder
+        row_size = encoder.row_size
+        n_out = len(matrix)
+        n_in = len(matrix[0])
+        if row_size % n_in != 0:
+            raise ValueError(f"matrix width {n_in} must divide row size {row_size}")
+        if n_out > row_size:
+            raise ValueError(f"matrix height {n_out} exceeds row size {row_size}")
+
+        t = encoder.params.t
+        result: Ciphertext | None = None
+        rotated = ct_x
+        for d in range(n_in):
+            if d > 0:
+                g = encoder.galois_element_for_rotation(1)
+                rotated = self._ctx.rotate(rotated, g, self._galois_keys)
+                self.rotations_performed += 1
+            diag = [0] * row_size
+            for i in range(row_size):
+                if i < n_out:
+                    diag[i] = matrix[i][(i + d) % n_in] % t
+            # Replicate into the second row so both rows stay consistent.
+            pt_diag = encoder.encode(diag + diag)
+            term = self._ctx.mul_plain(rotated, pt_diag)
+            self.plain_mults_performed += 1
+            result = term if result is None else result + term
+        assert result is not None
+        return result
+
+    def matvec_bsgs(
+        self, ct_x: Ciphertext, matrix: list[list[int]], baby_steps: int
+    ) -> Ciphertext:
+        """Baby-step/giant-step diagonal matvec (Gazelle's hoisting trick).
+
+        Splits each diagonal index d = g*B + b: the B baby rotations of x
+        are computed once and shared across giant steps, and each giant
+        partial sum is rotated into place with a Horner-style pass, cutting
+        rotations from n_in - 1 to (B - 1) + (G - 1). Requires Galois keys
+        for single-step and B-step rotations.
+        """
+        encoder = self._encoder
+        row_size = encoder.row_size
+        n_out = len(matrix)
+        n_in = len(matrix[0])
+        if n_in % baby_steps != 0:
+            raise ValueError("baby_steps must divide the matrix width")
+        if row_size % n_in != 0:
+            raise ValueError(f"matrix width {n_in} must divide row size {row_size}")
+        if n_out > row_size:
+            raise ValueError(f"matrix height {n_out} exceeds row size {row_size}")
+        giant_steps = n_in // baby_steps
+        t = encoder.params.t
+        g1 = encoder.galois_element_for_rotation(1)
+        g_big = encoder.galois_element_for_rotation(baby_steps)
+
+        babies = [ct_x]
+        for _ in range(1, baby_steps):
+            babies.append(self._ctx.rotate(babies[-1], g1, self._galois_keys))
+            self.rotations_performed += 1
+
+        def diagonal(d: int) -> list[int]:
+            return [
+                matrix[i][(i + d) % n_in] % t if i < n_out else 0
+                for i in range(row_size)
+            ]
+
+        result: Ciphertext | None = None
+        for g in range(giant_steps - 1, -1, -1):
+            shift = g * baby_steps
+            partial: Ciphertext | None = None
+            for b in range(baby_steps):
+                diag = diagonal(shift + b)
+                # Pre-rotate the plaintext right by the giant shift so the
+                # final ciphertext rotation lands entries at the right slot.
+                pre = [diag[(j - shift) % row_size] for j in range(row_size)]
+                term = self._ctx.mul_plain(babies[b], encoder.encode(pre + pre))
+                self.plain_mults_performed += 1
+                partial = term if partial is None else partial + term
+            assert partial is not None
+            if result is None:
+                result = partial
+            else:
+                result = self._ctx.rotate(result, g_big, self._galois_keys) + partial
+                self.rotations_performed += 1
+        assert result is not None
+        return result
+
+    def pack_vector(self, vector: list[int]) -> list[int]:
+        """Replicate a vector periodically across a full batching row.
+
+        With the replicated layout, a cyclic row rotation by d places
+        x[(i+d) mod n_in] at slot i, which is exactly what the diagonal
+        method consumes.
+        """
+        row_size = self._encoder.row_size
+        n_in = len(vector)
+        if row_size % n_in != 0:
+            raise ValueError(f"vector length {n_in} must divide row size {row_size}")
+        reps = row_size // n_in
+        row = list(vector) * reps
+        return row + row  # both batching rows
+
+    @staticmethod
+    def conv_as_matrix(
+        weights: np.ndarray, in_shape: tuple[int, int, int], padding: int, modulus: int
+    ) -> list[list[int]]:
+        """Lower a (C_out, C_in, k, k) convolution to an explicit matrix.
+
+        The returned matrix maps the flattened (C_in, H, W) input to the
+        flattened (C_out, H, W) output, 'same' spatial size with the given
+        zero padding (stride 1, as in the paper's downsample-free networks).
+        """
+        c_out, c_in, k, _ = weights.shape
+        channels, height, width = in_shape
+        if channels != c_in:
+            raise ValueError("input channel mismatch")
+        n_in = c_in * height * width
+        n_out = c_out * height * width
+        matrix = [[0] * n_in for _ in range(n_out)]
+        for oc in range(c_out):
+            for oy in range(height):
+                for ox in range(width):
+                    row = (oc * height + oy) * width + ox
+                    for ic in range(c_in):
+                        for ky in range(k):
+                            for kx in range(k):
+                                iy = oy + ky - padding
+                                ix = ox + kx - padding
+                                if 0 <= iy < height and 0 <= ix < width:
+                                    col = (ic * height + iy) * width + ix
+                                    matrix[row][col] = int(weights[oc, ic, ky, kx]) % modulus
+        return matrix
+
+
+def make_client_he_material(
+    ctx: BfvContext, encoder: BatchEncoder, max_width: int
+) -> tuple[SecretKey, PublicKey, GaloisKeys]:
+    """Client-side key generation covering every rotation the server needs."""
+    sk, pk = ctx.keygen()
+    g = encoder.galois_element_for_rotation(1)
+    gk = ctx.galois_keygen(sk, [g])
+    return sk, pk, gk

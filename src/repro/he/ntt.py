@@ -1,0 +1,117 @@
+"""Number-theoretic transforms over Z_q.
+
+Two flavours are provided:
+
+* :class:`Ntt` — the plain cyclic NTT (X^n - 1), used by the BFV batch
+  encoder to map plaintext slot values to polynomial coefficients.
+* :class:`NegacyclicNtt` — the negacyclic NTT (X^n + 1), used for fast
+  multiplication in the RLWE ciphertext ring R_q = Z_q[X]/(X^n + 1).
+
+Both operate on lists of Python ints so arbitrary-width moduli work exactly.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.modmath import mod_inverse, primitive_root_of_unity
+
+
+def _bit_reverse_permute(values: list[int]) -> list[int]:
+    n = len(values)
+    out = list(values)
+    j = 0
+    for i in range(1, n):
+        bit = n >> 1
+        while j & bit:
+            j ^= bit
+            bit >>= 1
+        j |= bit
+        if i < j:
+            out[i], out[j] = out[j], out[i]
+    return out
+
+
+def _iterative_ntt(values: list[int], root: int, q: int) -> list[int]:
+    """In-place iterative Cooley-Tukey NTT; ``root`` is a primitive n-th root."""
+    n = len(values)
+    a = _bit_reverse_permute(values)
+    length = 2
+    while length <= n:
+        w_len = pow(root, n // length, q)
+        for start in range(0, n, length):
+            w = 1
+            half = length // 2
+            for k in range(start, start + half):
+                u = a[k]
+                v = a[k + half] * w % q
+                a[k] = (u + v) % q
+                a[k + half] = (u - v) % q
+                w = w * w_len % q
+        length <<= 1
+    return a
+
+
+class Ntt:
+    """Cyclic NTT of size n over Z_q (requires q ≡ 1 mod n)."""
+
+    def __init__(self, n: int, q: int, root: int | None = None):
+        if n & (n - 1):
+            raise ValueError("NTT size must be a power of two")
+        self.n = n
+        self.q = q
+        self.root = root if root is not None else primitive_root_of_unity(n, q)
+        self.root_inv = mod_inverse(self.root, q)
+        self.n_inv = mod_inverse(n, q)
+
+    def forward(self, values: list[int]) -> list[int]:
+        if len(values) != self.n:
+            raise ValueError(f"expected {self.n} values, got {len(values)}")
+        return _iterative_ntt([v % self.q for v in values], self.root, self.q)
+
+    def inverse(self, values: list[int]) -> list[int]:
+        if len(values) != self.n:
+            raise ValueError(f"expected {self.n} values, got {len(values)}")
+        out = _iterative_ntt([v % self.q for v in values], self.root_inv, self.q)
+        return [v * self.n_inv % self.q for v in out]
+
+
+class NegacyclicNtt:
+    """Negacyclic NTT for R_q = Z_q[X]/(X^n + 1) (requires q ≡ 1 mod 2n).
+
+    Uses the standard psi-twisting: multiply coefficient i by psi^i before a
+    cyclic NTT, where psi is a primitive 2n-th root of unity, and by
+    psi^{-i} after the inverse transform. Pointwise products in the
+    transformed domain then realize negacyclic convolution.
+    """
+
+    def __init__(self, n: int, q: int):
+        if n & (n - 1):
+            raise ValueError("ring degree must be a power of two")
+        if (q - 1) % (2 * n) != 0:
+            raise ValueError(f"q={q} is not NTT friendly for degree {n}")
+        self.n = n
+        self.q = q
+        self.psi = primitive_root_of_unity(2 * n, q)
+        self.psi_inv = mod_inverse(self.psi, q)
+        self._ntt = Ntt(n, q, root=self.psi * self.psi % q)
+        self._psi_powers = self._powers(self.psi)
+        self._psi_inv_powers = self._powers(self.psi_inv)
+
+    def _powers(self, base: int) -> list[int]:
+        powers = [1] * self.n
+        for i in range(1, self.n):
+            powers[i] = powers[i - 1] * base % self.q
+        return powers
+
+    def forward(self, coeffs: list[int]) -> list[int]:
+        twisted = [c * p % self.q for c, p in zip(coeffs, self._psi_powers)]
+        return self._ntt.forward(twisted)
+
+    def inverse(self, values: list[int]) -> list[int]:
+        coeffs = self._ntt.inverse(values)
+        return [c * p % self.q for c, p in zip(coeffs, self._psi_inv_powers)]
+
+    def multiply(self, a: list[int], b: list[int]) -> list[int]:
+        """Negacyclic product of two coefficient vectors."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return self.inverse([x * y % self.q for x, y in zip(fa, fb)])

@@ -1,0 +1,103 @@
+"""BFV parameter sets.
+
+The DELPHI/Gazelle pipeline only ever evaluates depth-1 circuits under HE
+(one plaintext-ciphertext product plus additions and rotations per linear
+layer), so a single 60-bit ciphertext modulus gives ample noise budget. The
+plaintext modulus doubles as the secret-sharing field, exactly as in DELPHI
+where the SEAL plain modulus equals the share prime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.modmath import find_ntt_prime, find_prime_one_mod
+
+
+@dataclass(frozen=True)
+class BfvParams:
+    """Ring-LWE parameters for the BFV scheme.
+
+    Attributes:
+        n: polynomial ring degree (power of two); also the slot count.
+        q: ciphertext coefficient modulus (prime, NTT friendly, ≡ 1 mod 2n).
+        t: plaintext modulus (prime, ≡ 1 mod 2n so batching works).
+        noise_eta: centered-binomial width for fresh encryption noise.
+        decomp_bits: digit width for key-switching decomposition.
+    """
+
+    n: int
+    q: int
+    t: int
+    noise_eta: int = 4
+    decomp_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if self.n & (self.n - 1):
+            raise ValueError("ring degree must be a power of two")
+        if (self.q - 1) % (2 * self.n) != 0:
+            raise ValueError("q must be congruent to 1 mod 2n")
+        if (self.t - 1) % (2 * self.n) != 0:
+            raise ValueError("t must be congruent to 1 mod 2n for batching")
+        if self.t >= self.q:
+            raise ValueError("plaintext modulus must be below q")
+
+    @property
+    def delta(self) -> int:
+        """Plaintext scaling factor floor(q / t)."""
+        return self.q // self.t
+
+    @property
+    def slot_count(self) -> int:
+        return self.n
+
+    @property
+    def row_size(self) -> int:
+        """Slots per batching row (n/2); rotations act within a row."""
+        return self.n // 2
+
+    @property
+    def q_bits(self) -> int:
+        return self.q.bit_length()
+
+    @property
+    def ciphertext_bytes(self) -> int:
+        """Serialized size of a fresh 2-component ciphertext."""
+        return 2 * self.n * ((self.q_bits + 7) // 8)
+
+    @property
+    def num_decomp_digits(self) -> int:
+        return -(-self.q_bits // self.decomp_bits)
+
+    field_cache: dict = field(default_factory=dict, compare=False, hash=False)
+
+
+def toy_params(n: int = 256, t_bits: int = 17) -> BfvParams:
+    """Small, fast parameters for unit tests (insecure; functional only).
+
+    The 100-bit ciphertext modulus leaves enough noise headroom for a chain
+    of row rotations followed by a plaintext multiplication with full-width
+    weights, which is what the diagonal-method matvec performs.
+    """
+    q = find_ntt_prime(100, n)
+    t = find_ntt_prime(t_bits, n)
+    return BfvParams(n=n, q=q, t=t)
+
+
+def delphi_params() -> BfvParams:
+    """Parameters mirroring DELPHI's SEAL configuration in spirit.
+
+    DELPHI uses degree 8192 with a ~41-bit plain modulus (the share prime
+    2061584302081 ≈ 2^41). We keep the 41-bit plaintext field but use degree
+    2048 so pure-Python execution stays tractable; byte accounting exposes
+    the true n so cost hooks can scale.
+    """
+    n = 2048
+    t = find_ntt_prime(41, n)
+    # A 41-bit plaintext modulus needs a wide ciphertext modulus to absorb
+    # plain-multiplication noise (SEAL uses a ~180-bit RNS chain; a single
+    # 120-bit prime gives the same headroom for depth-1 circuits). Choosing
+    # q ≡ 1 mod t as well kills the (q mod t)·u plain-mult noise term that
+    # would otherwise dominate at this plaintext width.
+    q = find_prime_one_mod(120, 2 * n * t)
+    return BfvParams(n=n, q=q, t=t)

@@ -1,0 +1,106 @@
+"""Arithmetic in the RLWE ciphertext ring R_q = Z_q[X]/(X^n + 1)."""
+
+from __future__ import annotations
+
+from repro.he.ntt import NegacyclicNtt
+
+_NTT_CACHE: dict[tuple[int, int], NegacyclicNtt] = {}
+
+
+def _context(n: int, q: int) -> NegacyclicNtt:
+    key = (n, q)
+    ctx = _NTT_CACHE.get(key)
+    if ctx is None:
+        ctx = NegacyclicNtt(n, q)
+        _NTT_CACHE[key] = ctx
+    return ctx
+
+
+class RingPoly:
+    """Polynomial in Z_q[X]/(X^n + 1), coefficients stored reduced mod q."""
+
+    __slots__ = ("n", "q", "coeffs")
+
+    def __init__(self, coeffs: list[int], q: int):
+        self.n = len(coeffs)
+        self.q = q
+        self.coeffs = [c % q for c in coeffs]
+
+    @classmethod
+    def zero(cls, n: int, q: int) -> "RingPoly":
+        return cls([0] * n, q)
+
+    @classmethod
+    def constant(cls, value: int, n: int, q: int) -> "RingPoly":
+        coeffs = [0] * n
+        coeffs[0] = value % q
+        return cls(coeffs, q)
+
+    def _check(self, other: "RingPoly") -> None:
+        if self.n != other.n or self.q != other.q:
+            raise ValueError("ring mismatch between polynomials")
+
+    def __add__(self, other: "RingPoly") -> "RingPoly":
+        self._check(other)
+        q = self.q
+        return RingPoly(
+            [(a + b) % q for a, b in zip(self.coeffs, other.coeffs)], q
+        )
+
+    def __sub__(self, other: "RingPoly") -> "RingPoly":
+        self._check(other)
+        q = self.q
+        return RingPoly(
+            [(a - b) % q for a, b in zip(self.coeffs, other.coeffs)], q
+        )
+
+    def __neg__(self) -> "RingPoly":
+        return RingPoly([-c % self.q for c in self.coeffs], self.q)
+
+    def __mul__(self, other: "RingPoly | int") -> "RingPoly":
+        if isinstance(other, int):
+            scalar = other % self.q
+            return RingPoly([c * scalar % self.q for c in self.coeffs], self.q)
+        self._check(other)
+        ctx = _context(self.n, self.q)
+        return RingPoly(ctx.multiply(self.coeffs, other.coeffs), self.q)
+
+    __rmul__ = __mul__
+
+    def automorphism(self, galois_element: int) -> "RingPoly":
+        """Apply X -> X^g; g must be odd so the map is a ring automorphism."""
+        if galois_element % 2 == 0:
+            raise ValueError("Galois element must be odd")
+        n, q = self.n, self.q
+        two_n = 2 * n
+        out = [0] * n
+        for i, c in enumerate(self.coeffs):
+            if not c:
+                continue
+            j = i * galois_element % two_n
+            if j < n:
+                out[j] = (out[j] + c) % q
+            else:
+                out[j - n] = (out[j - n] - c) % q
+        return RingPoly(out, q)
+
+    def decompose(self, base_bits: int, num_digits: int) -> list["RingPoly"]:
+        """Digit decomposition: self = sum_j digits[j] * 2^(j*base_bits)."""
+        mask = (1 << base_bits) - 1
+        digits = []
+        coeffs = list(self.coeffs)
+        for _ in range(num_digits):
+            digits.append(RingPoly([c & mask for c in coeffs], self.q))
+            coeffs = [c >> base_bits for c in coeffs]
+        return digits
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RingPoly)
+            and self.q == other.q
+            and self.coeffs == other.coeffs
+        )
+
+    def __repr__(self) -> str:
+        head = ", ".join(str(c) for c in self.coeffs[:4])
+        return f"RingPoly(n={self.n}, q={self.q}, [{head}, ...])"

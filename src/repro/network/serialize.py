@@ -1,0 +1,158 @@
+"""Wire serialization for protocol messages.
+
+Turns the protocol's Python objects — ciphertexts, garbled circuits, label
+batches, share vectors — into actual byte strings and back. The channel's
+byte accounting uses analytic sizes; this module provides the ground truth
+those sizes are validated against, and would be the codec a networked
+deployment of the two parties uses.
+
+Formats are little-endian, length-prefixed, and self-describing enough to
+round-trip given the shared protocol parameters.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.prg import LABEL_BYTES
+from repro.gc.circuit import Circuit
+from repro.gc.garble import GarbledCircuit, GarbledGate
+from repro.he.bfv import Ciphertext
+from repro.he.params import BfvParams
+from repro.he.polynomial import RingPoly
+
+
+def _pack_uint(value: int, width: int) -> bytes:
+    return int(value).to_bytes(width, "little")
+
+
+def _coeff_width(q: int) -> int:
+    return (q.bit_length() + 7) // 8
+
+
+# -- field vectors -------------------------------------------------------------
+
+def serialize_field_vector(values: list[int], modulus: int) -> bytes:
+    """Length-prefixed vector of field elements."""
+    width = _coeff_width(modulus)
+    out = [struct.pack("<IB", len(values), width)]
+    for v in values:
+        if not 0 <= v < modulus:
+            raise ValueError("field element out of range")
+        out.append(_pack_uint(v, width))
+    return b"".join(out)
+
+
+def deserialize_field_vector(data: bytes) -> list[int]:
+    count, width = struct.unpack_from("<IB", data, 0)
+    offset = 5
+    values = []
+    for _ in range(count):
+        values.append(int.from_bytes(data[offset : offset + width], "little"))
+        offset += width
+    if offset != len(data):
+        raise ValueError("trailing bytes in field vector")
+    return values
+
+
+# -- BFV ciphertexts -----------------------------------------------------------
+
+def serialize_ciphertext(ct: Ciphertext) -> bytes:
+    """Two polynomials, coefficients packed at ceil(log2 q)/8 bytes each."""
+    params = ct.params
+    width = _coeff_width(params.q)
+    header = struct.pack("<IB", params.n, width)
+    body = bytearray()
+    for poly in (ct.c0, ct.c1):
+        for coeff in poly.coeffs:
+            body += _pack_uint(coeff, width)
+    return header + bytes(body)
+
+
+def deserialize_ciphertext(data: bytes, params: BfvParams) -> Ciphertext:
+    n, width = struct.unpack_from("<IB", data, 0)
+    if n != params.n:
+        raise ValueError(f"degree mismatch: wire {n} vs params {params.n}")
+    if width != _coeff_width(params.q):
+        raise ValueError("coefficient width mismatch")
+    offset = 5
+    polys = []
+    for _ in range(2):
+        coeffs = []
+        for _ in range(n):
+            coeffs.append(int.from_bytes(data[offset : offset + width], "little"))
+            offset += width
+        polys.append(RingPoly(coeffs, params.q))
+    if offset != len(data):
+        raise ValueError("trailing bytes in ciphertext")
+    return Ciphertext(params, polys[0], polys[1])
+
+
+def ciphertext_wire_bytes(params: BfvParams) -> int:
+    """Exact serialized size (matches params.ciphertext_bytes + header)."""
+    return 5 + 2 * params.n * _coeff_width(params.q)
+
+
+# -- label batches -------------------------------------------------------------
+
+def serialize_labels(labels: list[bytes]) -> bytes:
+    for label in labels:
+        if len(label) != LABEL_BYTES:
+            raise ValueError("labels must be 16 bytes")
+    return struct.pack("<I", len(labels)) + b"".join(labels)
+
+
+def deserialize_labels(data: bytes) -> list[bytes]:
+    (count,) = struct.unpack_from("<I", data, 0)
+    expected = 4 + count * LABEL_BYTES
+    if len(data) != expected:
+        raise ValueError("label batch length mismatch")
+    return [
+        data[4 + i * LABEL_BYTES : 4 + (i + 1) * LABEL_BYTES] for i in range(count)
+    ]
+
+
+# -- garbled circuits ----------------------------------------------------------
+
+def serialize_garbled_circuit(garbled: GarbledCircuit) -> bytes:
+    """Tables and decode bits only — the circuit topology is public and
+    shared out of band (both parties derive it from the network shape)."""
+    indices = sorted(garbled.tables)
+    out = [struct.pack("<II", len(indices), len(garbled.output_decode_bits))]
+    for index in indices:
+        gate = garbled.tables[index]
+        out.append(struct.pack("<I", index))
+        out.append(gate.generator_half)
+        out.append(gate.evaluator_half)
+    bits = 0
+    for i, bit in enumerate(garbled.output_decode_bits):
+        bits |= (bit & 1) << i
+    n_decode_bytes = (len(garbled.output_decode_bits) + 7) // 8
+    out.append(bits.to_bytes(n_decode_bytes, "little"))
+    return b"".join(out)
+
+
+def deserialize_garbled_circuit(data: bytes, circuit: Circuit) -> GarbledCircuit:
+    n_tables, n_decode = struct.unpack_from("<II", data, 0)
+    offset = 8
+    tables = {}
+    for _ in range(n_tables):
+        (index,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        generator = data[offset : offset + LABEL_BYTES]
+        offset += LABEL_BYTES
+        evaluator = data[offset : offset + LABEL_BYTES]
+        offset += LABEL_BYTES
+        tables[index] = GarbledGate(generator, evaluator)
+    n_decode_bytes = (n_decode + 7) // 8
+    packed = int.from_bytes(data[offset : offset + n_decode_bytes], "little")
+    offset += n_decode_bytes
+    if offset != len(data):
+        raise ValueError("trailing bytes in garbled circuit")
+    decode_bits = [(packed >> i) & 1 for i in range(n_decode)]
+    return GarbledCircuit(circuit, tables, decode_bits)
+
+
+def garbled_circuit_wire_bytes(and_gates: int, outputs: int) -> int:
+    """Exact serialized size for a circuit with the given gate counts."""
+    return 8 + and_gates * (4 + 2 * LABEL_BYTES) + (outputs + 7) // 8

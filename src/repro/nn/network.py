@@ -1,0 +1,126 @@
+"""The Network container: shape inference, cost enumeration, execution."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer, Residual
+from repro.nn.shapes import LinearLayerInfo, ReluLayerInfo, TensorShape
+
+
+class Network:
+    """An ordered stack of layers with an input shape.
+
+    Besides running inferences (float or mod-p), the network enumerates its
+    linear and ReLU layers — the two quantities every protocol cost in the
+    paper is built from — including layers nested inside residual blocks.
+    """
+
+    def __init__(self, name: str, input_shape: TensorShape, layers: list[Layer]):
+        self.name = name
+        self.input_shape = input_shape
+        self.layers = layers
+        self._validate_shapes()
+
+    def _validate_shapes(self) -> None:
+        shape = self.input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        self.output_shape = shape
+
+    # -- execution -------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape != self._expected_input():
+            raise ValueError(f"expected input {self._expected_input()}, got {x.shape}")
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def forward_mod(self, x: np.ndarray, modulus: int) -> np.ndarray:
+        if x.shape != self._expected_input():
+            raise ValueError(f"expected input {self._expected_input()}, got {x.shape}")
+        for layer in self.layers:
+            x = layer.forward_mod(x, modulus)
+        return x
+
+    def _expected_input(self) -> tuple:
+        s = self.input_shape
+        return (s.channels,) if s.is_flat else (s.channels, s.height, s.width)
+
+    # -- cost enumeration --------------------------------------------------------
+
+    def _walk(self, layers: list[Layer], shape: TensorShape, linear, relus):
+        from repro.nn.layers import AvgPool2d, Conv2d, Linear, ReLU
+
+        for layer in layers:
+            out_shape = layer.output_shape(shape)
+            if isinstance(layer, Residual):
+                self._walk(layer.body, shape, linear, relus)
+            elif isinstance(layer, Conv2d):
+                linear.append(
+                    LinearLayerInfo(
+                        layer.name, "conv", shape, out_shape, layer.kernel, layer.stride
+                    )
+                )
+            elif isinstance(layer, Linear):
+                linear.append(
+                    LinearLayerInfo(
+                        layer.name,
+                        "fc",
+                        TensorShape(shape.elements),
+                        out_shape,
+                    )
+                )
+            elif isinstance(layer, ReLU):
+                relus.append(ReluLayerInfo(layer.name, shape.elements))
+            shape = out_shape
+
+    def linear_layers(self) -> list[LinearLayerInfo]:
+        linear: list[LinearLayerInfo] = []
+        self._walk(self.layers, self.input_shape, linear, [])
+        return linear
+
+    def relu_layers(self) -> list[ReluLayerInfo]:
+        relus: list[ReluLayerInfo] = []
+        self._walk(self.layers, self.input_shape, [], relus)
+        return relus
+
+    @property
+    def relu_count(self) -> int:
+        return sum(r.count for r in self.relu_layers())
+
+    @property
+    def linear_layer_count(self) -> int:
+        return len(self.linear_layers())
+
+    @property
+    def parameter_count(self) -> int:
+        return sum(info.weight_count for info in self.linear_layers())
+
+    @property
+    def mac_count(self) -> int:
+        return sum(info.macs for info in self.linear_layers())
+
+    def randomize_weights(self, modulus: int, rng: np.random.Generator) -> None:
+        """Fill every linear layer with uniform field weights (for tests)."""
+        from repro.nn.layers import Conv2d, Linear
+
+        def visit(layers):
+            for layer in layers:
+                if isinstance(layer, Residual):
+                    visit(layer.body)
+                elif isinstance(layer, (Conv2d, Linear)):
+                    layer.weights = rng.integers(
+                        0, modulus, size=layer.weights.shape
+                    ).astype(object)
+
+        visit(self.layers)
+
+    def summary(self) -> str:
+        lines = [f"{self.name}: input {self.input_shape}"]
+        lines.append(f"  linear layers: {self.linear_layer_count}")
+        lines.append(f"  ReLUs: {self.relu_count:,}")
+        lines.append(f"  parameters: {self.parameter_count:,}")
+        lines.append(f"  MACs: {self.mac_count:,}")
+        return "\n".join(lines)

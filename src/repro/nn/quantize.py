@@ -1,0 +1,105 @@
+"""Fixed-point quantization: run float networks under the integer protocol.
+
+DELPHI evaluates fixed-point arithmetic over its prime field: reals are
+scaled by 2^f and rounded, products carry scale 2^(2f), and the garbled
+ReLU truncates back to 2^f. This module provides the encoder between the
+float world and the field world, plus a helper that quantizes a float
+network's weights in place, so the functional protocol (with
+``truncate_bits=f``) approximates real-valued inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Linear, Residual
+from repro.nn.network import Network
+
+
+@dataclass(frozen=True)
+class FixedPointEncoder:
+    """Maps reals to Z_p with ``fraction_bits`` of fractional precision."""
+
+    modulus: int
+    fraction_bits: int
+
+    @property
+    def scale(self) -> int:
+        return 1 << self.fraction_bits
+
+    @property
+    def max_magnitude(self) -> float:
+        """Largest representable magnitude (half the field, descaled)."""
+        return (self.modulus // 2) / self.scale
+
+    def encode(self, value: float) -> int:
+        scaled = round(value * self.scale)
+        if abs(scaled) > self.modulus // 2:
+            raise OverflowError(
+                f"{value} does not fit: |{scaled}| > {self.modulus // 2}"
+            )
+        return scaled % self.modulus
+
+    def encode_vector(self, values) -> list[int]:
+        return [self.encode(float(v)) for v in np.asarray(values).reshape(-1)]
+
+    def decode(self, element: int, extra_scale_bits: int = 0) -> float:
+        half = self.modulus // 2
+        signed = element - self.modulus if element > half else element
+        return signed / (1 << (self.fraction_bits + extra_scale_bits))
+
+    def decode_vector(self, elements: list[int], extra_scale_bits: int = 0) -> list[float]:
+        return [self.decode(e, extra_scale_bits) for e in elements]
+
+
+def quantize_network(
+    network: Network, encoder: FixedPointEncoder
+) -> Network:
+    """Replace every linear layer's float weights with field elements.
+
+    The returned network shares topology with the input; its ``forward_mod``
+    now computes the fixed-point pipeline the protocol evaluates.
+    """
+
+    def convert(layers):
+        for layer in layers:
+            if isinstance(layer, Residual):
+                convert(layer.body)
+            elif isinstance(layer, (Conv2d, Linear)):
+                flat = [encoder.encode(float(w)) for w in layer.weights.reshape(-1)]
+                layer.weights = np.array(flat, dtype=object).reshape(
+                    layer.weights.shape
+                )
+
+    convert(network.layers)
+    return network
+
+
+def fixed_point_reference(
+    network: Network, x_field: list[int], encoder: FixedPointEncoder
+) -> list[float]:
+    """Plaintext fixed-point pipeline with per-ReLU truncation.
+
+    Mirrors what the protocol with ``truncate_bits = encoder.fraction_bits``
+    computes: scale doubles across each linear layer and the truncating
+    ReLU restores it, so the final logits carry 2f fractional bits.
+    """
+    from repro.core.protocol import lower_network
+
+    p = encoder.modulus
+    f = encoder.fraction_bits
+    lowered = lower_network(network, p)
+    vec = [v % p for v in x_field]
+    threshold = (p + 1) // 2
+    for kind, idx in lowered.steps:
+        lin = lowered.linears[idx]
+        if kind == "linear":
+            vec = [
+                sum(lin.matrix[i][j] * vec[j] for j in range(lin.n_in)) % p
+                for i in range(lin.n_out)
+            ]
+        else:
+            vec = [(v >> f) if v < threshold else 0 for v in vec]
+    return encoder.decode_vector(vec, extra_scale_bits=f)

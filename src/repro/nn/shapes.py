@@ -1,0 +1,71 @@
+"""Tensor shape bookkeeping for network cost analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """A (channels, height, width) activation shape; FC activations use
+    channels = n, height = width = 1."""
+
+    channels: int
+    height: int = 1
+    width: int = 1
+
+    @property
+    def elements(self) -> int:
+        return self.channels * self.height * self.width
+
+    @property
+    def is_flat(self) -> bool:
+        return self.height == 1 and self.width == 1
+
+    def __str__(self) -> str:
+        if self.is_flat:
+            return f"({self.channels},)"
+        return f"({self.channels}, {self.height}, {self.width})"
+
+
+@dataclass(frozen=True)
+class LinearLayerInfo:
+    """Shape summary of one linear (conv or FC) layer for the HE cost model."""
+
+    name: str
+    kind: str  # "conv" or "fc"
+    in_shape: TensorShape
+    out_shape: TensorShape
+    kernel: int = 1
+    stride: int = 1
+
+    @property
+    def weight_count(self) -> int:
+        if self.kind == "conv":
+            return (
+                self.out_shape.channels
+                * self.in_shape.channels
+                * self.kernel
+                * self.kernel
+            )
+        return self.in_shape.elements * self.out_shape.elements
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count (plaintext FLOPs / 2)."""
+        if self.kind == "conv":
+            return (
+                self.out_shape.elements
+                * self.in_shape.channels
+                * self.kernel
+                * self.kernel
+            )
+        return self.weight_count
+
+
+@dataclass(frozen=True)
+class ReluLayerInfo:
+    """One ReLU layer: the number of activations garbled per inference."""
+
+    name: str
+    count: int

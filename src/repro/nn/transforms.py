@@ -1,0 +1,106 @@
+"""PI-friendly network transformations (§7: ReLU-lean architectures).
+
+The paper's Figure 14 projects a 10x ReLU reduction from techniques like
+DeepReDuce (ReLU pruning) and DELPHI/AESPA (replacing ReLUs with
+polynomial activations evaluated under secret sharing). These transforms
+model both on our Network objects so their system-level effect can be
+studied with the same cost machinery:
+
+* :func:`prune_relus` — drop a fraction of ReLU layers entirely
+  (DeepReDuce-style), merging the adjacent linear regions.
+* :func:`polynomialize_relus` — swap a fraction of ReLU layers for
+  square activations costed as Beaver-triple SS work instead of GCs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.layers import Layer, ReLU, Residual
+from repro.nn.network import Network
+
+
+def _clone_layers(layers: list[Layer], keep_relu) -> list[Layer]:
+    out = []
+    for layer in layers:
+        if isinstance(layer, Residual):
+            out.append(Residual(_clone_layers(layer.body, keep_relu), layer.name))
+        elif isinstance(layer, ReLU):
+            if keep_relu(layer):
+                out.append(layer)
+        else:
+            out.append(layer)
+    return out
+
+
+def prune_relus(network: Network, keep_fraction: float) -> Network:
+    """Remove whole ReLU layers until only ~keep_fraction of ReLUs remain.
+
+    Layers are dropped largest-first (the DeepReDuce observation that the
+    widest early layers contribute the least accuracy per ReLU), so the
+    ReLU count falls as fast as possible per removed layer.
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    relus = network.relu_layers()
+    total = sum(r.count for r in relus)
+    target = keep_fraction * total
+    by_size = sorted(relus, key=lambda r: -r.count)
+    dropped: set[str] = set()
+    remaining = total
+    for info in by_size:
+        if remaining <= target:
+            break
+        dropped.add(info.name)
+        remaining -= info.count
+
+    pruned = _clone_layers(network.layers, lambda l: l.name not in dropped)
+    return Network(
+        f"{network.name}+prune{keep_fraction:g}", network.input_shape, pruned
+    )
+
+
+@dataclass(frozen=True)
+class PolynomializedCosts:
+    """Cost shift from replacing ReLU layers with square activations."""
+
+    network: Network
+    gc_relus: int  # ReLUs still evaluated with garbled circuits
+    poly_activations: int  # activations now costed as one Beaver multiply
+
+    @property
+    def gc_fraction(self) -> float:
+        total = self.gc_relus + self.poly_activations
+        return self.gc_relus / total if total else 0.0
+
+    def beaver_triple_bytes(self, field_bytes: int = 6) -> int:
+        """Extra offline bytes: one triple (3 shares) per activation."""
+        return 3 * field_bytes * self.poly_activations
+
+    def online_opening_bytes(self, field_bytes: int = 6) -> int:
+        """Online openings: two masked values per multiplication, each way."""
+        return 4 * field_bytes * self.poly_activations
+
+
+def polynomialize_relus(network: Network, poly_fraction: float) -> PolynomializedCosts:
+    """Cost model for converting a fraction of ReLU layers to x^2 (AESPA).
+
+    Whole layers convert, largest first, until at least ``poly_fraction``
+    of activations are polynomial. The network's shapes are unchanged —
+    only the protocol costs move from GC to SS.
+    """
+    if not 0.0 <= poly_fraction <= 1.0:
+        raise ValueError("poly_fraction must be in [0, 1]")
+    relus = network.relu_layers()
+    total = sum(r.count for r in relus)
+    target = poly_fraction * total
+    converted = 0
+    for info in sorted(relus, key=lambda r: -r.count):
+        if converted >= target:
+            break
+        converted += info.count
+    return PolynomializedCosts(
+        network=network,
+        gc_relus=total - converted,
+        poly_activations=converted,
+    )

@@ -1,0 +1,31 @@
+"""Oblivious transfer: Chou-Orlandi-style base OT and IKNP extension."""
+
+from repro.ot.base import BaseOtReceiver, BaseOtSender, run_base_ot
+from repro.ot.extension import (
+    KAPPA,
+    ExtensionTranscript,
+    base_ot_offline_bytes,
+    iknp_transfer,
+    ot_extension_online_bytes,
+)
+from repro.ot.precomputed import (
+    PrecomputedReceiverBatch,
+    PrecomputedSenderBatch,
+    online_ot_bytes,
+    precompute_ots,
+)
+
+__all__ = [
+    "KAPPA",
+    "BaseOtReceiver",
+    "BaseOtSender",
+    "ExtensionTranscript",
+    "PrecomputedReceiverBatch",
+    "PrecomputedSenderBatch",
+    "base_ot_offline_bytes",
+    "iknp_transfer",
+    "online_ot_bytes",
+    "ot_extension_online_bytes",
+    "precompute_ots",
+    "run_base_ot",
+]

@@ -1,0 +1,122 @@
+"""Base 1-out-of-2 oblivious transfer (simplified Chou-Orlandi).
+
+Runs Diffie-Hellman style over the multiplicative group modulo the prime
+2^255 - 19. The sender publishes A = g^a; the receiver with choice bit c
+replies B = g^b (c = 0) or B = A * g^b (c = 1). The sender derives the two
+pad keys H(B^a) and H((B/A)^a); the receiver can compute only H(A^b), the
+key for its chosen message. Messages of arbitrary length are padded with a
+PRG stretch of the derived key.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.modmath import mod_inverse
+from repro.crypto.prg import Prg, key_derivation, xor_bytes
+from repro.crypto.rng import SecureRandom
+
+# 2^255 - 19 (prime); using its multiplicative group keeps exponentiations
+# to a few hundred microseconds in pure Python.
+GROUP_PRIME = (1 << 255) - 19
+GENERATOR = 2
+
+
+def _encode(element: int) -> bytes:
+    return element.to_bytes(32, "little")
+
+
+def _stretch(key: bytes, n: int) -> bytes:
+    return Prg(key).read(n)
+
+
+class BaseOtSender:
+    """Sender of a batch of base OTs (holds message pairs)."""
+
+    def __init__(self, rng: SecureRandom | None = None):
+        self._rng = rng or SecureRandom()
+        self._a = 2 + self._rng.field_element(GROUP_PRIME - 4)
+        self.public = pow(GENERATOR, self._a, GROUP_PRIME)
+
+    def encrypt(
+        self, receiver_points: list[int], message_pairs: list[tuple[bytes, bytes]]
+    ) -> list[tuple[bytes, bytes]]:
+        """Produce the two pad-encrypted messages for each OT instance."""
+        if len(receiver_points) != len(message_pairs):
+            raise ValueError("one receiver point per message pair required")
+        a_inv_public = mod_inverse(self.public, GROUP_PRIME)
+        ciphertexts = []
+        for index, (point, (m0, m1)) in enumerate(
+            zip(receiver_points, message_pairs)
+        ):
+            k0 = key_derivation(
+                _encode(pow(point, self._a, GROUP_PRIME)), index.to_bytes(4, "little")
+            )
+            shifted = point * a_inv_public % GROUP_PRIME
+            k1 = key_derivation(
+                _encode(pow(shifted, self._a, GROUP_PRIME)),
+                index.to_bytes(4, "little"),
+            )
+            c0 = xor_bytes(m0, _stretch(k0, len(m0)))
+            c1 = xor_bytes(m1, _stretch(k1, len(m1)))
+            ciphertexts.append((c0, c1))
+        return ciphertexts
+
+
+class BaseOtReceiver:
+    """Receiver of a batch of base OTs (holds choice bits)."""
+
+    def __init__(self, choices: list[int], rng: SecureRandom | None = None):
+        self._rng = rng or SecureRandom()
+        self.choices = [c & 1 for c in choices]
+        self._secrets = [
+            2 + self._rng.field_element(GROUP_PRIME - 4) for _ in self.choices
+        ]
+
+    def points(self, sender_public: int) -> list[int]:
+        """Blinded group elements to send to the sender."""
+        pts = []
+        for choice, b in zip(self.choices, self._secrets):
+            point = pow(GENERATOR, b, GROUP_PRIME)
+            if choice:
+                point = point * sender_public % GROUP_PRIME
+            pts.append(point)
+        return pts
+
+    def decrypt(
+        self, sender_public: int, ciphertexts: list[tuple[bytes, bytes]]
+    ) -> list[bytes]:
+        """Recover the chosen message of each pair."""
+        out = []
+        for index, (choice, b, (c0, c1)) in enumerate(
+            zip(self.choices, self._secrets, ciphertexts)
+        ):
+            key = key_derivation(
+                _encode(pow(sender_public, b, GROUP_PRIME)),
+                index.to_bytes(4, "little"),
+            )
+            chosen = c1 if choice else c0
+            out.append(xor_bytes(chosen, _stretch(key, len(chosen))))
+        return out
+
+
+def run_base_ot(
+    message_pairs: list[tuple[bytes, bytes]],
+    choices: list[int],
+    rng: SecureRandom | None = None,
+    channel=None,
+) -> list[bytes]:
+    """Execute a full base-OT batch, optionally accounting bytes on a channel."""
+    rng = rng or SecureRandom()
+    sender = BaseOtSender(rng.spawn())
+    receiver = BaseOtReceiver(choices, rng.spawn())
+    points = receiver.points(sender.public)
+    ciphertexts = sender.encrypt(points, message_pairs)
+    if channel is not None:
+        from repro.network.channel import CLIENT, SERVER
+
+        channel.send(SERVER, _encode(sender.public))
+        channel.recv(CLIENT)
+        channel.send(CLIENT, [_encode(p) for p in points])
+        channel.recv(SERVER)
+        channel.send(SERVER, [c for pair in ciphertexts for c in pair])
+        channel.recv(CLIENT)
+    return receiver.decrypt(sender.public, ciphertexts)

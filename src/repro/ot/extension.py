@@ -1,0 +1,137 @@
+"""IKNP oblivious-transfer extension.
+
+Turns kappa = 128 base OTs (public-key operations) into arbitrarily many
+fast symmetric-key OTs — the construction DELPHI relies on to fetch one
+wire label per share bit during the GC sub-protocol. Roles invert between
+the layers: the extension *receiver* plays base-OT *sender* and vice versa.
+
+Column-major bit matrices are stored as Python integers (one m-bit integer
+per column), which makes the T / T xor r column pairs and the row
+extraction straightforward and exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.prg import LABEL_BYTES, Prg, hash_label, xor_bytes
+from repro.crypto.rng import SecureRandom
+from repro.ot.base import BaseOtReceiver, BaseOtSender
+
+KAPPA = 128  # computational security parameter / number of base OTs
+
+
+@dataclass
+class ExtensionTranscript:
+    """Byte sizes of each message flow, for communication accounting."""
+
+    base_ot_bytes: int
+    column_bytes: int
+    ciphertext_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.base_ot_bytes + self.column_bytes + self.ciphertext_bytes
+
+
+def _row(columns: list[int], row_index: int) -> int:
+    """Extract row ``row_index`` from column-major integer matrix."""
+    value = 0
+    for i, col in enumerate(columns):
+        value |= ((col >> row_index) & 1) << i
+    return value
+
+
+def _int_to_label(value: int) -> bytes:
+    return value.to_bytes(LABEL_BYTES, "little")
+
+
+def iknp_transfer(
+    message_pairs: list[tuple[bytes, bytes]],
+    choices: list[int],
+    rng: SecureRandom | None = None,
+) -> tuple[list[bytes], ExtensionTranscript]:
+    """Run IKNP extension end to end for ``len(message_pairs)`` OTs.
+
+    Returns the receiver's chosen messages and a transcript of byte volumes
+    (base OTs + the m x kappa column matrix + the masked message pairs).
+    """
+    rng = rng or SecureRandom()
+    m = len(message_pairs)
+    if len(choices) != m:
+        raise ValueError("one choice bit per message pair required")
+    if m == 0:
+        return [], ExtensionTranscript(0, 0, 0)
+    msg_len = len(message_pairs[0][0])
+    for m0, m1 in message_pairs:
+        if len(m0) != msg_len or len(m1) != msg_len:
+            raise ValueError("all messages must share one length")
+
+    r_packed = 0
+    for j, c in enumerate(choices):
+        r_packed |= (c & 1) << j
+
+    # Receiver expands kappa column seeds; the sender obtains, via base OT
+    # with its secret bits s_i, either t_i or t_i xor r per column.
+    receiver_rng = rng.spawn()
+    t_columns = []
+    column_pairs = []
+    for i in range(KAPPA):
+        seed0 = receiver_rng.bytes(LABEL_BYTES)
+        t_i = int.from_bytes(Prg(seed0).read((m + 7) // 8), "little") & ((1 << m) - 1)
+        t_columns.append(t_i)
+        u_i = t_i ^ r_packed
+        column_pairs.append(
+            (t_i.to_bytes((m + 7) // 8, "little"), u_i.to_bytes((m + 7) // 8, "little"))
+        )
+
+    sender_rng = rng.spawn()
+    s_bits = sender_rng.bits(KAPPA)
+    base_sender = BaseOtSender(rng.spawn())  # played by extension receiver
+    base_receiver = BaseOtReceiver(s_bits, rng.spawn())  # played by ext. sender
+    points = base_receiver.points(base_sender.public)
+    ciphertexts = base_sender.encrypt(points, column_pairs)
+    q_column_bytes = base_receiver.decrypt(base_sender.public, ciphertexts)
+    q_columns = [int.from_bytes(qb, "little") for qb in q_column_bytes]
+
+    s_packed = 0
+    for i, s in enumerate(s_bits):
+        s_packed |= s << i
+
+    # Sender masks each message pair with row hashes of Q.
+    masked: list[tuple[bytes, bytes]] = []
+    for j, (m0, m1) in enumerate(message_pairs):
+        q_j = _row(q_columns, j)
+        pad0 = hash_label(_int_to_label(q_j & ((1 << KAPPA) - 1)), j)
+        pad1 = hash_label(_int_to_label((q_j ^ s_packed) & ((1 << KAPPA) - 1)), j)
+        masked.append(
+            (
+                xor_bytes(m0, Prg(pad0).read(msg_len)),
+                xor_bytes(m1, Prg(pad1).read(msg_len)),
+            )
+        )
+
+    # Receiver unmasks its chosen message with row hashes of T.
+    chosen: list[bytes] = []
+    for j, c in enumerate(choices):
+        t_j = _row(t_columns, j)
+        pad = hash_label(_int_to_label(t_j & ((1 << KAPPA) - 1)), j)
+        cipher = masked[j][c & 1]
+        chosen.append(xor_bytes(cipher, Prg(pad).read(msg_len)))
+
+    transcript = ExtensionTranscript(
+        base_ot_bytes=KAPPA * (2 * ((m + 7) // 8)) + KAPPA * 32 + 32,
+        column_bytes=KAPPA * ((m + 7) // 8),
+        ciphertext_bytes=2 * m * msg_len,
+    )
+    return chosen, transcript
+
+
+def ot_extension_online_bytes(n_ots: int, msg_len: int = LABEL_BYTES) -> int:
+    """Online communication of an IKNP batch (columns + masked pairs)."""
+    return KAPPA * ((n_ots + 7) // 8) + 2 * n_ots * msg_len
+
+
+def base_ot_offline_bytes() -> int:
+    """Offline communication of the kappa base OTs (group elements + pads)."""
+    return 32 + KAPPA * 32 + 2 * KAPPA * LABEL_BYTES

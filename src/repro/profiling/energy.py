@@ -1,0 +1,61 @@
+"""Client energy accounting (§5.1's powertop study).
+
+The paper measures, on the Atom board, 1.25 J per 10,000 ReLUs evaluated
+and 2.33 J per 10,000 ReLUs garbled: switching to Client-Garbler raises
+client GC energy 1.8x. This module extends that to full per-inference
+energy budgets — GC work plus the client's HE encrypt/decrypt and radio
+time — so deployments can weigh latency against battery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.bandwidth import TddLink
+from repro.profiling import calibration as cal
+from repro.profiling.devices import ATOM, DeviceProfile
+from repro.profiling.model_costs import NetworkCostProfile, Protocol
+
+# Representative embedded-device power draws (watts).
+CPU_ACTIVE_WATTS = 2.0  # Atom-class SoC under sustained compute
+RADIO_ACTIVE_WATTS = 1.2  # 5G modem during active transfer
+
+
+@dataclass(frozen=True)
+class EnergyBudget:
+    """Joules spent by the client for one private inference."""
+
+    gc_joules: float
+    he_joules: float
+    radio_joules: float
+
+    @property
+    def total_joules(self) -> float:
+        return self.gc_joules + self.he_joules + self.radio_joules
+
+    def battery_fraction(self, battery_wh: float = 15.0) -> float:
+        """Share of a phone-class battery one inference consumes."""
+        return self.total_joules / (battery_wh * 3600.0)
+
+
+def client_energy(
+    profile: NetworkCostProfile,
+    protocol: Protocol,
+    client: DeviceProfile = ATOM,
+    link: TddLink | None = None,
+) -> EnergyBudget:
+    """Estimate the client's per-inference energy budget."""
+    link = link or TddLink(1e9, 0.5)
+    gc = profile.client_energy_joules(protocol)
+    he = profile.client_he_seconds(client) * CPU_ACTIVE_WATTS
+    volumes = profile.comm(protocol)
+    radio_seconds = link.transfer_seconds(volumes.upload, volumes.download)
+    radio = radio_seconds * RADIO_ACTIVE_WATTS
+    return EnergyBudget(gc_joules=gc, he_joules=he, radio_joules=radio)
+
+
+def garbling_energy_ratio(profile: NetworkCostProfile) -> float:
+    """CG vs SG client GC energy ratio (paper: 1.8x)."""
+    return profile.client_energy_joules(
+        Protocol.CLIENT_GARBLER
+    ) / profile.client_energy_joules(Protocol.SERVER_GARBLER)

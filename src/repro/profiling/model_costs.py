@@ -1,0 +1,173 @@
+"""Per-network physical cost profiles: compute seconds, bytes, joules.
+
+``profile_network`` turns a :class:`~repro.nn.network.Network` into every
+quantity the protocols and the system simulator need — per-layer HE times,
+GC garble/evaluate times per device, storage footprints and communication
+volumes for both the Server-Garbler and Client-Garbler protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.nn.network import Network
+from repro.profiling import calibration as cal
+from repro.profiling.devices import DeviceProfile
+
+HE_KEY_BYTES = 20_000_000  # public + Galois keys shipped in the offline phase
+
+
+class Protocol(Enum):
+    SERVER_GARBLER = "server-garbler"
+    CLIENT_GARBLER = "client-garbler"
+
+
+@dataclass(frozen=True)
+class CommVolumes:
+    """Bytes exchanged per inference, split by phase and direction."""
+
+    offline_up: float
+    offline_down: float
+    online_up: float
+    online_down: float
+
+    @property
+    def upload(self) -> float:
+        return self.offline_up + self.online_up
+
+    @property
+    def download(self) -> float:
+        return self.offline_down + self.online_down
+
+    @property
+    def total(self) -> float:
+        return self.upload + self.download
+
+
+@dataclass(frozen=True)
+class StorageFootprint:
+    """Pre-compute bytes each party must hold for one buffered inference."""
+
+    client_bytes: float
+    server_bytes: float
+
+
+@dataclass(frozen=True)
+class NetworkCostProfile:
+    """All physical costs of privately evaluating one network once."""
+
+    network_name: str
+    relu_count: int
+    linear_layer_count: int
+    mac_count: int
+    input_elements: int
+    output_elements: int
+    share_elements: int  # total r / s vector elements across layers
+    he_layer_seconds: tuple[float, ...]  # reference server core, per layer
+    he_input_cts: int
+    he_output_cts: int
+
+    # -- computation -----------------------------------------------------------
+
+    @property
+    def and_gates(self) -> int:
+        return self.relu_count * cal.ANDS_PER_RELU
+
+    def garble_seconds(self, device: DeviceProfile) -> float:
+        return device.garble_seconds(self.and_gates)
+
+    def gc_eval_seconds(self, device: DeviceProfile) -> float:
+        return device.evaluate_seconds(self.and_gates)
+
+    def he_sequential_seconds(self, server: DeviceProfile) -> float:
+        return sum(self.he_layer_seconds) / server.he_scale
+
+    def he_lphe_seconds(self, server: DeviceProfile, cores: int | None = None) -> float:
+        """Layer-parallel HE makespan with LPT scheduling onto ``cores``."""
+        layers = [t / server.he_scale for t in self.he_layer_seconds]
+        cores = cores if cores is not None else len(layers)
+        cores = max(1, min(cores, len(layers)))
+        bins = [0.0] * cores
+        for duration in sorted(layers, reverse=True):
+            bins[bins.index(min(bins))] += duration
+        return max(bins)
+
+    def client_he_seconds(self, client: DeviceProfile) -> float:
+        costs = cal.fitted_he_unit_costs()
+        raw = self.he_input_cts * costs.encrypt + self.he_output_cts * costs.decrypt
+        return raw / client.he_scale
+
+    def ss_online_seconds(self, server: DeviceProfile) -> float:
+        return self.mac_count * cal.fitted_ss_seconds_per_mac() / server.he_scale
+
+    # -- storage ---------------------------------------------------------------
+
+    @property
+    def share_bytes(self) -> float:
+        return self.share_elements * cal.FIELD_BYTES
+
+    def storage(self, protocol: Protocol) -> StorageFootprint:
+        gc_side = self.relu_count * cal.GC_CLIENT_BYTES_PER_RELU + self.share_bytes
+        garbler_side = (
+            self.relu_count * cal.GC_GARBLER_BYTES_PER_RELU + self.share_bytes
+        )
+        if protocol is Protocol.SERVER_GARBLER:
+            return StorageFootprint(client_bytes=gc_side, server_bytes=garbler_side)
+        return StorageFootprint(client_bytes=garbler_side, server_bytes=gc_side)
+
+    # -- communication -----------------------------------------------------------
+
+    def comm(self, protocol: Protocol) -> CommVolumes:
+        relu = self.relu_count
+        ct = cal.HE_CIPHERTEXT_BYTES
+        he_up = self.he_input_cts * ct + HE_KEY_BYTES
+        he_down = self.he_output_cts * ct
+        result_down = self.output_elements * cal.FIELD_BYTES
+        input_up = self.input_elements * cal.FIELD_BYTES
+        if protocol is Protocol.SERVER_GARBLER:
+            bits = cal.SG_EVALUATOR_BITS_PER_RELU
+            return CommVolumes(
+                offline_up=he_up + relu * cal.ot_column_bytes(bits),
+                offline_down=he_down
+                + relu * (cal.GC_WIRE_BYTES_PER_RELU + cal.ot_pair_bytes(bits)),
+                online_up=input_up + relu * cal.WORD_LABEL_BYTES,
+                online_down=relu * cal.WORD_LABEL_BYTES + result_down,
+            )
+        bits = cal.CG_EVALUATOR_BITS_PER_RELU
+        garbler_label_bytes = cal.SG_EVALUATOR_BITS_PER_RELU * cal.LABEL_BYTES
+        return CommVolumes(
+            offline_up=he_up
+            + relu * (cal.GC_WIRE_BYTES_PER_RELU + garbler_label_bytes),
+            offline_down=he_down,
+            online_up=input_up + relu * cal.ot_pair_bytes(bits),
+            online_down=relu * cal.ot_column_bytes(bits) + result_down,
+        )
+
+    # -- energy ---------------------------------------------------------------
+
+    def client_energy_joules(self, protocol: Protocol) -> float:
+        if protocol is Protocol.SERVER_GARBLER:
+            return self.relu_count * cal.EVAL_JOULES_PER_RELU
+        return self.relu_count * cal.GARBLE_JOULES_PER_RELU
+
+
+def profile_network(network: Network, slots: int = cal.GAZELLE_SLOTS) -> NetworkCostProfile:
+    """Compute the full cost profile of a network."""
+    linear = network.linear_layers()
+    in_cts, out_cts = cal.he_ciphertext_counts(network, slots)
+    share_elements = sum(
+        info.in_shape.elements + info.out_shape.elements for info in linear
+    )
+    return NetworkCostProfile(
+        network_name=network.name,
+        relu_count=network.relu_count,
+        linear_layer_count=len(linear),
+        mac_count=network.mac_count,
+        input_elements=network.input_shape.elements,
+        output_elements=network.output_shape.elements,
+        share_elements=share_elements,
+        he_layer_seconds=tuple(cal.he_layer_seconds(network, slots)),
+        he_input_cts=in_cts,
+        he_output_cts=out_cts,
+    )

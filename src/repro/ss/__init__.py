@@ -1,0 +1,27 @@
+"""Additive secret sharing over Z_p with Beaver-triple multiplication."""
+
+from repro.ss.additive import (
+    ShareVector,
+    from_signed,
+    reconstruct,
+    share,
+    to_signed,
+)
+from repro.ss.beaver import (
+    BeaverTripleShare,
+    beaver_multiply,
+    dealer_triples,
+    he_triples,
+)
+
+__all__ = [
+    "BeaverTripleShare",
+    "ShareVector",
+    "beaver_multiply",
+    "dealer_triples",
+    "from_signed",
+    "he_triples",
+    "reconstruct",
+    "share",
+    "to_signed",
+]

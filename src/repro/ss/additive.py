@@ -1,0 +1,87 @@
+"""Additive secret sharing over Z_p.
+
+A value x is split as <x>_1 = r (uniform) and <x>_2 = x - r; addition and
+scalar multiplication are local, reconstruction is one exchange. These are
+the shares the hybrid protocol threads through every linear layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rng import SecureRandom
+
+
+@dataclass(frozen=True)
+class ShareVector:
+    """One party's share of a secret vector, tagged with the field modulus."""
+
+    values: tuple[int, ...]
+    modulus: int
+
+    def __post_init__(self) -> None:
+        if any(not 0 <= v < self.modulus for v in self.values):
+            raise ValueError("share values must be reduced modulo the field")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def _check(self, other: "ShareVector") -> None:
+        if self.modulus != other.modulus:
+            raise ValueError("modulus mismatch")
+        if len(self) != len(other):
+            raise ValueError("length mismatch")
+
+    def __add__(self, other: "ShareVector") -> "ShareVector":
+        self._check(other)
+        p = self.modulus
+        return ShareVector(
+            tuple((a + b) % p for a, b in zip(self.values, other.values)), p
+        )
+
+    def __sub__(self, other: "ShareVector") -> "ShareVector":
+        self._check(other)
+        p = self.modulus
+        return ShareVector(
+            tuple((a - b) % p for a, b in zip(self.values, other.values)), p
+        )
+
+    def scale(self, scalar: int) -> "ShareVector":
+        p = self.modulus
+        return ShareVector(tuple(v * scalar % p for v in self.values), p)
+
+    def add_public(self, public: list[int]) -> "ShareVector":
+        """Add a public vector (only one party should do this)."""
+        if len(public) != len(self):
+            raise ValueError("length mismatch")
+        p = self.modulus
+        return ShareVector(
+            tuple((a + b) % p for a, b in zip(self.values, public)), p
+        )
+
+
+def share(
+    values: list[int], modulus: int, rng: SecureRandom | None = None
+) -> tuple[ShareVector, ShareVector]:
+    """Split ``values`` into two uniformly random additive shares."""
+    rng = rng or SecureRandom()
+    first = [rng.field_element(modulus) for _ in values]
+    second = [(v - r) % modulus for v, r in zip(values, first)]
+    return ShareVector(tuple(first), modulus), ShareVector(tuple(second), modulus)
+
+
+def reconstruct(a: ShareVector, b: ShareVector) -> list[int]:
+    """Combine two shares back into the secret vector."""
+    combined = a + b
+    return list(combined.values)
+
+
+def to_signed(values: list[int], modulus: int) -> list[int]:
+    """Map field elements to centered signed integers (-p/2, p/2]."""
+    half = modulus // 2
+    return [v - modulus if v > half else v for v in values]
+
+
+def from_signed(values: list[int], modulus: int) -> list[int]:
+    """Map signed integers into the field [0, p)."""
+    return [v % modulus for v in values]

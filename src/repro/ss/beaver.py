@@ -1,0 +1,126 @@
+"""Beaver multiplication triples and the two-party multiply protocol.
+
+Triples (a, b, c = a*b) are generated in the pre-processing phase — the
+paper notes they are produced with offline HE — and consumed online with
+one opening round per multiplication. Two generators are provided: a
+trusted-dealer one for tests and an HE-backed one that mirrors how the
+offline phase actually produces correlated randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rng import SecureRandom
+from repro.ss.additive import ShareVector, share
+
+
+@dataclass(frozen=True)
+class BeaverTripleShare:
+    """One party's share of a Beaver triple (element-wise vectors)."""
+
+    a: ShareVector
+    b: ShareVector
+    c: ShareVector
+
+    def __len__(self) -> int:
+        return len(self.a)
+
+
+def dealer_triples(
+    n: int, modulus: int, rng: SecureRandom | None = None
+) -> tuple[BeaverTripleShare, BeaverTripleShare]:
+    """Trusted-dealer triple generation (testing / baseline)."""
+    rng = rng or SecureRandom()
+    a = rng.field_vector(n, modulus)
+    b = rng.field_vector(n, modulus)
+    c = [x * y % modulus for x, y in zip(a, b)]
+    a1, a2 = share(a, modulus, rng)
+    b1, b2 = share(b, modulus, rng)
+    c1, c2 = share(c, modulus, rng)
+    return (
+        BeaverTripleShare(a1, b1, c1),
+        BeaverTripleShare(a2, b2, c2),
+    )
+
+
+def he_triples(
+    n: int,
+    params,
+    rng: SecureRandom | None = None,
+) -> tuple[BeaverTripleShare, BeaverTripleShare]:
+    """Generate triples with actual BFV encryption, dealer-free.
+
+    Party 1 samples (a1, b1), encrypts them; party 2 samples (a2, b2, s),
+    homomorphically computes Enc(a1*b2 + a2*b1 - s) and returns it. Then
+    c1 = a1*b1 + dec(...) and c2 = a2*b2 + s satisfy c1 + c2 = a*b.
+    """
+    from repro.he.bfv import BfvContext
+    from repro.he.encoder import BatchEncoder
+
+    rng = rng or SecureRandom()
+    if n > params.n:
+        raise ValueError("vector longer than slot count")
+    p = params.t
+    ctx = BfvContext(params, rng.spawn())
+    encoder = BatchEncoder(params)
+    sk, pk = ctx.keygen()
+
+    a1 = rng.field_vector(n, p)
+    b1 = rng.field_vector(n, p)
+    a2 = rng.field_vector(n, p)
+    b2 = rng.field_vector(n, p)
+    s = rng.field_vector(n, p)
+
+    ct_a1 = ctx.encrypt(pk, encoder.encode(a1))
+    ct_b1 = ctx.encrypt(pk, encoder.encode(b1))
+    pad = lambda v: v + [0] * (params.n - n)  # noqa: E731 - slot padding
+    cross = ctx.mul_plain(ct_a1, encoder.encode(pad(b2)))
+    cross = cross + ctx.mul_plain(ct_b1, encoder.encode(pad(a2)))
+    cross = ctx.sub_plain(cross, encoder.encode(pad(s)))
+
+    opened = encoder.decode(ctx.decrypt(sk, cross))[:n]
+    c1 = [(x * y + z) % p for x, y, z in zip(a1, b1, opened)]
+    c2 = [(x * y + z) % p for x, y, z in zip(a2, b2, s)]
+    return (
+        BeaverTripleShare(
+            ShareVector(tuple(a1), p), ShareVector(tuple(b1), p), ShareVector(tuple(c1), p)
+        ),
+        BeaverTripleShare(
+            ShareVector(tuple(a2), p), ShareVector(tuple(b2), p), ShareVector(tuple(c2), p)
+        ),
+    )
+
+
+def beaver_multiply(
+    x1: ShareVector,
+    y1: ShareVector,
+    x2: ShareVector,
+    y2: ShareVector,
+    t1: BeaverTripleShare,
+    t2: BeaverTripleShare,
+) -> tuple[ShareVector, ShareVector]:
+    """Element-wise multiply secret-shared vectors using one triple batch.
+
+    Simulates both parties locally: each computes its share of e = x - a
+    and f = y - b, the openings are exchanged, and the product shares are
+    z_i = c_i + e*b_i + f*a_i (+ e*f at exactly one party).
+    """
+    p = x1.modulus
+    e = [(v1 + v2) % p for v1, v2 in zip((x1 - t1.a).values, (x2 - t2.a).values)]
+    f = [(v1 + v2) % p for v1, v2 in zip((y1 - t1.b).values, (y2 - t2.b).values)]
+
+    def z_share(triple: BeaverTripleShare, include_ef: bool) -> ShareVector:
+        values = []
+        for i in range(len(e)):
+            v = (
+                triple.c.values[i]
+                + e[i] * triple.b.values[i]
+                + f[i] * triple.a.values[i]
+            ) % p
+            if include_ef:
+                v = (v + e[i] * f[i]) % p
+            values.append(v)
+        return ShareVector(tuple(values), p)
+
+    return z_share(t1, True), z_share(t2, False)

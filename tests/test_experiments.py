@@ -1,0 +1,145 @@
+"""Tests for the per-figure experiment runners and their paper claims."""
+
+import pytest
+
+from repro.experiments import (
+    fig03_storage,
+    fig04_compute,
+    fig05_comm,
+    fig08_client_garbler,
+    fig09_lphe,
+    fig11_wsa,
+    fig14_future,
+    table1,
+)
+from repro.experiments.common import EVAL_PAIRS, STORAGE_PAIRS, build, profile
+
+
+class TestCommon:
+    def test_pairs_cover_paper_evaluation(self):
+        assert len(EVAL_PAIRS) == 6
+        assert len(STORAGE_PAIRS) == 9
+
+    def test_build_cached(self):
+        assert build("ResNet-18", "CIFAR-100") is build("ResNet-18", "CIFAR-100")
+
+    def test_profile_cached(self):
+        assert profile("VGG-16", "CIFAR-100") is profile("VGG-16", "CIFAR-100")
+
+
+class TestFig3:
+    def test_all_nine_points_within_5_percent(self):
+        for row in fig03_storage.run():
+            assert row["client_storage_gb"] == pytest.approx(
+                row["paper_gb"], rel=0.10
+            ), (row["model"], row["dataset"])
+
+    def test_imagenet_impractical(self):
+        """Paper: ImageNet needs hundreds of GB -> not studied in PI."""
+        rows = [r for r in fig03_storage.run() if r["dataset"] == "ImageNet"]
+        assert all(r["client_storage_gb"] > 200 for r in rows)
+
+
+class TestFig4:
+    def test_he_dominates_compute(self):
+        for row in fig04_compute.run():
+            assert row["he_eval_min"] > row["gc_eval_min"] > row["gc_garble_min"]
+
+    def test_r18_tiny_anchor(self):
+        row = [
+            r for r in fig04_compute.run()
+            if r["model"] == "ResNet-18" and r["dataset"] == "TinyImageNet"
+        ][0]
+        assert row["he_eval_min"] == pytest.approx(18.0, rel=0.02)
+        assert row["gc_eval_min"] == pytest.approx(3.3, rel=0.1)
+
+
+class TestFig5:
+    def test_monotone_in_bandwidth(self):
+        rows = fig05_comm.run()
+        totals = [r["total_min"] for r in rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_download_dominates(self):
+        for row in fig05_comm.run():
+            assert row["download_min"] > 5 * row["upload_min"]
+
+    def test_gigabit_latency_near_paper(self):
+        """Paper: ~11 minutes total at 1 Gbps."""
+        row = fig05_comm.run()[-1]
+        assert 10 <= row["total_min"] <= 15
+
+    def test_download_share(self):
+        assert 0.80 <= fig05_comm.download_share() <= 0.95
+
+
+class TestTable1:
+    def test_every_cell_close_to_paper(self):
+        for row in table1.run():
+            for key in ("GC", "HE", "SS", "Comms"):
+                ours, paper = row[key], row[f"paper_{key}"]
+                if paper < 1.0:
+                    assert abs(ours - paper) < 1.0
+                else:
+                    assert ours == pytest.approx(paper, rel=0.16), (row["phase"], key)
+
+
+class TestFig8:
+    def test_reduction_about_5x(self):
+        assert 4.5 <= fig08_client_garbler.mean_reduction() <= 5.5
+
+    def test_41_to_8_gb(self):
+        row = [
+            r for r in fig08_client_garbler.run()
+            if r["model"] == "ResNet-18" and r["dataset"] == "TinyImageNet"
+        ][0]
+        assert row["server_garbler_gb"] == pytest.approx(41, rel=0.05)
+        assert row["client_garbler_gb"] == pytest.approx(8, rel=0.05)
+
+
+class TestFig9:
+    def test_speedups_all_significant(self):
+        for row in fig09_lphe.run():
+            assert row["speedup"] > 5
+
+    def test_mean_speedup_near_paper(self):
+        assert 7 <= fig09_lphe.mean_speedup() <= 16
+
+
+class TestFig11:
+    def test_optima_directions(self):
+        stats = fig11_wsa.optima()
+        assert stats["server-garbler"]["optimal_download_mbps"] > 700
+        assert stats["client-garbler"]["optimal_upload_mbps"] > 750
+
+    def test_improvement_up_to_35_percent(self):
+        stats = fig11_wsa.optima()
+        for protocol in stats.values():
+            assert 0 < protocol["improvement_vs_even"] <= 0.40
+
+    def test_sweep_convex_around_optimum(self):
+        rows = [
+            r for r in fig11_wsa.run() if r["protocol"] == "client-garbler"
+        ]
+        latencies = [r["latency_min"] for r in rows]
+        best = min(range(len(latencies)), key=latencies.__getitem__)
+        assert latencies[: best + 1] == sorted(latencies[: best + 1], reverse=True)
+        assert latencies[best:] == sorted(latencies[best:])
+
+
+class TestFig14:
+    def test_within_35_percent_of_paper(self):
+        for row in fig14_future.run():
+            assert row["total_s"] == pytest.approx(row["paper_s"], rel=0.35), row["step"]
+
+    def test_first_bars_within_10_percent(self):
+        rows = {r["step"]: r for r in fig14_future.run()}
+        for step in ("Client Garbler", "GC FASE 19x", "GC 100x", "BW 10x"):
+            assert rows[step]["total_s"] == pytest.approx(
+                rows[step]["paper_s"], rel=0.10
+            ), step
+
+    def test_components_sum_to_100(self):
+        for row in fig14_future.components():
+            total = sum(v for k, v in row.items() if k != "step")
+            assert total == pytest.approx(100, abs=0.5)

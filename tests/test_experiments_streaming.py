@@ -1,0 +1,96 @@
+"""Tests for the simulation-backed experiments (Figures 7, 10, 12, 13).
+
+These use reduced replication counts and shortened sweeps so the suite
+stays fast while still checking the qualitative claims of each figure.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig07_streaming,
+    fig10_lphe_vs_rlp,
+    fig12_end_to_end,
+    fig13_sensitivity,
+)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig07_streaming.run(replications=2)
+
+    def test_low_rate_is_online_only(self, rows):
+        first = rows[0]
+        assert first["offline_min"] < 1.0
+        assert first["queue_min"] < 1.0
+        assert 3 <= first["online_min"] <= 7  # paper: ~4 minutes
+
+    def test_latency_grows_with_rate(self, rows):
+        assert rows[-1]["mean_latency_min"] > 3 * rows[0]["mean_latency_min"]
+
+    def test_queue_dominates_at_saturation(self, rows):
+        last = rows[-1]
+        assert last["queue_min"] > last["online_min"]
+
+    def test_hit_rate_declines(self, rows):
+        assert rows[-1]["precompute_hit"] < rows[0]["precompute_hit"]
+
+
+class TestFig10:
+    def test_lphe_beats_rlp_at_16gb(self):
+        rows = fig10_lphe_vs_rlp.run(storage_gb=16, replications=2)
+        lphe = [r for r in rows if r["strategy"] == "lphe"]
+        rlp = [r for r in rows if r["strategy"] == "rlp"]
+        # Compare at the lowest arrival rate.
+        assert lphe[0]["mean_latency_min"] <= rlp[0]["mean_latency_min"] * 1.05
+
+    def test_rlp_capacity_at_140gb(self):
+        rows = fig10_lphe_vs_rlp.run(storage_gb=140, replications=2)
+        lphe = [r for r in rows if r["strategy"] == "lphe"]
+        rlp = [r for r in rows if r["strategy"] == "rlp"]
+        # At the highest swept rate, RLP has lower latency than LPHE.
+        assert rlp[-1]["mean_latency_min"] < lphe[-1]["mean_latency_min"]
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig12_end_to_end.run("ResNet-32", "CIFAR-100", replications=2)
+
+    def test_proposed_lowest_latency_at_low_rate(self, rows):
+        by_system = {}
+        for row in rows:
+            by_system.setdefault(row["system"], []).append(row["mean_latency_min"])
+        for label, latencies in by_system.items():
+            if label != "Proposed-16GB":
+                assert by_system["Proposed-16GB"][0] <= latencies[0] * 1.05, label
+
+    def test_baseline_saturates_earlier(self, rows):
+        by_system = {}
+        for row in rows:
+            by_system.setdefault(row["system"], []).append(row["mean_latency_min"])
+        assert by_system["Proposed-16GB"][-1] < by_system["SG-16GB"][-1]
+
+    def test_more_storage_helps_baseline(self, rows):
+        by_system = {}
+        for row in rows:
+            by_system.setdefault(row["system"], []).append(row["mean_latency_min"])
+        assert by_system["SG-64GB"][-1] <= by_system["SG-16GB"][-1] * 1.3
+
+
+class TestFig13:
+    def test_garble_latencies_match_paper(self):
+        lat = fig13_sensitivity.garble_latencies()
+        assert lat["Atom"] == pytest.approx(382.6, rel=0.1)
+        assert lat["i5"] == pytest.approx(107.2, rel=0.1)
+        assert lat["i5 (2x)"] == pytest.approx(53.8, rel=0.1)
+
+    def test_faster_client_helps_cg_not_sg(self):
+        rows = fig13_sensitivity.run(server_scale=1, replications=1)
+        def lat(system, idx=-1):
+            matching = [r for r in rows if r["system"] == system]
+            return matching[idx]["mean_latency_min"]
+        # CG benefits from a faster client at high rates (garbling bound).
+        assert lat("CG - i5 (2x)") <= lat("CG - Atom") * 1.1
+        # SG at 16 GB cannot buffer: stays slow regardless of client.
+        assert lat("SG - Atom", 0) > lat("CG - Atom", 0)

@@ -1,0 +1,221 @@
+"""Tests for half-gates garbling and evaluation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.prg import LABEL_BYTES, xor_bytes
+from repro.crypto.rng import SecureRandom
+from repro.gc.circuit import CircuitBuilder, int_to_bits, words_to_int
+from repro.gc.evaluate import Evaluator
+from repro.gc.garble import Garbler
+from repro.gc.relu import (
+    ReluCircuitSpec,
+    build_relu_circuit,
+    garbled_relu_bytes,
+    relu_and_gates,
+    relu_reference,
+)
+
+
+def garble_and_run(circuit, garbler_bits, evaluator_bits, seed=0):
+    garbler = Garbler(SecureRandom(seed))
+    garbled, encoding = garbler.garble(circuit)
+    labels = Garbler.encode_inputs(encoding, circuit, garbler_bits)
+    for wire, bit in zip(circuit.evaluator_inputs, evaluator_bits):
+        labels[wire] = encoding.label_for(wire, bit)
+    evaluator = Evaluator()
+    out_labels = evaluator.evaluate(garbled, labels)
+    return evaluator.decode(garbled, out_labels), out_labels, encoding, garbled
+
+
+class TestGateCorrectness:
+    @pytest.mark.parametrize("ga", [0, 1])
+    @pytest.mark.parametrize("ea", [0, 1])
+    def test_and_gate(self, ga, ea):
+        b = CircuitBuilder()
+        x, y = b.garbler_input(), b.evaluator_input()
+        b.mark_output([b.and_(x, y)])
+        bits, *_ = garble_and_run(b.build(), [ga], [ea])
+        assert bits == [ga & ea]
+
+    @pytest.mark.parametrize("ga", [0, 1])
+    @pytest.mark.parametrize("ea", [0, 1])
+    def test_xor_gate(self, ga, ea):
+        b = CircuitBuilder()
+        x, y = b.garbler_input(), b.evaluator_input()
+        b.mark_output([b.xor(x, y)])
+        bits, *_ = garble_and_run(b.build(), [ga], [ea])
+        assert bits == [ga ^ ea]
+
+    @pytest.mark.parametrize("ga", [0, 1])
+    def test_not_gate(self, ga):
+        b = CircuitBuilder()
+        x = b.garbler_input()
+        b.mark_output([b.not_(x)])
+        bits, *_ = garble_and_run(b.build(), [ga], [])
+        assert bits == [1 - ga]
+
+
+class TestGarbledVsPlain:
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=20, deadline=None)
+    def test_adder_matches_plain(self, seed, a, c):
+        b = CircuitBuilder()
+        x = b.garbler_input_word(8)
+        y = b.evaluator_input_word(8)
+        s, carry = b.add(x, y)
+        b.mark_output(s + [carry])
+        circuit = b.build()
+        bits, *_ = garble_and_run(circuit, int_to_bits(a, 8), int_to_bits(c, 8), seed)
+        assert bits == circuit.evaluate_plain(int_to_bits(a, 8), int_to_bits(c, 8))
+
+    def test_random_circuit_fuzz(self):
+        """Random DAGs of XOR/AND/NOT evaluate identically garbled vs plain."""
+        rnd = random.Random(99)
+        for trial in range(10):
+            b = CircuitBuilder()
+            wires = [b.garbler_input() for _ in range(4)]
+            wires += [b.evaluator_input() for _ in range(4)]
+            for _ in range(30):
+                op = rnd.choice(["xor", "and", "not", "or", "mux"])
+                x, y, z = rnd.choice(wires), rnd.choice(wires), rnd.choice(wires)
+                if op == "xor":
+                    wires.append(b.xor(x, y))
+                elif op == "and":
+                    wires.append(b.and_(x, y))
+                elif op == "or":
+                    wires.append(b.or_(x, y))
+                elif op == "mux":
+                    wires.append(b.mux_bit(x, y, z))
+                else:
+                    wires.append(b.not_(x))
+            b.mark_output(wires[-8:])
+            circuit = b.build()
+            g_bits = [rnd.getrandbits(1) for _ in range(4)]
+            e_bits = [rnd.getrandbits(1) for _ in range(4)]
+            got, *_ = garble_and_run(circuit, g_bits, e_bits, seed=trial)
+            assert got == circuit.evaluate_plain(g_bits, e_bits)
+
+
+class TestEncodingProperties:
+    def test_free_xor_invariant(self):
+        """label1 == label0 XOR delta on every input wire."""
+        b = CircuitBuilder()
+        x = b.garbler_input()
+        b.mark_output([x])
+        circuit = b.build()
+        _, encoding = Garbler(SecureRandom(3)).garble(circuit)
+        l0 = encoding.label_for(x, 0)
+        l1 = encoding.label_for(x, 1)
+        assert xor_bytes(l0, l1) == encoding.delta
+
+    def test_delta_lsb_is_one(self):
+        b = CircuitBuilder()
+        b.mark_output([b.garbler_input()])
+        _, encoding = Garbler(SecureRandom(4)).garble(b.build())
+        assert encoding.delta[0] & 1 == 1
+
+    def test_garbler_side_decode(self):
+        b = CircuitBuilder()
+        x, y = b.garbler_input(), b.evaluator_input()
+        b.mark_output([b.and_(x, y), b.xor(x, y)])
+        circuit = b.build()
+        bits, out_labels, encoding, _ = garble_and_run(circuit, [1], [1])
+        assert Garbler.decode_output_labels(encoding, circuit, out_labels) == bits
+
+    def test_garbler_decode_rejects_forged_label(self):
+        b = CircuitBuilder()
+        x = b.garbler_input()
+        b.mark_output([x])
+        circuit = b.build()
+        _, _, encoding, _ = garble_and_run(circuit, [1], [])
+        with pytest.raises(ValueError):
+            Garbler.decode_output_labels(encoding, circuit, [b"\x00" * LABEL_BYTES])
+
+    def test_size_accounting(self):
+        b = CircuitBuilder()
+        x, y = b.garbler_input(), b.evaluator_input()
+        b.mark_output([b.and_(x, y)])
+        garbled, _ = Garbler(SecureRandom(5)).garble(b.build())
+        assert garbled.size_bytes == 2 * LABEL_BYTES + 1
+
+    def test_wrong_garbler_input_length(self):
+        b = CircuitBuilder()
+        b.garbler_input()
+        circuit = b.build()
+        _, encoding = Garbler(SecureRandom(6)).garble(circuit)
+        with pytest.raises(ValueError):
+            Garbler.encode_inputs(encoding, circuit, [0, 1])
+
+
+class TestReluCircuit:
+    P = 65521  # 16-bit prime
+
+    def _run(self, sa, sb, r, mask_owner="evaluator"):
+        spec = ReluCircuitSpec(bits=16, modulus=self.P, mask_owner=mask_owner)
+        circuit = build_relu_circuit(spec)
+        if mask_owner == "evaluator":
+            g_bits = int_to_bits(sa, 16)
+            e_bits = int_to_bits(sb, 16) + int_to_bits(r, 16)
+        else:
+            g_bits = int_to_bits(sa, 16) + int_to_bits(r, 16)
+            e_bits = int_to_bits(sb, 16)
+        bits, *_ = garble_and_run(circuit, g_bits, e_bits, seed=11)
+        return words_to_int(bits)
+
+    @given(
+        st.integers(min_value=0, max_value=P - 1),
+        st.integers(min_value=0, max_value=P - 1),
+        st.integers(min_value=0, max_value=P - 1),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_matches_reference(self, sa, sb, r):
+        assert self._run(sa, sb, r) == relu_reference(sa, sb, r, self.P)
+
+    def test_positive_value_passes(self):
+        y = 1234  # positive (< p/2)
+        sa = 777
+        sb = (y - sa) % self.P
+        assert self._run(sa, sb, 0) == y
+
+    def test_negative_value_clamps(self):
+        y = self.P - 50  # represents -50
+        sa = 999
+        sb = (y - sa) % self.P
+        assert self._run(sa, sb, 0) == 0
+
+    def test_mask_subtraction(self):
+        y, r = 100, 30
+        sa = 5
+        sb = (y - sa) % self.P
+        assert self._run(sa, sb, r) == 70
+
+    def test_garbler_owned_mask(self):
+        y, r = 200, 45
+        sa = 17
+        sb = (y - sa) % self.P
+        assert self._run(sa, sb, r, mask_owner="garbler") == 155
+
+    def test_boundary_half(self):
+        half_up = (self.P + 1) // 2  # smallest negative representative
+        assert self._run(half_up, 0, 0) == 0
+        assert self._run(half_up - 1, 0, 0) == half_up - 1
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ReluCircuitSpec(bits=8, modulus=300, mask_owner="evaluator")
+        with pytest.raises(ValueError):
+            ReluCircuitSpec(bits=16, modulus=65521, mask_owner="nobody")
+
+    def test_gate_count_scales_linearly(self):
+        small = relu_and_gates(8)
+        large = relu_and_gates(16)
+        assert 1.7 < large / small < 2.3
+
+    def test_41_bit_relu_matches_paper_footprint(self):
+        """First-principles garbled ReLU size ≈ the paper's 18.2 KB/ReLU."""
+        size = garbled_relu_bytes(41)
+        assert 0.85 * 18200 <= size <= 1.1 * 18200

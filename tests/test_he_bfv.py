@@ -1,0 +1,192 @@
+"""Tests for the BFV scheme: correctness, homomorphism, noise, rotations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rng import SecureRandom
+from repro.he.bfv import BfvContext
+from repro.he.encoder import BatchEncoder
+from repro.he.params import BfvParams, delphi_params, toy_params
+from repro.he.polynomial import RingPoly
+
+
+@pytest.fixture(scope="module")
+def setup():
+    params = toy_params(n=128)
+    ctx = BfvContext(params, SecureRandom(42))
+    encoder = BatchEncoder(params)
+    sk, pk = ctx.keygen()
+    return params, ctx, encoder, sk, pk
+
+
+class TestParams:
+    def test_toy_params_valid(self):
+        p = toy_params(n=128)
+        assert (p.q - 1) % (2 * p.n) == 0
+        assert (p.t - 1) % (2 * p.n) == 0
+
+    def test_delta(self):
+        p = toy_params(n=128)
+        assert p.delta == p.q // p.t
+
+    def test_invalid_degree_rejected(self):
+        with pytest.raises(ValueError):
+            BfvParams(n=100, q=401, t=11)
+
+    def test_t_not_below_q_rejected(self):
+        p = toy_params(n=128)
+        with pytest.raises(ValueError):
+            BfvParams(n=p.n, q=p.t, t=p.q)
+
+    def test_ciphertext_bytes(self):
+        p = toy_params(n=128)
+        assert p.ciphertext_bytes == 2 * 128 * ((p.q_bits + 7) // 8)
+
+    def test_delphi_params_shape(self):
+        p = delphi_params()
+        assert p.n == 2048
+        assert p.t.bit_length() == 41
+        assert p.q.bit_length() == 120
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, setup):
+        params, ctx, encoder, sk, pk = setup
+        values = list(range(50))
+        ct = ctx.encrypt(pk, encoder.encode(values))
+        assert encoder.decode(ctx.decrypt(sk, ct))[:50] == values
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**16), min_size=1, max_size=64))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, setup, values):
+        params, ctx, encoder, sk, pk = setup
+        values = [v % params.t for v in values]
+        ct = ctx.encrypt(pk, encoder.encode(values))
+        assert encoder.decode(ctx.decrypt(sk, ct))[: len(values)] == values
+
+    def test_fresh_ciphertext_has_budget(self, setup):
+        params, ctx, encoder, sk, pk = setup
+        ct = ctx.encrypt(pk, encoder.encode([1, 2, 3]))
+        assert ctx.noise_budget_bits(sk, ct) > 40
+
+    def test_unreduced_plaintext_rejected(self, setup):
+        params, ctx, encoder, sk, pk = setup
+        bad = RingPoly([params.t] + [0] * (params.n - 1), params.t + 1)
+        with pytest.raises(ValueError):
+            ctx.encrypt(pk, bad)
+
+    def test_wrong_degree_rejected(self, setup):
+        params, ctx, encoder, sk, pk = setup
+        bad = RingPoly([1] * (params.n // 2), params.t)
+        with pytest.raises(ValueError):
+            ctx.encrypt(pk, bad)
+
+
+class TestHomomorphism:
+    def test_ciphertext_addition(self, setup):
+        params, ctx, encoder, sk, pk = setup
+        a, b = [5, 10, 15], [1, 2, 3]
+        ct = ctx.encrypt(pk, encoder.encode(a)) + ctx.encrypt(pk, encoder.encode(b))
+        assert encoder.decode(ctx.decrypt(sk, ct))[:3] == [6, 12, 18]
+
+    def test_ciphertext_subtraction(self, setup):
+        params, ctx, encoder, sk, pk = setup
+        a, b = [5, 10, 15], [1, 2, 3]
+        ct = ctx.encrypt(pk, encoder.encode(a)) - ctx.encrypt(pk, encoder.encode(b))
+        assert encoder.decode(ctx.decrypt(sk, ct))[:3] == [4, 8, 12]
+
+    def test_negation(self, setup):
+        params, ctx, encoder, sk, pk = setup
+        ct = -ctx.encrypt(pk, encoder.encode([7]))
+        assert encoder.decode(ctx.decrypt(sk, ct))[0] == params.t - 7
+
+    def test_add_plain(self, setup):
+        params, ctx, encoder, sk, pk = setup
+        ct = ctx.add_plain(ctx.encrypt(pk, encoder.encode([5])), encoder.encode([3]))
+        assert encoder.decode(ctx.decrypt(sk, ct))[0] == 8
+
+    def test_sub_plain(self, setup):
+        params, ctx, encoder, sk, pk = setup
+        ct = ctx.sub_plain(ctx.encrypt(pk, encoder.encode([5])), encoder.encode([3]))
+        assert encoder.decode(ctx.decrypt(sk, ct))[0] == 2
+
+    def test_mul_plain(self, setup):
+        params, ctx, encoder, sk, pk = setup
+        values = [1, 2, 3, 4]
+        weights = [9, 8, 7, 6]
+        ct = ctx.mul_plain(
+            ctx.encrypt(pk, encoder.encode(values)),
+            encoder.encode(weights + [0] * (params.n - 4)),
+        )
+        decoded = encoder.decode(ctx.decrypt(sk, ct))[:4]
+        assert decoded == [v * w % params.t for v, w in zip(values, weights)]
+
+    @given(
+        st.integers(min_value=0, max_value=2**17 - 1),
+        st.integers(min_value=0, max_value=2**17 - 1),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_mul_plain_property(self, setup, a, b):
+        params, ctx, encoder, sk, pk = setup
+        a, b = a % params.t, b % params.t
+        ct = ctx.mul_plain(ctx.encrypt(pk, encoder.encode([a])), encoder.encode([b] * params.n))
+        assert encoder.decode(ctx.decrypt(sk, ct))[0] == a * b % params.t
+
+    def test_wrap_around_modulus(self, setup):
+        params, ctx, encoder, sk, pk = setup
+        v = params.t - 1
+        ct = ctx.add_plain(ctx.encrypt(pk, encoder.encode([v])), encoder.encode([2]))
+        assert encoder.decode(ctx.decrypt(sk, ct))[0] == 1
+
+
+class TestRotations:
+    def test_rotate_by_one(self, setup):
+        params, ctx, encoder, sk, pk = setup
+        row = params.row_size
+        values = list(range(row)) * 2
+        g = encoder.galois_element_for_rotation(1)
+        gk = ctx.galois_keygen(sk, [g])
+        ct = ctx.rotate(ctx.encrypt(pk, encoder.encode(values)), g, gk)
+        decoded = encoder.decode(ctx.decrypt(sk, ct))
+        assert decoded[:row] == [(i + 1) % row for i in range(row)]
+
+    def test_rotate_rows_independently(self, setup):
+        params, ctx, encoder, sk, pk = setup
+        row = params.row_size
+        values = [1] * row + [2] * row
+        g = encoder.galois_element_for_rotation(3)
+        gk = ctx.galois_keygen(sk, [g])
+        ct = ctx.rotate(ctx.encrypt(pk, encoder.encode(values)), g, gk)
+        decoded = encoder.decode(ctx.decrypt(sk, ct))
+        assert decoded[:row] == [1] * row
+        assert decoded[row:] == [2] * row
+
+    def test_missing_galois_key_raises(self, setup):
+        params, ctx, encoder, sk, pk = setup
+        gk = ctx.galois_keygen(sk, [encoder.galois_element_for_rotation(1)])
+        ct = ctx.encrypt(pk, encoder.encode([1]))
+        with pytest.raises(KeyError):
+            ctx.rotate(ct, encoder.galois_element_for_rotation(2), gk)
+
+    def test_full_row_rotation_is_identity(self, setup):
+        params, ctx, encoder, sk, pk = setup
+        row = params.row_size
+        values = list(range(row)) * 2
+        ct = ctx.encrypt(pk, encoder.encode(values))
+        g1 = encoder.galois_element_for_rotation(1)
+        gk = ctx.galois_keygen(sk, [g1])
+        for _ in range(row):
+            ct = ctx.rotate(ct, g1, gk)
+        assert encoder.decode(ctx.decrypt(sk, ct)) == values
+
+    def test_row_swap(self, setup):
+        params, ctx, encoder, sk, pk = setup
+        row = params.row_size
+        values = [1] * row + [2] * row
+        g = encoder.galois_element_for_row_swap()
+        gk = ctx.galois_keygen(sk, [g])
+        ct = ctx.rotate(ctx.encrypt(pk, encoder.encode(values)), g, gk)
+        decoded = encoder.decode(ctx.decrypt(sk, ct))
+        assert decoded[:row] == [2] * row
+        assert decoded[row:] == [1] * row

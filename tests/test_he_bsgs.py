@@ -1,0 +1,90 @@
+"""Tests for the baby-step/giant-step homomorphic matvec."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.rng import SecureRandom
+from repro.he.bfv import BfvContext
+from repro.he.encoder import BatchEncoder
+from repro.he.linear import HomomorphicLinearEvaluator
+from repro.he.params import toy_params
+
+
+@pytest.fixture(scope="module")
+def rig():
+    params = toy_params(n=128)
+    ctx = BfvContext(params, SecureRandom(21))
+    encoder = BatchEncoder(params)
+    sk, pk = ctx.keygen()
+    return params, ctx, encoder, sk, pk
+
+
+def run_bsgs(rig, matrix, vector, baby_steps):
+    params, ctx, encoder, sk, pk = rig
+    elements = {
+        encoder.galois_element_for_rotation(1),
+        encoder.galois_element_for_rotation(baby_steps),
+    }
+    gk = ctx.galois_keygen(sk, sorted(elements))
+    evaluator = HomomorphicLinearEvaluator(ctx, encoder, gk)
+    packed = evaluator.pack_vector(vector)
+    ct = ctx.encrypt(pk, encoder.encode(packed))
+    ct_out = evaluator.matvec_bsgs(ct, matrix, baby_steps)
+    return encoder.decode(ctx.decrypt(sk, ct_out))[: len(matrix)], evaluator
+
+
+class TestBsgsMatvec:
+    @pytest.mark.parametrize("baby", [2, 4, 8, 16])
+    def test_matches_reference(self, rig, baby):
+        params = rig[0]
+        rng = np.random.default_rng(baby)
+        n = 16
+        matrix = rng.integers(0, params.t, size=(n, n)).tolist()
+        x = rng.integers(0, params.t, size=n).tolist()
+        got, _ = run_bsgs(rig, matrix, x, baby)
+        expected = [
+            sum(matrix[i][j] * x[j] for j in range(n)) % params.t for i in range(n)
+        ]
+        assert got == expected
+
+    def test_rectangular(self, rig):
+        params = rig[0]
+        rng = np.random.default_rng(9)
+        matrix = rng.integers(0, 500, size=(8, 16)).tolist()
+        x = rng.integers(0, 500, size=16).tolist()
+        got, _ = run_bsgs(rig, matrix, x, 4)
+        expected = [
+            sum(matrix[i][j] * x[j] for j in range(16)) % params.t for i in range(8)
+        ]
+        assert got == expected
+
+    def test_fewer_rotations_than_naive(self, rig):
+        params = rig[0]
+        matrix = [[1] * 16 for _ in range(16)]
+        x = list(range(16))
+        _, evaluator = run_bsgs(rig, matrix, x, 4)
+        # BSGS: (B-1) baby + (G-1) giant = 3 + 3 = 6 < 15 naive rotations.
+        assert evaluator.rotations_performed == 6
+        assert evaluator.plain_mults_performed == 16
+
+    def test_baby_steps_must_divide_width(self, rig):
+        params, ctx, encoder, sk, pk = rig
+        gk = ctx.galois_keygen(sk, [encoder.galois_element_for_rotation(1)])
+        evaluator = HomomorphicLinearEvaluator(ctx, encoder, gk)
+        packed = evaluator.pack_vector([1] * 16)
+        ct = ctx.encrypt(pk, encoder.encode(packed))
+        with pytest.raises(ValueError):
+            evaluator.matvec_bsgs(ct, [[0] * 16], 3)
+
+    def test_degenerate_full_width_baby(self, rig):
+        """baby_steps == n_in degenerates to the naive diagonal method."""
+        params = rig[0]
+        rng = np.random.default_rng(10)
+        matrix = rng.integers(0, 100, size=(4, 8)).tolist()
+        x = rng.integers(0, 100, size=8).tolist()
+        got, evaluator = run_bsgs(rig, matrix, x, 8)
+        expected = [
+            sum(matrix[i][j] * x[j] for j in range(8)) % params.t for i in range(4)
+        ]
+        assert got == expected
+        assert evaluator.rotations_performed == 7  # all baby, no giant

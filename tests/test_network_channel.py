@@ -1,0 +1,96 @@
+"""Tests for the byte-counting two-party channel."""
+
+import pytest
+
+from repro.network.channel import CLIENT, SERVER, Channel, wire_size
+
+
+class TestWireSize:
+    def test_bytes(self):
+        assert wire_size(b"hello") == 5
+
+    def test_int_charged_as_field_element(self):
+        assert wire_size(7) == 6
+        assert wire_size(7, field_bytes=8) == 8
+
+    def test_bool(self):
+        assert wire_size(True) == 1
+
+    def test_none(self):
+        assert wire_size(None) == 0
+
+    def test_containers_recursive(self):
+        assert wire_size([b"ab", b"cd"]) == 4
+        assert wire_size((1, 2, 3)) == 18
+        assert wire_size({1: b"xy"}) == 8
+
+    def test_object_with_size_attribute(self):
+        class Sized:
+            byte_size = 99
+
+        assert wire_size(Sized()) == 99
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            wire_size(object())
+
+
+class TestChannel:
+    def test_fifo_delivery(self):
+        ch = Channel()
+        ch.send(CLIENT, b"first")
+        ch.send(CLIENT, b"second")
+        assert ch.recv(SERVER) == b"first"
+        assert ch.recv(SERVER) == b"second"
+
+    def test_direction_separation(self):
+        ch = Channel()
+        ch.send(CLIENT, b"up")
+        ch.send(SERVER, b"down!")
+        assert ch.uplink.bytes == 2
+        assert ch.downlink.bytes == 5
+        assert ch.recv(SERVER) == b"up"
+        assert ch.recv(CLIENT) == b"down!"
+
+    def test_empty_recv_raises(self):
+        ch = Channel()
+        with pytest.raises(RuntimeError):
+            ch.recv(CLIENT)
+
+    def test_unknown_sender_rejected(self):
+        ch = Channel()
+        with pytest.raises(ValueError):
+            ch.send("mallory", b"hi")
+
+    def test_explicit_byte_override(self):
+        ch = Channel()
+        ch.send(CLIENT, b"x", nbytes=1000)
+        assert ch.uplink.bytes == 1000
+
+    def test_phase_accounting(self):
+        ch = Channel()
+        ch.send(CLIENT, b"offline-up")
+        ch.set_phase("online")
+        ch.send(SERVER, b"online-down")
+        summary = ch.summary()
+        assert summary["offline_up"] == 10
+        assert summary["online_down"] == 11
+        assert summary["offline_down"] == 0
+        assert summary["online_up"] == 0
+
+    def test_unknown_phase_rejected(self):
+        ch = Channel()
+        with pytest.raises(ValueError):
+            ch.set_phase("midnight")
+
+    def test_total_bytes(self):
+        ch = Channel()
+        ch.send(CLIENT, b"abc")
+        ch.send(SERVER, b"defg")
+        assert ch.total_bytes == 7
+
+    def test_message_counters(self):
+        ch = Channel()
+        for _ in range(5):
+            ch.send(CLIENT, b"m")
+        assert ch.uplink.messages == 5

@@ -1,0 +1,141 @@
+"""Round-trip and size tests for the wire serialization codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rng import SecureRandom
+from repro.gc.circuit import CircuitBuilder
+from repro.gc.evaluate import Evaluator
+from repro.gc.garble import Garbler
+from repro.he.bfv import BfvContext
+from repro.he.encoder import BatchEncoder
+from repro.he.params import toy_params
+from repro.network.serialize import (
+    ciphertext_wire_bytes,
+    deserialize_ciphertext,
+    deserialize_field_vector,
+    deserialize_garbled_circuit,
+    deserialize_labels,
+    garbled_circuit_wire_bytes,
+    serialize_ciphertext,
+    serialize_field_vector,
+    serialize_garbled_circuit,
+    serialize_labels,
+)
+
+PARAMS = toy_params(n=128)
+
+
+class TestFieldVector:
+    @given(st.lists(st.integers(min_value=0, max_value=PARAMS.t - 1), max_size=50))
+    @settings(max_examples=30)
+    def test_roundtrip(self, values):
+        data = serialize_field_vector(values, PARAMS.t)
+        assert deserialize_field_vector(data) == values
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            serialize_field_vector([PARAMS.t], PARAMS.t)
+
+    def test_trailing_bytes_rejected(self):
+        data = serialize_field_vector([1, 2], PARAMS.t)
+        with pytest.raises(ValueError):
+            deserialize_field_vector(data + b"\x00")
+
+
+class TestCiphertext:
+    def test_roundtrip_decrypts(self):
+        ctx = BfvContext(PARAMS, SecureRandom(1))
+        encoder = BatchEncoder(PARAMS)
+        sk, pk = ctx.keygen()
+        ct = ctx.encrypt(pk, encoder.encode([5, 6, 7]))
+        wire = serialize_ciphertext(ct)
+        restored = deserialize_ciphertext(wire, PARAMS)
+        assert encoder.decode(ctx.decrypt(sk, restored))[:3] == [5, 6, 7]
+
+    def test_wire_size_matches_prediction(self):
+        ctx = BfvContext(PARAMS, SecureRandom(2))
+        encoder = BatchEncoder(PARAMS)
+        _, pk = ctx.keygen()
+        ct = ctx.encrypt(pk, encoder.encode([1]))
+        assert len(serialize_ciphertext(ct)) == ciphertext_wire_bytes(PARAMS)
+
+    def test_wire_size_close_to_analytic(self):
+        """Serialized size ≈ the params.ciphertext_bytes accounting."""
+        assert ciphertext_wire_bytes(PARAMS) == pytest.approx(
+            PARAMS.ciphertext_bytes, rel=0.01
+        )
+
+    def test_degree_mismatch_rejected(self):
+        ctx = BfvContext(PARAMS, SecureRandom(3))
+        encoder = BatchEncoder(PARAMS)
+        _, pk = ctx.keygen()
+        wire = serialize_ciphertext(ctx.encrypt(pk, encoder.encode([1])))
+        other = toy_params(n=256)
+        with pytest.raises(ValueError):
+            deserialize_ciphertext(wire, other)
+
+
+class TestLabels:
+    def test_roundtrip(self):
+        rng = SecureRandom(4)
+        labels = [rng.bytes(16) for _ in range(10)]
+        assert deserialize_labels(serialize_labels(labels)) == labels
+
+    def test_empty(self):
+        assert deserialize_labels(serialize_labels([])) == []
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            serialize_labels([b"short"])
+
+    def test_truncated_rejected(self):
+        data = serialize_labels([b"x" * 16])
+        with pytest.raises(ValueError):
+            deserialize_labels(data[:-1])
+
+
+class TestGarbledCircuit:
+    def _garbled(self):
+        builder = CircuitBuilder()
+        a = builder.garbler_input_word(4)
+        b = builder.evaluator_input_word(4)
+        total, carry = builder.add(a, b)
+        builder.mark_output(total + [carry])
+        circuit = builder.build()
+        garbled, encoding = Garbler(SecureRandom(5)).garble(circuit)
+        return circuit, garbled, encoding
+
+    def test_roundtrip_evaluates(self):
+        from repro.gc.circuit import int_to_bits, words_to_int
+
+        circuit, garbled, encoding = self._garbled()
+        wire = serialize_garbled_circuit(garbled)
+        restored = deserialize_garbled_circuit(wire, circuit)
+        labels = Garbler.encode_inputs(encoding, circuit, int_to_bits(9, 4))
+        for w, bit in zip(circuit.evaluator_inputs, int_to_bits(5, 4)):
+            labels[w] = encoding.label_for(w, bit)
+        evaluator = Evaluator()
+        bits = evaluator.decode(restored, evaluator.evaluate(restored, labels))
+        assert words_to_int(bits) == 14
+
+    def test_wire_size_matches_prediction(self):
+        circuit, garbled, _ = self._garbled()
+        wire = serialize_garbled_circuit(garbled)
+        assert len(wire) == garbled_circuit_wire_bytes(
+            circuit.and_count, len(circuit.outputs)
+        )
+
+    def test_trailing_bytes_rejected(self):
+        circuit, garbled, _ = self._garbled()
+        wire = serialize_garbled_circuit(garbled)
+        with pytest.raises(ValueError):
+            deserialize_garbled_circuit(wire + b"\x00", circuit)
+
+    def test_decode_bits_preserved(self):
+        circuit, garbled, _ = self._garbled()
+        restored = deserialize_garbled_circuit(
+            serialize_garbled_circuit(garbled), circuit
+        )
+        assert restored.output_decode_bits == garbled.output_decode_bits

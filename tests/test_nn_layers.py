@@ -1,0 +1,161 @@
+"""Tests for plaintext NN layers (float and mod-p semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    ReLU,
+    Residual,
+)
+from repro.nn.shapes import TensorShape
+
+P = 65521
+
+
+class TestConv2d:
+    def test_identity_kernel(self):
+        conv = Conv2d(1, 1, 3)
+        conv.weights[0, 0, 1, 1] = 1.0
+        x = np.arange(16.0).reshape(1, 4, 4)
+        assert np.allclose(conv.forward(x), x)
+
+    def test_shape_same_padding(self):
+        conv = Conv2d(3, 8, 3)
+        assert conv.output_shape(TensorShape(3, 32, 32)) == TensorShape(8, 32, 32)
+
+    def test_strided_shape(self):
+        conv = Conv2d(3, 8, 3, stride=2)
+        assert conv.output_shape(TensorShape(3, 32, 32)) == TensorShape(8, 16, 16)
+
+    def test_channel_mismatch_rejected(self):
+        conv = Conv2d(3, 8, 3)
+        with pytest.raises(ValueError):
+            conv.output_shape(TensorShape(4, 32, 32))
+
+    def test_even_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            Conv2d(1, 1, 4)
+
+    def test_forward_mod_matches_float_for_small_ints(self):
+        rng = np.random.default_rng(0)
+        conv = Conv2d(2, 3, 3, weights=rng.integers(0, 5, (3, 2, 3, 3)).astype(float))
+        x = rng.integers(0, 5, (2, 4, 4))
+        float_out = conv.forward(x.astype(float))
+        mod_out = conv.forward_mod(x.astype(object), P)
+        assert (float_out.astype(int) % P == np.array(mod_out, dtype=int)).all()
+
+    def test_strided_forward(self):
+        conv = Conv2d(1, 1, 3, stride=2)
+        conv.weights[0, 0, 1, 1] = 1.0
+        x = np.arange(16.0).reshape(1, 4, 4)
+        out = conv.forward(x)
+        assert out.shape == (1, 2, 2)
+        assert np.allclose(out, [[[0, 2], [8, 10]]])
+
+    def test_weight_shape_validation(self):
+        with pytest.raises(ValueError):
+            Conv2d(2, 3, 3, weights=np.zeros((3, 2, 5, 5)))
+
+
+class TestLinear:
+    def test_matvec(self):
+        fc = Linear(3, 2, weights=np.array([[1.0, 0, 0], [0, 2.0, 0]]))
+        assert np.allclose(fc.forward(np.array([5.0, 6.0, 7.0])), [5.0, 12.0])
+
+    def test_forward_mod_wraps(self):
+        fc = Linear(1, 1, weights=np.array([[P - 1]], dtype=object))
+        out = fc.forward_mod(np.array([2], dtype=object), P)
+        assert out.tolist() == [(2 * (P - 1)) % P]
+
+    def test_shape_validation(self):
+        fc = Linear(4, 2)
+        with pytest.raises(ValueError):
+            fc.output_shape(TensorShape(5))
+
+    def test_accepts_flattened_spatial_input(self):
+        fc = Linear(16, 2)
+        assert fc.output_shape(TensorShape(1, 4, 4)) == TensorShape(2)
+
+
+class TestReLU:
+    def test_float(self):
+        relu = ReLU()
+        assert np.allclose(relu.forward(np.array([-1.0, 0.0, 2.0])), [0, 0, 2])
+
+    def test_mod_centered_convention(self):
+        relu = ReLU()
+        x = np.array([5, P - 5, (P - 1) // 2, (P + 1) // 2], dtype=object)
+        out = relu.forward_mod(x, P)
+        assert out.tolist() == [5, 0, (P - 1) // 2, 0]
+
+    def test_mod_preserves_shape(self):
+        relu = ReLU()
+        x = np.ones((2, 3, 4), dtype=object)
+        assert relu.forward_mod(x, P).shape == (2, 3, 4)
+
+
+class TestPooling:
+    def test_avg_pool_float(self):
+        pool = AvgPool2d(2)
+        x = np.array([[[1.0, 3.0], [5.0, 7.0]]])
+        assert np.allclose(pool.forward(x), [[[4.0]]])
+
+    def test_avg_pool_mod_is_sum(self):
+        pool = AvgPool2d(2)
+        x = np.array([[[1, 3], [5, 7]]], dtype=object)
+        assert pool.forward_mod(x, P).tolist() == [[[16]]]
+
+    def test_avg_pool_shape_validation(self):
+        pool = AvgPool2d(2)
+        with pytest.raises(ValueError):
+            pool.output_shape(TensorShape(1, 5, 4))
+
+    def test_global_pool(self):
+        gap = GlobalAvgPool()
+        x = np.ones((3, 4, 4))
+        assert np.allclose(gap.forward(x), [1.0, 1.0, 1.0])
+        assert gap.output_shape(TensorShape(3, 4, 4)) == TensorShape(3)
+
+
+class TestFlatten:
+    def test_flatten(self):
+        f = Flatten()
+        assert f.forward(np.ones((2, 3, 4))).shape == (24,)
+        assert f.output_shape(TensorShape(2, 3, 4)) == TensorShape(24)
+
+
+class TestResidual:
+    def test_identity_shortcut(self):
+        body = [Conv2d(2, 2, 3)]
+        block = Residual(body)
+        x = np.ones((2, 4, 4))
+        # zero conv weights: residual output equals the shortcut.
+        assert np.allclose(block.forward(x), x)
+
+    def test_channel_padding_shortcut(self):
+        conv = Conv2d(2, 4, 3)
+        block = Residual([conv])
+        x = np.ones((2, 4, 4))
+        out = block.forward(x)
+        assert out.shape == (4, 4, 4)
+        assert np.allclose(out[:2], x)  # identity part
+        assert np.allclose(out[2:], 0)  # zero-padded channels
+
+    def test_strided_shortcut(self):
+        conv = Conv2d(2, 2, 3, stride=2)
+        block = Residual([conv])
+        x = np.arange(32.0).reshape(2, 4, 4)
+        out = block.forward(x)
+        assert out.shape == (2, 2, 2)
+        assert np.allclose(out, x[:, ::2, ::2])
+
+    def test_forward_mod(self):
+        conv = Conv2d(1, 1, 3, weights=np.zeros((1, 1, 3, 3)))
+        block = Residual([conv])
+        x = np.full((1, 2, 2), P - 1, dtype=object)
+        assert block.forward_mod(x, P).tolist() == x.tolist()

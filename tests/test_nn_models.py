@@ -1,0 +1,108 @@
+"""Tests for the network builders — ReLU counts are the paper's Figure 3."""
+
+import numpy as np
+import pytest
+
+from repro.nn.datasets import CIFAR100, IMAGENET, TINY_IMAGENET, tiny_dataset
+from repro.nn.models import resnet18, resnet32, tiny_cnn, tiny_mlp, vgg16
+
+# ReLU counts that reproduce the paper's storage figure (18.2 KB/ReLU).
+PAPER_RELUS = {
+    ("ResNet-32", "CIFAR-100"): 303_104,
+    ("VGG-16", "CIFAR-100"): 276_480,
+    ("ResNet-18", "CIFAR-100"): 557_056,
+    ("ResNet-32", "TinyImageNet"): 1_212_416,
+    ("VGG-16", "TinyImageNet"): 1_105_920,
+    ("ResNet-18", "TinyImageNet"): 2_228_224,
+    ("ResNet-18", "ImageNet"): 27_295_744,
+}
+
+
+class TestReluCounts:
+    @pytest.mark.parametrize(
+        "builder,dataset,key",
+        [
+            (resnet32, CIFAR100, ("ResNet-32", "CIFAR-100")),
+            (vgg16, CIFAR100, ("VGG-16", "CIFAR-100")),
+            (resnet18, CIFAR100, ("ResNet-18", "CIFAR-100")),
+            (resnet32, TINY_IMAGENET, ("ResNet-32", "TinyImageNet")),
+            (vgg16, TINY_IMAGENET, ("VGG-16", "TinyImageNet")),
+            (resnet18, TINY_IMAGENET, ("ResNet-18", "TinyImageNet")),
+            (resnet18, IMAGENET, ("ResNet-18", "ImageNet")),
+        ],
+    )
+    def test_counts_match_paper(self, builder, dataset, key):
+        assert builder(dataset).relu_count == PAPER_RELUS[key]
+
+    def test_storage_figure3(self):
+        """41 GB for ResNet-18 on TinyImageNet at 18.2 KB per ReLU."""
+        gb = resnet18(TINY_IMAGENET).relu_count * 18.2e3 / 1e9
+        assert 40 < gb < 42
+
+    def test_relus_scale_with_resolution(self):
+        """TinyImageNet (64x64) has 4x the ReLUs of CIFAR (32x32)."""
+        small = resnet18(CIFAR100).relu_count
+        large = resnet18(TINY_IMAGENET).relu_count
+        assert large == 4 * small
+
+
+class TestArchitectureShapes:
+    def test_resnet18_linear_layer_count(self):
+        # 17 convolutions plus the final FC (the paper quotes 17 HE layers).
+        assert resnet18(TINY_IMAGENET).linear_layer_count == 18
+
+    def test_resnet32_linear_layer_count(self):
+        assert resnet32(CIFAR100).linear_layer_count == 32
+
+    def test_vgg16_linear_layer_count(self):
+        assert vgg16(CIFAR100).linear_layer_count == 14  # 13 convs + 1 FC
+        assert vgg16(IMAGENET).linear_layer_count == 16  # 13 convs + 3 FC
+
+    def test_output_shapes(self):
+        assert resnet18(CIFAR100).output_shape.elements == 100
+        assert resnet32(TINY_IMAGENET).output_shape.elements == 200
+        assert vgg16(IMAGENET).output_shape.elements == 1000
+
+    def test_parameter_counts_reasonable(self):
+        # ResNet-18 ~11M parameters; ResNet-32 ~0.46M; VGG-16 ~15M (conv).
+        assert 10e6 < resnet18(CIFAR100).parameter_count < 12.5e6
+        assert 0.4e6 < resnet32(CIFAR100).parameter_count < 0.6e6
+        assert 14e6 < vgg16(CIFAR100).parameter_count < 16e6
+
+    def test_ordering_more_relus_more_params(self):
+        """Paper §3: ResNet-32 -> VGG-16 -> ResNet-18 increases ReLUs."""
+        r32 = resnet32(TINY_IMAGENET)
+        v16 = vgg16(TINY_IMAGENET)
+        r18 = resnet18(TINY_IMAGENET)
+        assert v16.relu_count < r32.relu_count < r18.relu_count
+
+
+class TestTinyModels:
+    def test_tiny_mlp_runs(self):
+        ds = tiny_dataset(size=4)
+        net = tiny_mlp(ds, hidden=8)
+        out = net.forward(np.ones((1, 4, 4)))
+        assert out.shape == (4,)
+
+    def test_tiny_cnn_runs(self):
+        ds = tiny_dataset(size=4)
+        net = tiny_cnn(ds, width=2)
+        out = net.forward(np.ones((1, 4, 4)))
+        assert out.shape == (4,)
+
+    def test_randomize_and_forward_mod(self):
+        ds = tiny_dataset(size=4)
+        net = tiny_cnn(ds, width=2)
+        net.randomize_weights(97, np.random.default_rng(0))
+        x = np.ones((1, 4, 4), dtype=object)
+        out = net.forward_mod(x, 97)
+        assert all(0 <= v < 97 for v in out.tolist())
+
+    def test_input_validation(self):
+        net = tiny_mlp(tiny_dataset(size=4))
+        with pytest.raises(ValueError):
+            net.forward(np.ones((1, 8, 8)))
+
+    def test_summary_mentions_key_counts(self):
+        text = resnet18(CIFAR100).summary()
+        assert "ReLUs" in text and "557,056" in text

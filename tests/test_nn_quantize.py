@@ -1,0 +1,161 @@
+"""Tests for fixed-point quantization and truncating ReLU circuits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import HybridProtocol
+from repro.gc.circuit import int_to_bits, words_to_int
+from repro.gc.evaluate import Evaluator
+from repro.gc.garble import Garbler
+from repro.gc.relu import ReluCircuitSpec, build_relu_circuit, relu_reference
+from repro.crypto.rng import SecureRandom
+from repro.he.params import toy_params
+from repro.nn.datasets import tiny_dataset
+from repro.nn.models import tiny_mlp
+from repro.nn.quantize import (
+    FixedPointEncoder,
+    fixed_point_reference,
+    quantize_network,
+)
+
+PARAMS = toy_params(n=256)
+P = PARAMS.t
+
+
+class TestFixedPointEncoder:
+    ENCODER = FixedPointEncoder(modulus=P, fraction_bits=5)
+
+    @given(st.floats(min_value=-100, max_value=100))
+    @settings(max_examples=50)
+    def test_roundtrip_within_quantum(self, value):
+        enc = self.ENCODER
+        decoded = enc.decode(enc.encode(value))
+        assert abs(decoded - value) <= 0.5 / enc.scale + 1e-9
+
+    def test_negative_representation(self):
+        enc = self.ENCODER
+        assert enc.encode(-1.0) == P - enc.scale
+        assert enc.decode(P - enc.scale) == -1.0
+
+    def test_overflow_rejected(self):
+        with pytest.raises(OverflowError):
+            self.ENCODER.encode(self.ENCODER.max_magnitude * 2)
+
+    def test_extra_scale_decoding(self):
+        enc = self.ENCODER
+        # A product of two scale-f values carries scale 2f.
+        a, b = 1.5, 2.0
+        product_field = enc.encode(a) * enc.encode(b) % P
+        assert enc.decode(product_field, extra_scale_bits=enc.fraction_bits) == a * b
+
+    def test_vector_helpers(self):
+        enc = self.ENCODER
+        values = [0.5, -0.25, 1.0]
+        encoded = enc.encode_vector(values)
+        assert enc.decode_vector(encoded) == values
+
+
+class TestTruncatingRelu:
+    @given(
+        st.integers(min_value=0, max_value=65520),
+        st.integers(min_value=0, max_value=65520),
+        st.integers(min_value=0, max_value=65520),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_garbled_truncation_matches_reference(self, sa, sb, r):
+        p = 65521
+        spec = ReluCircuitSpec(bits=16, modulus=p, mask_owner="evaluator", truncate_bits=4)
+        circuit = build_relu_circuit(spec)
+        garbled, encoding = Garbler(SecureRandom(1)).garble(circuit)
+        labels = Garbler.encode_inputs(encoding, circuit, int_to_bits(sa % p, 16))
+        for w, bit in zip(
+            circuit.evaluator_inputs, int_to_bits(sb % p, 16) + int_to_bits(r % p, 16)
+        ):
+            labels[w] = encoding.label_for(w, bit)
+        evaluator = Evaluator()
+        bits = evaluator.decode(garbled, evaluator.evaluate(garbled, labels))
+        assert words_to_int(bits) == relu_reference(sa % p, sb % p, r % p, p, 4)
+
+    def test_truncation_is_free(self):
+        """The shift adds no AND gates over the plain ReLU circuit."""
+        plain = build_relu_circuit(
+            ReluCircuitSpec(bits=16, modulus=65521, mask_owner="evaluator")
+        )
+        truncating = build_relu_circuit(
+            ReluCircuitSpec(
+                bits=16, modulus=65521, mask_owner="evaluator", truncate_bits=6
+            )
+        )
+        assert truncating.and_count == plain.and_count
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ReluCircuitSpec(bits=16, modulus=65521, mask_owner="evaluator", truncate_bits=16)
+
+
+class TestQuantizedPrivateInference:
+    def _float_net(self, seed):
+        rng = np.random.default_rng(seed)
+        net = tiny_mlp(tiny_dataset(size=4, classes=3), hidden=8)
+        for layer in net.layers:
+            if hasattr(layer, "weights") and layer.weights is not None:
+                layer.weights = rng.uniform(-0.5, 0.5, size=layer.weights.shape)
+        return net
+
+    def test_protocol_matches_fixed_point_reference(self):
+        f = 5
+        encoder = FixedPointEncoder(modulus=P, fraction_bits=f)
+        net = quantize_network(self._float_net(0), encoder)
+        rng = np.random.default_rng(1)
+        x_float = rng.uniform(0, 0.5, size=16)
+        x_field = encoder.encode_vector(x_float)
+
+        protocol = HybridProtocol(net, PARAMS, garbler="client", seed=3, truncate_bits=f)
+        protocol.run_offline()
+        logits_field = protocol.run_online(x_field)
+        expected = fixed_point_reference(net, x_field, encoder)
+        got = encoder.decode_vector(logits_field, extra_scale_bits=f)
+        assert got == pytest.approx(expected, abs=1e-9)
+
+    def test_approximates_float_inference(self):
+        """Dequantized private logits track the float network's logits."""
+        f = 5
+        float_net = self._float_net(2)
+        rng = np.random.default_rng(3)
+        x_float = rng.uniform(0, 0.5, size=16)
+        float_logits = float_net.forward(x_float.reshape(1, 4, 4))
+
+        encoder = FixedPointEncoder(modulus=P, fraction_bits=f)
+        quant_net = quantize_network(self._float_net(2), encoder)
+        x_field = encoder.encode_vector(x_float)
+        protocol = HybridProtocol(
+            quant_net, PARAMS, garbler="server", seed=4, truncate_bits=f
+        )
+        protocol.run_offline()
+        got = encoder.decode_vector(protocol.run_online(x_field), extra_scale_bits=f)
+        # Quantization noise: a few quanta per accumulated term.
+        assert np.allclose(got, float_logits, atol=0.3)
+
+    def test_argmax_preserved(self):
+        """The predicted class usually survives quantization."""
+        f = 5
+        float_net = self._float_net(5)
+        rng = np.random.default_rng(6)
+        hits = 0
+        encoder = FixedPointEncoder(modulus=P, fraction_bits=f)
+        quant_net = quantize_network(self._float_net(5), encoder)
+        for trial in range(3):
+            x_float = rng.uniform(0, 0.5, size=16)
+            float_pred = int(np.argmax(float_net.forward(x_float.reshape(1, 4, 4))))
+            protocol = HybridProtocol(
+                quant_net, PARAMS, garbler="client", seed=10 + trial, truncate_bits=f
+            )
+            protocol.run_offline()
+            got = encoder.decode_vector(
+                protocol.run_online(encoder.encode_vector(x_float)),
+                extra_scale_bits=f,
+            )
+            hits += int(np.argmax(got)) == float_pred
+        assert hits >= 2

@@ -1,0 +1,137 @@
+"""Tests for base OT and IKNP OT extension."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rng import SecureRandom
+from repro.network.channel import Channel
+from repro.ot.base import BaseOtReceiver, BaseOtSender, run_base_ot
+from repro.ot.extension import (
+    KAPPA,
+    base_ot_offline_bytes,
+    iknp_transfer,
+    ot_extension_online_bytes,
+)
+
+
+class TestBaseOt:
+    def test_receiver_gets_chosen_message(self):
+        pairs = [(b"zero" + bytes(12), b"one!" + bytes(12)) for _ in range(4)]
+        choices = [0, 1, 1, 0]
+        got = run_base_ot(pairs, choices, SecureRandom(1))
+        for g, c, (m0, m1) in zip(got, choices, pairs):
+            assert g == (m1 if c else m0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=16))
+    @settings(max_examples=10, deadline=None)
+    def test_all_choice_patterns(self, choices):
+        rnd = random.Random(42)
+        pairs = [(rnd.randbytes(16), rnd.randbytes(16)) for _ in choices]
+        got = run_base_ot(pairs, choices, SecureRandom(2))
+        for g, c, (m0, m1) in zip(got, choices, pairs):
+            assert g == (m1 if c else m0)
+
+    def test_variable_message_lengths(self):
+        pairs = [(b"a" * 5, b"b" * 5), (b"c" * 100, b"d" * 100)]
+        got = run_base_ot(pairs, [1, 0], SecureRandom(3))
+        assert got == [b"b" * 5, b"c" * 100]
+
+    def test_sender_point_count_validation(self):
+        sender = BaseOtSender(SecureRandom(4))
+        with pytest.raises(ValueError):
+            sender.encrypt([1, 2], [(b"x" * 16, b"y" * 16)])
+
+    def test_unchosen_message_stays_hidden(self):
+        """Decrypting the wrong slot must NOT give the other message."""
+        pairs = [(b"m0" + bytes(14), b"m1" + bytes(14))]
+        sender = BaseOtSender(SecureRandom(5))
+        receiver = BaseOtReceiver([0], SecureRandom(6))
+        points = receiver.points(sender.public)
+        cts = sender.encrypt(points, pairs)
+        # Receiver key only opens slot 0; slot 1 under the same key is junk.
+        wrong = BaseOtReceiver([1], SecureRandom(6))
+        garbage = wrong.decrypt(sender.public, cts)
+        assert garbage[0] != pairs[0][1]
+
+    def test_channel_accounting(self):
+        channel = Channel()
+        pairs = [(b"x" * 16, b"y" * 16)] * 3
+        run_base_ot(pairs, [0, 1, 0], SecureRandom(7), channel=channel)
+        assert channel.total_bytes > 0
+        assert channel.uplink.bytes > 0  # receiver points
+        assert channel.downlink.bytes > 0  # public key + ciphertexts
+
+
+class TestIknpExtension:
+    def test_correctness_bulk(self):
+        rnd = random.Random(0)
+        n = 200
+        pairs = [(rnd.randbytes(16), rnd.randbytes(16)) for _ in range(n)]
+        choices = [rnd.getrandbits(1) for _ in range(n)]
+        got, transcript = iknp_transfer(pairs, choices, SecureRandom(8))
+        for g, c, (m0, m1) in zip(got, choices, pairs):
+            assert g == (m1 if c else m0)
+        assert transcript.total_bytes > 0
+
+    def test_empty_batch(self):
+        got, transcript = iknp_transfer([], [], SecureRandom(9))
+        assert got == []
+        assert transcript.total_bytes == 0
+
+    def test_single_ot(self):
+        got, _ = iknp_transfer([(b"A" * 16, b"B" * 16)], [1], SecureRandom(10))
+        assert got == [b"B" * 16]
+
+    def test_all_zero_choices(self):
+        pairs = [(bytes([i] * 16), bytes([255 - i] * 16)) for i in range(50)]
+        got, _ = iknp_transfer(pairs, [0] * 50, SecureRandom(11))
+        assert got == [p[0] for p in pairs]
+
+    def test_all_one_choices(self):
+        pairs = [(bytes([i] * 16), bytes([255 - i] * 16)) for i in range(50)]
+        got, _ = iknp_transfer(pairs, [1] * 50, SecureRandom(12))
+        assert got == [p[1] for p in pairs]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            iknp_transfer([(b"x" * 16, b"y" * 16)], [0, 1])
+
+    def test_ragged_messages_rejected(self):
+        with pytest.raises(ValueError):
+            iknp_transfer([(b"x" * 16, b"y" * 8)], [0])
+
+    def test_longer_messages(self):
+        rnd = random.Random(1)
+        pairs = [(rnd.randbytes(48), rnd.randbytes(48)) for _ in range(10)]
+        choices = [rnd.getrandbits(1) for _ in range(10)]
+        got, _ = iknp_transfer(pairs, choices, SecureRandom(13))
+        for g, c, (m0, m1) in zip(got, choices, pairs):
+            assert g == (m1 if c else m0)
+
+
+class TestCommunicationModel:
+    def test_online_bytes_scale_linearly(self):
+        one = ot_extension_online_bytes(1000)
+        two = ot_extension_online_bytes(2000)
+        assert 1.9 < two / one < 2.1
+
+    def test_online_bytes_formula(self):
+        n = 800
+        assert ot_extension_online_bytes(n) == KAPPA * (n // 8) + 2 * n * 16
+
+    def test_base_ot_offline_constant(self):
+        assert base_ot_offline_bytes() == 32 + KAPPA * 32 + 2 * KAPPA * 16
+
+    def test_transcript_matches_model(self):
+        """Measured transcript of the real protocol tracks the analytic model."""
+        rnd = random.Random(2)
+        n = 256
+        pairs = [(rnd.randbytes(16), rnd.randbytes(16)) for _ in range(n)]
+        choices = [rnd.getrandbits(1) for _ in range(n)]
+        _, transcript = iknp_transfer(pairs, choices, SecureRandom(14))
+        model = ot_extension_online_bytes(n)
+        measured = transcript.column_bytes + transcript.ciphertext_bytes
+        assert measured == model

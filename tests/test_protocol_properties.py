@@ -1,0 +1,109 @@
+"""Property-based tests: the protocol is exact on random architectures.
+
+Hypothesis drives random MLP widths, weights, inputs, and garbling roles
+through the full functional protocol; every run must match the plaintext
+field evaluation bit-exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import HybridProtocol
+from repro.he.params import toy_params
+from repro.nn.datasets import tiny_dataset
+from repro.nn.layers import Flatten, Linear, ReLU
+from repro.nn.network import Network
+from repro.nn.shapes import TensorShape
+
+PARAMS = toy_params(n=256)
+P = PARAMS.t
+ROW = PARAMS.row_size
+
+
+def make_random_mlp(widths: list[int], seed: int) -> Network:
+    """A ReLU MLP with the given layer widths (all dividing the row size)."""
+    rng = np.random.default_rng(seed)
+    layers = []
+    for i in range(len(widths) - 1):
+        weights = rng.integers(0, P, size=(widths[i + 1], widths[i])).astype(object)
+        layers.append(Linear(widths[i], widths[i + 1], weights=weights, name=f"fc{i}"))
+        if i < len(widths) - 2:
+            layers.append(ReLU(name=f"relu{i}"))
+    return Network("random-mlp", TensorShape(widths[0]), layers)
+
+
+# Widths must divide the packing row (128 for n=256).
+width_strategy = st.sampled_from([2, 4, 8, 16])
+
+
+class TestProtocolProperties:
+    @given(
+        hidden=width_strategy,
+        out=st.sampled_from([2, 4]),
+        seed=st.integers(min_value=0, max_value=2**16),
+        garbler=st.sampled_from(["server", "client"]),
+    )
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_two_layer_mlp_exact(self, hidden, out, seed, garbler):
+        net = make_random_mlp([16, hidden, out], seed)
+        protocol = HybridProtocol(net, PARAMS, garbler=garbler, seed=seed)
+        protocol.run_offline()
+        rng = np.random.default_rng(seed + 1)
+        x = rng.integers(0, P, size=16).tolist()
+        assert protocol.run_online(x) == protocol.plaintext_reference(x)
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(
+        max_examples=3,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_three_hidden_layers_exact(self, seed):
+        net = make_random_mlp([16, 8, 8, 4, 2], seed)
+        protocol = HybridProtocol(net, PARAMS, garbler="client", seed=seed)
+        protocol.run_offline()
+        rng = np.random.default_rng(seed + 2)
+        x = rng.integers(0, P, size=16).tolist()
+        assert protocol.run_online(x) == protocol.plaintext_reference(x)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        truncate=st.integers(min_value=0, max_value=6),
+    )
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_truncating_protocol_exact(self, seed, truncate):
+        net = make_random_mlp([16, 8, 3], seed)
+        protocol = HybridProtocol(
+            net, PARAMS, garbler="server", seed=seed, truncate_bits=truncate
+        )
+        protocol.run_offline()
+        rng = np.random.default_rng(seed + 3)
+        x = rng.integers(0, P, size=16).tolist()
+        assert protocol.run_online(x) == protocol.plaintext_reference(x)
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_roles_agree(self, seed):
+        net = make_random_mlp([16, 4, 2], seed)
+        rng = np.random.default_rng(seed + 4)
+        x = rng.integers(0, P, size=16).tolist()
+        results = []
+        for garbler in ("server", "client"):
+            protocol = HybridProtocol(net, PARAMS, garbler=garbler, seed=seed)
+            protocol.run_offline()
+            results.append(protocol.run_online(x))
+        assert results[0] == results[1]

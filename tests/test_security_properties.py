@@ -1,0 +1,174 @@
+"""Security-property and failure-injection tests.
+
+The threat model is semi-honest, so these are not attack proofs — they
+check the *mechanisms* the security argument rests on: labels reveal
+nothing without the encoding, decode information is withheld from the
+Server-Garbler evaluator, tampering is detected where the protocol can
+detect it, and secret shares are marginally uniform.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import HybridProtocol
+from repro.crypto.prg import xor_bytes
+from repro.crypto.rng import SecureRandom
+from repro.gc.circuit import CircuitBuilder, int_to_bits
+from repro.gc.evaluate import Evaluator
+from repro.gc.garble import GarbledCircuit, Garbler, GarbledGate
+from repro.he.bfv import BfvContext
+from repro.he.encoder import BatchEncoder
+from repro.he.params import BfvParams, toy_params
+from repro.nn.datasets import tiny_dataset
+from repro.nn.models import tiny_mlp
+from repro.ss.additive import share
+
+PARAMS = toy_params(n=256)
+P = PARAMS.t
+
+
+class TestLabelHiding:
+    def _simple(self, seed):
+        builder = CircuitBuilder()
+        x, y = builder.garbler_input(), builder.evaluator_input()
+        builder.mark_output([builder.and_(x, y)])
+        circuit = builder.build()
+        garbled, encoding = Garbler(SecureRandom(seed)).garble(circuit)
+        return circuit, garbled, encoding
+
+    def test_labels_are_unpredictable_across_garblings(self):
+        _, _, enc1 = self._simple(1)
+        _, _, enc2 = self._simple(2)
+        wire = 2  # the garbler input wire
+        assert enc1.label_for(wire, 0) != enc2.label_for(wire, 0)
+
+    def test_label_pair_looks_unrelated_without_delta(self):
+        """label1 = label0 XOR delta: without delta the pair is just random."""
+        _, _, encoding = self._simple(3)
+        wire = 2
+        l0, l1 = encoding.label_for(wire, 0), encoding.label_for(wire, 1)
+        assert l0 != l1
+        assert xor_bytes(l0, l1) == encoding.delta
+
+    def test_evaluator_output_labels_need_decode_bits(self):
+        """Stripping decode bits leaves the evaluator with opaque labels."""
+        circuit, garbled, encoding = self._simple(4)
+        stripped = GarbledCircuit(circuit, garbled.tables, [])
+        labels = Garbler.encode_inputs(encoding, circuit, [1])
+        labels[circuit.evaluator_inputs[0]] = encoding.label_for(
+            circuit.evaluator_inputs[0], 1
+        )
+        evaluator = Evaluator()
+        out_labels = evaluator.evaluate(stripped, labels)
+        assert evaluator.decode(stripped, out_labels) == []  # nothing decodable
+        # The garbler, holding the encoding, can decode the same labels.
+        assert Garbler.decode_output_labels(encoding, circuit, out_labels) == [1]
+
+
+class TestTamperDetection:
+    def test_corrupted_table_changes_or_breaks_output(self):
+        builder = CircuitBuilder()
+        a = builder.garbler_input_word(8)
+        b = builder.evaluator_input_word(8)
+        total, carry = builder.add(a, b)
+        builder.mark_output(total + [carry])
+        circuit = builder.build()
+        garbled, encoding = Garbler(SecureRandom(5)).garble(circuit)
+
+        # Corrupt every AND-gate ciphertext (both halves): any evaluation
+        # path that consumes a table row now produces garbage labels.
+        flip = b"\x01" + bytes(15)
+        for index, gate in list(garbled.tables.items()):
+            garbled.tables[index] = GarbledGate(
+                xor_bytes(gate.generator_half, flip),
+                xor_bytes(gate.evaluator_half, flip),
+            )
+        labels = Garbler.encode_inputs(encoding, circuit, int_to_bits(77, 8))
+        for w, bit in zip(circuit.evaluator_inputs, int_to_bits(88, 8)):
+            labels[w] = encoding.label_for(w, bit)
+        evaluator = Evaluator()
+        out_labels = evaluator.evaluate(garbled, labels)
+        # The garbler detects a forged label (no valid decoding).
+        with pytest.raises(ValueError):
+            Garbler.decode_output_labels(encoding, circuit, out_labels)
+
+    def test_forged_input_label_detected_at_decode(self):
+        builder = CircuitBuilder()
+        x = builder.garbler_input()
+        builder.mark_output([x])
+        circuit = builder.build()
+        _, encoding = Garbler(SecureRandom(6)).garble(circuit)
+        with pytest.raises(ValueError):
+            Garbler.decode_output_labels(encoding, circuit, [bytes(16)])
+
+
+class TestShareUniformity:
+    def test_first_share_is_marginally_uniform(self):
+        """Chi-square sanity: share values spread across the field."""
+        rng = SecureRandom(7)
+        samples = []
+        for _ in range(200):
+            s1, _ = share([42], P, rng)
+            samples.append(s1.values[0])
+        buckets = [0] * 8
+        for v in samples:
+            buckets[v * 8 // P] += 1
+        # Each octant should hold roughly 25 of 200 samples.
+        assert all(8 <= b <= 55 for b in buckets), buckets
+
+    def test_masked_input_is_not_the_input(self):
+        net = tiny_mlp(tiny_dataset(size=4, classes=3), hidden=8)
+        net.randomize_weights(P, np.random.default_rng(8))
+        protocol = HybridProtocol(net, PARAMS, garbler="server", seed=9)
+        protocol.run_offline()
+        x = [5] * 16
+        protocol.run_online(x)
+        # The first client message was x - r; with random r it differs from x.
+        assert protocol.client_r[0] != [0] * 16
+
+
+class TestNoiseExhaustion:
+    def test_decryption_fails_gracefully_when_noise_overflows(self):
+        """Too-small q: homomorphic ops drown the message in noise."""
+        from repro.crypto.modmath import find_ntt_prime
+
+        n = 64
+        tight = BfvParams(n=n, q=find_ntt_prime(30, n), t=find_ntt_prime(12, n))
+        ctx = BfvContext(tight, SecureRandom(10))
+        encoder = BatchEncoder(tight)
+        sk, pk = ctx.keygen()
+        ct = ctx.encrypt(pk, encoder.encode([1] * n))
+        # Repeated squaring of the noise via plain mults with large values.
+        big = encoder.encode([tight.t - 1] * n)
+        for _ in range(4):
+            ct = ctx.mul_plain(ct, big)
+        assert ctx.noise_budget_bits(sk, ct) == 0
+
+    def test_budget_decreases_monotonically(self):
+        ctx = BfvContext(PARAMS, SecureRandom(11))
+        encoder = BatchEncoder(PARAMS)
+        sk, pk = ctx.keygen()
+        ct = ctx.encrypt(pk, encoder.encode([3]))
+        budgets = [ctx.noise_budget_bits(sk, ct)]
+        pt = encoder.encode([1000] * PARAMS.n)
+        for _ in range(3):
+            ct = ctx.mul_plain(ct, pt)
+            budgets.append(ctx.noise_budget_bits(sk, ct))
+        assert budgets == sorted(budgets, reverse=True)
+        assert budgets[-1] < budgets[0]
+
+
+class TestChannelIsolation:
+    def test_protocol_messages_are_consumed_in_order(self):
+        """No residual messages after a full protocol run (balanced sends)."""
+        net = tiny_mlp(tiny_dataset(size=4, classes=3), hidden=8)
+        net.randomize_weights(P, np.random.default_rng(12))
+        protocol = HybridProtocol(net, PARAMS, garbler="client", seed=13)
+        protocol.run_offline()
+        protocol.run_online([1] * 16)
+        with pytest.raises(RuntimeError):
+            protocol.channel.recv("client")
+        with pytest.raises(RuntimeError):
+            protocol.channel.recv("server")

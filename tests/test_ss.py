@@ -1,0 +1,134 @@
+"""Tests for additive secret sharing and Beaver multiplication."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.rng import SecureRandom
+from repro.he.params import toy_params
+from repro.ss.additive import (
+    ShareVector,
+    from_signed,
+    reconstruct,
+    share,
+    to_signed,
+)
+from repro.ss.beaver import beaver_multiply, dealer_triples, he_triples
+
+P = 65521
+
+
+class TestShareReconstruct:
+    @given(st.lists(st.integers(min_value=0, max_value=P - 1), min_size=1, max_size=20))
+    @settings(max_examples=30)
+    def test_roundtrip(self, values):
+        s1, s2 = share(values, P, SecureRandom(1))
+        assert reconstruct(s1, s2) == values
+
+    def test_shares_are_not_the_secret(self):
+        values = [42] * 64
+        s1, s2 = share(values, P, SecureRandom(2))
+        assert list(s1.values) != values  # astronomically unlikely to be equal
+        assert len(set(s1.values)) > 1  # randomness actually varies
+
+    def test_unreduced_share_rejected(self):
+        with pytest.raises(ValueError):
+            ShareVector((P,), P)
+        with pytest.raises(ValueError):
+            ShareVector((-1,), P)
+
+
+class TestShareAlgebra:
+    def _shared(self, values, seed):
+        return share(values, P, SecureRandom(seed))
+
+    def test_addition_homomorphism(self):
+        a1, a2 = self._shared([10, 20], 3)
+        b1, b2 = self._shared([1, 2], 4)
+        assert reconstruct(a1 + b1, a2 + b2) == [11, 22]
+
+    def test_subtraction_homomorphism(self):
+        a1, a2 = self._shared([10, 20], 5)
+        b1, b2 = self._shared([1, 2], 6)
+        assert reconstruct(a1 - b1, a2 - b2) == [9, 18]
+
+    def test_scalar_multiplication(self):
+        a1, a2 = self._shared([7, 9], 7)
+        assert reconstruct(a1.scale(3), a2.scale(3)) == [21, 27]
+
+    def test_public_addition_single_party(self):
+        a1, a2 = self._shared([5], 8)
+        assert reconstruct(a1.add_public([100]), a2) == [105]
+
+    def test_modulus_mismatch_rejected(self):
+        a = ShareVector((1,), P)
+        b = ShareVector((1,), 97)
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_length_mismatch_rejected(self):
+        a = ShareVector((1, 2), P)
+        b = ShareVector((1,), P)
+        with pytest.raises(ValueError):
+            a + b
+        with pytest.raises(ValueError):
+            a.add_public([1, 2, 3])
+
+
+class TestSignedMapping:
+    @given(st.lists(st.integers(min_value=-(P // 2), max_value=P // 2), max_size=16))
+    @settings(max_examples=30)
+    def test_roundtrip(self, values):
+        assert to_signed(from_signed(values, P), P) == values
+
+    def test_negative_representation(self):
+        assert from_signed([-1], P) == [P - 1]
+        assert to_signed([P - 1], P) == [-1]
+
+
+class TestBeaver:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=P - 1), min_size=1, max_size=8),
+        st.lists(st.integers(min_value=0, max_value=P - 1), min_size=1, max_size=8),
+    )
+    @settings(max_examples=20)
+    def test_dealer_multiply(self, xs, ys):
+        n = min(len(xs), len(ys))
+        xs, ys = xs[:n], ys[:n]
+        rng = SecureRandom(9)
+        t1, t2 = dealer_triples(n, P, rng)
+        x1, x2 = share(xs, P, rng)
+        y1, y2 = share(ys, P, rng)
+        z1, z2 = beaver_multiply(x1, y1, x2, y2, t1, t2)
+        assert reconstruct(z1, z2) == [x * y % P for x, y in zip(xs, ys)]
+
+    def test_dealer_triples_are_valid(self):
+        t1, t2 = dealer_triples(16, P, SecureRandom(10))
+        a = reconstruct(t1.a, t2.a)
+        b = reconstruct(t1.b, t2.b)
+        c = reconstruct(t1.c, t2.c)
+        assert c == [x * y % P for x, y in zip(a, b)]
+
+    def test_he_triples_are_valid(self):
+        params = toy_params(n=128)
+        t1, t2 = he_triples(16, params, SecureRandom(11))
+        a = reconstruct(t1.a, t2.a)
+        b = reconstruct(t1.b, t2.b)
+        c = reconstruct(t1.c, t2.c)
+        assert c == [x * y % params.t for x, y in zip(a, b)]
+
+    def test_he_triples_size_limit(self):
+        params = toy_params(n=128)
+        with pytest.raises(ValueError):
+            he_triples(params.n + 1, params, SecureRandom(12))
+
+    def test_he_multiply_end_to_end(self):
+        params = toy_params(n=128)
+        p = params.t
+        rng = SecureRandom(13)
+        t1, t2 = he_triples(4, params, rng)
+        xs, ys = [3, 5, 7, 11], [13, 17, 19, 23]
+        x1, x2 = share(xs, p, rng)
+        y1, y2 = share(ys, p, rng)
+        z1, z2 = beaver_multiply(x1, y1, x2, y2, t1, t2)
+        assert reconstruct(z1, z2) == [x * y % p for x, y in zip(xs, ys)]
