@@ -1,13 +1,23 @@
 """Micro-benchmarks of the cryptographic substrates themselves.
 
 Not a paper figure — these measure this library's own primitive throughput
-(BFV ops, garbling, OT extension) so regressions in the functional layer
-are visible, and they ground the "pure Python is ~10^3-10^4x slower than
-the paper's testbed" substitution note in DESIGN.md.
+(NTT, BFV ops, garbling, OT extension) so regressions in the functional
+layer are visible, and they ground the "pure Python is ~10^3-10^4x slower
+than the paper's testbed" substitution note in DESIGN.md.
+
+The suite runs on :func:`repro.he.params.fast_params` (62-bit ciphertext
+modulus) so the same workload is exact on both compute backends: run it
+once with ``REPRO_BACKEND=python`` and once with ``REPRO_BACKEND=numpy``
+and the per-backend timings land side by side in ``BENCH_primitives.json``
+(see ``benchmarks/conftest.py``). The vectorized backend is expected to be
+>= 10x faster on the NTT/BFV benches.
 """
+
+import random
 
 import numpy as np
 
+from repro.crypto.modmath import find_ntt_prime
 from repro.crypto.rng import SecureRandom
 from repro.gc.circuit import int_to_bits
 from repro.gc.evaluate import Evaluator
@@ -15,10 +25,22 @@ from repro.gc.garble import Garbler
 from repro.gc.relu import ReluCircuitSpec, build_relu_circuit
 from repro.he.bfv import BfvContext
 from repro.he.encoder import BatchEncoder
-from repro.he.params import toy_params
+from repro.he.ntt import NegacyclicNtt
+from repro.he.params import fast_params
 from repro.ot.extension import iknp_transfer
 
-PARAMS = toy_params(n=256)
+PARAMS = fast_params(n=256)
+RELU_BATCH = 64
+
+
+def test_bench_ntt_multiply_1024(benchmark):
+    n = 1024
+    q = find_ntt_prime(62, n)
+    ntt = NegacyclicNtt(n, q)
+    rng = random.Random(0)
+    a = [rng.randrange(q) for _ in range(n)]
+    b = [rng.randrange(q) for _ in range(n)]
+    benchmark(lambda: ntt.multiply(a, b))
 
 
 def test_bench_bfv_encrypt(benchmark):
@@ -53,6 +75,37 @@ def test_bench_garble_relu(benchmark):
     circuit = build_relu_circuit(spec)
     garbler = Garbler(SecureRandom(4))
     benchmark(lambda: garbler.garble(circuit))
+
+
+def test_bench_garble_relu_layer(benchmark):
+    """One ReLU layer's worth of circuits through the batch garbler."""
+    spec = ReluCircuitSpec(bits=17, modulus=PARAMS.t, mask_owner="evaluator")
+    circuit = build_relu_circuit(spec)
+    garbler = Garbler(SecureRandom(14))
+    benchmark.pedantic(
+        lambda: garbler.garble_batch(circuit, RELU_BATCH), rounds=1, iterations=1
+    )
+
+
+def test_bench_evaluate_relu_layer(benchmark):
+    """One ReLU layer's worth of circuits through the batch evaluator."""
+    spec = ReluCircuitSpec(bits=17, modulus=PARAMS.t, mask_owner="evaluator")
+    circuit = build_relu_circuit(spec)
+    batch = Garbler(SecureRandom(15)).garble_batch(circuit, RELU_BATCH)
+    labels_batch = []
+    for garbled, encoding in batch:
+        labels = Garbler.encode_inputs(encoding, circuit, int_to_bits(123, 17))
+        for wire, bit in zip(
+            circuit.evaluator_inputs, int_to_bits(456, 17) + int_to_bits(789, 17)
+        ):
+            labels[wire] = encoding.label_for(wire, bit)
+        labels_batch.append(labels)
+    evaluator = Evaluator()
+    benchmark.pedantic(
+        lambda: evaluator.evaluate_batch([g for g, _ in batch], labels_batch),
+        rounds=1,
+        iterations=1,
+    )
 
 
 def test_bench_evaluate_relu(benchmark):

@@ -18,6 +18,12 @@ Quick start::
 See examples/quickstart.py for a complete runnable walkthrough.
 """
 
+from repro.backend import (
+    available_backends,
+    backend_for,
+    get_backend,
+    set_backend,
+)
 from repro.core import (
     HybridProtocol,
     OfflineParallelism,
@@ -28,7 +34,7 @@ from repro.core import (
     simulate_mean_latency,
     waterfall,
 )
-from repro.he import BfvContext, BfvParams, delphi_params, toy_params
+from repro.he import BfvContext, BfvParams, delphi_params, fast_params, toy_params
 from repro.nn import (
     CIFAR100,
     IMAGENET,
@@ -67,9 +73,14 @@ __all__ = [
     "SpeedupKnobs",
     "SystemConfig",
     "TINY_IMAGENET",
+    "available_backends",
+    "backend_for",
     "delphi_params",
     "estimate",
+    "fast_params",
+    "get_backend",
     "profile_network",
+    "set_backend",
     "resnet18",
     "resnet32",
     "simulate_mean_latency",

@@ -12,6 +12,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.backend import available_backends, set_backend
 from repro.experiments import ALL_EXPERIMENTS
 
 FAST = ("fig3", "fig4", "fig5", "table1", "fig8", "fig9", "fig11", "fig14")
@@ -29,7 +30,17 @@ def main(argv: list[str] | None = None) -> int:
         help="experiment ids (fig3..fig14, table1), 'fast', or 'all'",
     )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--backend",
+        choices=("auto",) + available_backends(),
+        default=None,
+        help="compute backend for the functional crypto substrate "
+        "(overrides the REPRO_BACKEND environment variable; 'auto' picks "
+        "numpy when available, falling back to exact python per modulus)",
+    )
     args = parser.parse_args(argv)
+    if args.backend is not None:
+        set_backend(args.backend)
 
     if args.list or not args.experiments:
         for key, module in ALL_EXPERIMENTS.items():

@@ -1,0 +1,112 @@
+"""Pluggable vectorized compute backends for the crypto/HE/GC hot path.
+
+The functional substrate (NTT, ring polynomials, BFV, garbled-circuit
+label batches, lowered linear layers) runs on whichever
+:class:`~repro.backend.base.ComputeBackend` the registry resolves:
+
+* ``python`` — exact arbitrary-precision reference (any modulus).
+* ``numpy``  — vectorized ``uint64`` residue arithmetic (moduli < 2^63),
+  typically 10-100x faster; only registered when numpy imports.
+
+Selection precedence, highest first:
+
+1. an explicit ``backend=`` argument on the constructor being called
+   (``RingPoly``, ``Ntt``, ``BfvParams.backend``, ``HybridProtocol``),
+2. :func:`set_backend` (what the ``--backend`` CLI flag calls),
+3. the ``REPRO_BACKEND`` environment variable (read at import),
+4. ``auto``: numpy when available, python otherwise.
+
+Whatever is selected, :func:`backend_for` silently falls back to the
+python backend for any modulus the chosen backend cannot compute exactly
+(q >= 2^63), so correctness never depends on configuration. Mixed runs
+are normal: with the default 100-bit toy ciphertext modulus the ring
+R_q stays on python while the 17-bit plaintext field runs on numpy.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.backend.base import ComputeBackend, NttPlan
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.python_backend import PythonBackend
+
+__all__ = [
+    "ComputeBackend",
+    "NttPlan",
+    "available_backends",
+    "active_backend_name",
+    "backend_for",
+    "get_backend",
+    "set_backend",
+]
+
+_REGISTRY: dict[str, ComputeBackend] = {"python": PythonBackend()}
+if NumpyBackend is not None:
+    _REGISTRY["numpy"] = NumpyBackend()
+
+_VALID = ("auto",) + tuple(sorted(_REGISTRY))
+
+_active: str = os.environ.get("REPRO_BACKEND", "").strip().lower() or "auto"
+if _active not in _VALID:  # unknown env value: fail soft, stay functional
+    _active = "auto"
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends this interpreter can actually run."""
+    return tuple(sorted(_REGISTRY))
+
+
+def active_backend_name() -> str:
+    """The current selection ('auto', 'python', or 'numpy')."""
+    return _active
+
+
+def set_backend(name: str) -> None:
+    """Select the compute backend for subsequently built objects.
+
+    Cached NTT contexts are keyed by backend, so switching is safe at any
+    point; existing ``RingPoly`` instances keep the backend they were
+    built with.
+    """
+    global _active
+    name = name.strip().lower()
+    if name not in _VALID:
+        raise ValueError(
+            f"unknown backend {name!r}; choose one of {', '.join(_VALID)}"
+        )
+    _active = name
+
+
+def get_backend(name: str | None = None) -> ComputeBackend:
+    """Resolve a backend name ('auto'/None means the active selection)."""
+    name = (name or _active).strip().lower()
+    if name == "auto":
+        return _REGISTRY.get("numpy", _REGISTRY["python"])
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; choose one of {', '.join(_VALID)}"
+        ) from None
+
+
+def backend_for(q: int, prefer: str | None = None) -> ComputeBackend:
+    """The backend that will compute exactly for modulus ``q``.
+
+    ``prefer`` overrides the active selection (used to honor
+    ``BfvParams.backend``); an unavailable or unknown preference fails
+    soft to the 'auto' resolution so configs stay portable across
+    machines. Oversized moduli always fall back to the python reference
+    backend regardless of selection.
+    """
+    name = prefer if prefer and prefer != "auto" else _active
+    if name == "auto":
+        backend = _REGISTRY.get("numpy", _REGISTRY["python"])
+    else:
+        backend = _REGISTRY.get(name.strip().lower())
+        if backend is None:
+            backend = _REGISTRY.get("numpy", _REGISTRY["python"])
+    if backend.supports_modulus(q):
+        return backend
+    return _REGISTRY["python"]

@@ -1,0 +1,150 @@
+"""Abstract interface every compute backend implements.
+
+A backend owns the representation of coefficient vectors over Z_q and
+provides the vectorized modular kernels the HE/GC/protocol layers are
+written against. Two implementations exist:
+
+* :mod:`repro.backend.python_backend` — ``list[int]`` vectors with
+  arbitrary-precision Python arithmetic. Exact for any modulus; this is
+  the reference semantics every other backend must match bit for bit.
+* :mod:`repro.backend.numpy_backend` — ``uint64`` ndarray vectors with
+  Barrett/Shoup reduction. Exact for moduli below 2^63; larger moduli
+  must fall back to the python backend (see
+  :func:`repro.backend.backend_for`).
+
+Vectors are opaque to callers: obtain one with :meth:`asvec`, convert
+back with :meth:`tolist`, and never assume the concrete type. All kernels
+are pure — they return fresh vectors and never mutate their inputs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Sequence
+
+Vec = Any  # backend-native vector (list[int] or np.ndarray)
+Mat = Any  # backend-native 2D matrix (list[list[int]] or np.ndarray)
+Index = Any  # backend-native gather index (list[int] or np.ndarray)
+
+
+class NttPlan(abc.ABC):
+    """Precomputed transform tables for one (n, q, root) triple.
+
+    ``forward`` applies the size-n cyclic NTT; ``inverse`` applies the
+    inverse transform including the 1/n scaling. Both consume and produce
+    backend-native vectors of reduced residues.
+    """
+
+    @abc.abstractmethod
+    def forward(self, vec: Vec) -> Vec: ...
+
+    @abc.abstractmethod
+    def inverse(self, vec: Vec) -> Vec: ...
+
+    @abc.abstractmethod
+    def inverse_unscaled(self, vec: Vec) -> Vec:
+        """Inverse transform without the 1/n factor — callers that follow
+        with a pointwise multiply (psi-untwisting) fold the factor into
+        their own table, saving one full-vector pass.
+
+        CONTRACT: the output may hold *unreduced* residues (congruent mod
+        q but not canonical); it is only valid as input to a reducing
+        pointwise multiply on the same backend.
+        """
+
+    def forward_pair(self, a: Vec, b: Vec) -> tuple[Vec, Vec]:
+        """Two forward transforms; backends may batch them into one pass.
+
+        Same contract as :meth:`inverse_unscaled`: outputs may be
+        unreduced and must feed a reducing pointwise multiply.
+        """
+        return self.forward(a), self.forward(b)
+
+
+class ComputeBackend(abc.ABC):
+    """Vectorized modular arithmetic over Z_q."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def supports_modulus(self, q: int) -> bool:
+        """Whether this backend computes exactly for modulus ``q``."""
+
+    # -- vector construction / conversion ---------------------------------
+
+    @abc.abstractmethod
+    def asvec(self, values: Sequence[int], q: int) -> Vec:
+        """Native vector of ``values`` reduced into [0, q)."""
+
+    @abc.abstractmethod
+    def tolist(self, vec: Vec) -> list[int]:
+        """Plain Python ints, the interchange format between backends."""
+
+    @abc.abstractmethod
+    def zeros(self, n: int, q: int) -> Vec: ...
+
+    @abc.abstractmethod
+    def veclen(self, vec: Vec) -> int: ...
+
+    @abc.abstractmethod
+    def eq(self, a: Vec, b: Vec) -> bool: ...
+
+    # -- elementwise mod-q kernels ----------------------------------------
+
+    @abc.abstractmethod
+    def add(self, a: Vec, b: Vec, q: int) -> Vec: ...
+
+    @abc.abstractmethod
+    def sub(self, a: Vec, b: Vec, q: int) -> Vec: ...
+
+    @abc.abstractmethod
+    def neg(self, a: Vec, q: int) -> Vec: ...
+
+    @abc.abstractmethod
+    def mul(self, a: Vec, b: Vec, q: int) -> Vec:
+        """Elementwise product mod q (both operands reduced)."""
+
+    @abc.abstractmethod
+    def scalar_mul(self, a: Vec, scalar: int, q: int) -> Vec:
+        """``a * scalar mod q``; entries of ``a`` need only be < q' <= q,
+        so this also performs the plaintext lift c -> c * delta mod q."""
+
+    @abc.abstractmethod
+    def max_value(self, vec: Vec) -> int: ...
+
+    # -- structural kernels ------------------------------------------------
+
+    @abc.abstractmethod
+    def index_array(self, indices: Sequence[int]) -> Index:
+        """Precompiled gather index for :meth:`permute`."""
+
+    @abc.abstractmethod
+    def permute(self, vec: Vec, index: Index) -> Vec:
+        """Gather: out[i] = vec[index[i]]."""
+
+    @abc.abstractmethod
+    def automorphism(self, vec: Vec, galois_element: int, q: int) -> Vec:
+        """Apply X -> X^g in Z_q[X]/(X^n + 1); g must be odd."""
+
+    @abc.abstractmethod
+    def decompose(
+        self, vec: Vec, base_bits: int, num_digits: int, q: int
+    ) -> list[Vec]:
+        """Digit decomposition: vec = sum_j digits[j] << (j * base_bits)."""
+
+    # -- transforms --------------------------------------------------------
+
+    @abc.abstractmethod
+    def make_ntt_plan(self, n: int, q: int, root: int) -> NttPlan:
+        """Plan for the size-n cyclic NTT with primitive n-th root ``root``."""
+
+    # -- linear algebra ----------------------------------------------------
+
+    @abc.abstractmethod
+    def asmatrix(self, rows: Sequence[Sequence[int]], q: int) -> Mat:
+        """Native 2D matrix with entries reduced into [0, q)."""
+
+    @abc.abstractmethod
+    def matvec_mod(self, matrix: Mat, vec: Sequence[int], q: int) -> list[int]:
+        """``matrix @ vec mod q`` as plain ints (accepts either matrix
+        representation so lowered networks survive backend switches)."""

@@ -1,0 +1,392 @@
+"""Vectorized ``uint64`` backend with Barrett/Shoup residue arithmetic.
+
+All coefficients live in flat ``uint64`` ndarrays. Two reduction regimes,
+chosen per modulus:
+
+* **direct** (q < 2^31): residue products fit in 64 bits, so ``a * b % q``
+  is exact with plain ufuncs. This covers the plaintext field t
+  (17-41 bits needs the next tier) and small test moduli.
+* **Shoup** (2^31 <= q < 2^62): products overflow 64 bits, so we compute
+  the full 128-bit product from 32-bit limbs and reduce with Shoup's
+  precomputed-quotient trick: for a constant w with
+  w' = floor(w * 2^64 / q), the quotient estimate
+  q_hat = mulhi64(x, w') satisfies x*w - q_hat*q in [0, 2q) for ANY
+  x < 2^64, so one conditional subtraction finishes the job. A
+  variable*variable product reduces its high word the same way against
+  the constant 2^64 mod q.
+
+The NTT additionally uses Harvey-style *lazy* butterflies: values stay in
+[0, 2q) between stages, the quotient estimate drops the low-limb carry
+(underestimating by at most 2, so remainders stay under 4q < 2^64 given
+q < 2^62), and a single normalization pass lands the output in [0, q).
+
+Everything is exact integer arithmetic — no floats — so results agree
+bit for bit with the python reference backend (enforced by
+``tests/test_backend_parity.py``). Moduli at or above 2^62 are rejected
+by :meth:`supports_modulus`; the registry then falls back to python.
+
+The module degrades gracefully when numpy is absent: ``NumpyBackend`` is
+``None`` and the registry simply never offers the backend.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.backend.base import ComputeBackend, NttPlan
+from repro.backend.python_backend import PythonBackend
+from repro.crypto.modmath import mod_inverse
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on minimal images
+    np = None
+
+_PY_FALLBACK = PythonBackend()  # exact path for shapes uint64 cannot hold
+
+_DIRECT_LIMIT = 1 << 31  # q below this: products of residues fit in uint64
+_MODULUS_LIMIT = 1 << 62  # q below this: (lazy) Shoup reduction is exact
+
+if np is not None:
+    _M32 = np.uint64(0xFFFFFFFF)
+    _S32 = np.uint64(32)
+
+
+def _mulhi64(xh, xl, yh, yl):
+    """High 64 bits of the 128-bit product given pre-split 32-bit limbs."""
+    ll = xl * yl
+    lh = xl * yh
+    hl = xh * yl
+    carry = (ll >> _S32) + (lh & _M32) + (hl & _M32)
+    return xh * yh + (lh >> _S32) + (hl >> _S32) + (carry >> _S32)
+
+
+def _cond_sub(s, q):
+    """Reduce s in [0, 2q) into [0, q) with one ufunc: if s < q then s - q
+    wraps past 2^63, so the minimum is always the reduced residue."""
+    return np.minimum(s, s - q)
+
+
+def _shoup_mulmod(x, w, w_sh_h, w_sh_l, q):
+    """x * w mod q for constant w < q with w' = floor(w * 2^64 / q) pre-split.
+
+    Exact for any x < 2^64 when q < 2^63 (the remainder estimate lies in
+    [0, 2q) which still fits in 64 bits).
+    """
+    q_hat = _mulhi64(x >> _S32, x & _M32, w_sh_h, w_sh_l)
+    r = x * w - q_hat * q  # both wrap mod 2^64; true value < 2q
+    return _cond_sub(r, q)
+
+
+class _ModContext:
+    """Per-modulus constants for the Shoup reduction path."""
+
+    __slots__ = ("q", "c64", "c64_sh_h", "c64_sh_l")
+
+    def __init__(self, q: int):
+        self.q = np.uint64(q)
+        c64 = (1 << 64) % q
+        c64_sh = (c64 << 64) // q
+        self.c64 = np.uint64(c64)
+        self.c64_sh_h = np.uint64(c64_sh >> 32)
+        self.c64_sh_l = np.uint64(c64_sh & 0xFFFFFFFF)
+
+
+def _scalar_shoup(scalar: int, q: int):
+    """(w, w'_hi, w'_lo) uint64 scalars for a constant multiplier."""
+    scalar %= q
+    sh = (scalar << 64) // q
+    return np.uint64(scalar), np.uint64(sh >> 32), np.uint64(sh & 0xFFFFFFFF)
+
+
+class _NumpyNttPlan(NttPlan):
+    """Precomputed bit-reversal permutation plus per-stage twiddle tables.
+
+    Stage tables hold w_len^k for k < length/2 exactly as the reference
+    iterative NTT generates them, so butterfly outputs match the python
+    backend bit for bit.
+    """
+
+    def __init__(self, backend: "NumpyBackend", n: int, q: int, root: int):
+        self.backend = backend
+        self.n = n
+        self.q = q
+        self.n_inv = mod_inverse(n, q)
+        self.perm = self._bit_reverse_indices(n)
+        self.fwd_stages = self._stage_tables(root)
+        self.inv_stages = self._stage_tables(mod_inverse(root, q))
+
+    @staticmethod
+    def _bit_reverse_indices(n: int):
+        out = list(range(n))
+        j = 0
+        for i in range(1, n):
+            bit = n >> 1
+            while j & bit:
+                j ^= bit
+                bit >>= 1
+            j |= bit
+            if i < j:
+                out[i], out[j] = out[j], out[i]
+        return np.asarray(out, dtype=np.intp)
+
+    def _stage_tables(self, base: int):
+        n, q = self.n, self.q
+        small = q < _DIRECT_LIMIT
+        stages = []
+        length = 2
+        while length <= n:
+            w_len = pow(base, n // length, q)
+            half = length // 2
+            tbl = [1] * half
+            for k in range(1, half):
+                tbl[k] = tbl[k - 1] * w_len % q
+            w = np.asarray(tbl, dtype=np.uint64)
+            if small:
+                stages.append((w, None, None))
+            else:
+                sh = [(t << 64) // q for t in tbl]
+                stages.append(
+                    (
+                        w,
+                        np.asarray([s >> 32 for s in sh], dtype=np.uint64),
+                        np.asarray([s & 0xFFFFFFFF for s in sh], dtype=np.uint64),
+                    )
+                )
+            length <<= 1
+        return stages
+
+    def _transform(self, vec, stages, normalize=True):
+        """Transform the last axis; rows of a stacked input stay independent.
+
+        Harvey-style lazy butterflies: stage values live in [0, 2q), the
+        twiddle product uses a carry-free quotient estimate (off by at most
+        2, keeping remainders under 4q < 2^64 for q < 2^62), and a single
+        final pass normalizes into [0, q). All integer, hence bit-exact.
+        With ``normalize=False`` the output stays in [0, 2q) — valid only
+        when the caller follows with a reducing pointwise multiply.
+        """
+        q = np.uint64(self.q)
+        # Fancy indexing copies (so in-place below is safe) but on stacked
+        # input it returns an axis-moved layout whose reshape would copy
+        # again and drop the butterfly writes — force C order.
+        a = np.ascontiguousarray(vec[..., self.perm])
+        if self.q < _DIRECT_LIMIT:
+            for stage, (w, _, _) in enumerate(stages):
+                half = w.shape[0]
+                block = a.reshape(-1, 2 * half)
+                u = block[:, :half]
+                x = block[:, half:]
+                v = x if stage == 0 else (x * w) % q
+                s = _cond_sub(u + v, q)
+                block[:, half:] = np.minimum(u - v, u + (q - v))
+                block[:, :half] = s
+            return a
+        two_q = np.uint64(2 * self.q)
+        for stage, (w, w_sh_h, w_sh_l) in enumerate(stages):
+            half = w.shape[0]
+            block = a.reshape(-1, 2 * half)
+            u = block[:, :half]  # in [0, 2q)
+            x = block[:, half:]
+            if stage == 0:
+                v = x  # first stage twiddle is always 1
+            else:
+                # Lazy Shoup: the quotient estimate drops the low-limb carry
+                # (underestimate <= 2) on top of Shoup's slack of 1, so the
+                # remainder lies in [0, 4q); one conditional lands it in [0, 2q).
+                xh = x >> _S32
+                xl = x & _M32
+                q_hat = (
+                    xh * w_sh_h + ((xh * w_sh_l) >> _S32) + ((xl * w_sh_h) >> _S32)
+                )
+                r = x * w - q_hat * q
+                v = np.minimum(r, r - two_q)
+            s = u + v  # < 4q
+            d = u + (two_q - v)  # in (0, 4q)
+            block[:, :half] = np.minimum(s, s - two_q)
+            block[:, half:] = np.minimum(d, d - two_q)
+        if normalize:
+            return np.minimum(a, a - q)  # [0, 2q) -> [0, q)
+        return a
+
+    def forward(self, vec):
+        return self._transform(vec, self.fwd_stages)
+
+    def forward_pair(self, a, b):
+        """Both forward transforms as one stacked pass (halves ufunc overhead).
+
+        Outputs may be unreduced residues in [0, 2q) per the base-class
+        contract — the pointwise multiply that consumes them reduces exactly.
+        """
+        stacked = self._transform(np.stack((a, b)), self.fwd_stages, normalize=False)
+        return stacked[0], stacked[1]
+
+    def inverse(self, vec):
+        out = self._transform(vec, self.inv_stages)
+        return self.backend.scalar_mul(out, self.n_inv, self.q)
+
+    def inverse_unscaled(self, vec):
+        """Inverse transform WITHOUT the 1/n factor (caller folds it in);
+        output may be unreduced per the base-class contract."""
+        return self._transform(vec, self.inv_stages, normalize=False)
+
+
+class _NumpyBackendImpl(ComputeBackend):
+    name = "numpy"
+
+    def __init__(self):
+        self._mod_contexts: dict[int, _ModContext] = {}
+
+    def supports_modulus(self, q: int) -> bool:
+        return 1 < q < _MODULUS_LIMIT
+
+    def _ctx(self, q: int) -> _ModContext:
+        ctx = self._mod_contexts.get(q)
+        if ctx is None:
+            ctx = self._mod_contexts[q] = _ModContext(q)
+        return ctx
+
+    # -- vectors -----------------------------------------------------------
+
+    def asvec(self, values: Sequence[int], q: int):
+        if isinstance(values, np.ndarray):
+            if values.dtype == np.uint64:
+                arr = values
+            elif np.issubdtype(values.dtype, np.integer):
+                # Signed arrays would wrap on an unsafe uint64 cast; reduce
+                # in the signed domain first (exact: q < 2^62 fits int64 and
+                # np.remainder is non-negative).
+                return np.remainder(values, q).astype(np.uint64)
+            else:
+                return np.asarray(
+                    [int(v) % q for v in values.tolist()], dtype=np.uint64
+                )
+        else:
+            try:
+                arr = np.asarray(values, dtype=np.uint64)
+            except (OverflowError, TypeError, ValueError):
+                # Negative or >= 2^64 entries (noise draws, delta-scaled
+                # coefficients built by the python path): reduce exactly first.
+                return np.asarray([int(v) % q for v in values], dtype=np.uint64)
+        if arr.size and int(arr.max()) >= q:
+            arr = np.remainder(arr, np.uint64(q))
+        return arr
+
+    def tolist(self, vec) -> list[int]:
+        return vec.tolist()  # ndarray.tolist() yields plain Python ints
+
+    def zeros(self, n: int, q: int):
+        return np.zeros(n, dtype=np.uint64)
+
+    def veclen(self, vec) -> int:
+        return int(vec.shape[0])
+
+    def eq(self, a, b) -> bool:
+        return bool(np.array_equal(a, b))
+
+    # -- elementwise -------------------------------------------------------
+
+    def add(self, a, b, q):
+        return _cond_sub(a + b, np.uint64(q))
+
+    def sub(self, a, b, q):
+        q = np.uint64(q)
+        # a - b wraps huge when a < b; a + (q - b) wraps only when a >= b.
+        return np.minimum(a - b, a + (q - b))
+
+    def neg(self, a, q):
+        q = np.uint64(q)
+        return np.where(a == 0, a, q - a)
+
+    def mul(self, a, b, q):
+        if q < _DIRECT_LIMIT:
+            return (a * b) % np.uint64(q)
+        ctx = self._ctx(q)
+        qv = ctx.q
+        lo = a * b  # low 64 bits
+        hi = _mulhi64(a >> _S32, a & _M32, b >> _S32, b & _M32)
+        # a*b mod q = (hi * (2^64 mod q) + lo) mod q
+        r = _shoup_mulmod(hi, ctx.c64, ctx.c64_sh_h, ctx.c64_sh_l, qv)
+        return _cond_sub(r + np.remainder(lo, qv), qv)
+
+    def scalar_mul(self, a, scalar, q):
+        scalar %= q
+        if q < _DIRECT_LIMIT:
+            return (a * np.uint64(scalar)) % np.uint64(q)
+        w, w_sh_h, w_sh_l = _scalar_shoup(scalar, q)
+        return _shoup_mulmod(a, w, w_sh_h, w_sh_l, np.uint64(q))
+
+    def max_value(self, vec) -> int:
+        return int(vec.max()) if vec.size else 0
+
+    # -- structure ---------------------------------------------------------
+
+    def index_array(self, indices):
+        return np.asarray(list(indices), dtype=np.intp)
+
+    def permute(self, vec, index):
+        return vec[index]
+
+    def automorphism(self, vec, galois_element, q):
+        n = vec.shape[0]
+        qv = np.uint64(q)
+        idx = (np.arange(n, dtype=np.int64) * galois_element) % (2 * n)
+        wrap = idx >= n
+        targets = np.where(wrap, idx - n, idx)
+        values = np.where(wrap, self.neg(vec, q), vec)
+        out = np.empty(n, dtype=np.uint64)
+        out[targets] = values  # X -> X^g is a bijection: no collisions
+        return out
+
+    def decompose(self, vec, base_bits, num_digits, q):
+        mask = np.uint64((1 << base_bits) - 1)
+        shift = np.uint64(base_bits)
+        digits = []
+        work = vec
+        for _ in range(num_digits):
+            digits.append(work & mask)
+            work = work >> shift
+        return digits
+
+    # -- transforms --------------------------------------------------------
+
+    def make_ntt_plan(self, n, q, root):
+        return _NumpyNttPlan(self, n, q, root)
+
+    # -- linear algebra ----------------------------------------------------
+
+    def asmatrix(self, rows, q):
+        if 2 * int(q).bit_length() > 64:
+            # A single q^2-sized product overflows uint64, so matvec_mod
+            # would fall back to exact Python every call: keep the list
+            # representation up front and skip per-call conversion.
+            return _PY_FALLBACK.asmatrix(rows, q)
+        if isinstance(rows, np.ndarray) and rows.dtype == np.uint64:
+            return rows
+        return np.asarray(
+            [[int(w) % q for w in row] for row in rows], dtype=np.uint64
+        )
+
+    def matvec_mod(self, matrix, vec, q):
+        # Dot products accumulate n_in terms of q^2-sized products; chunk the
+        # columns so partial sums stay below 2^64, or run the exact Python
+        # path when even a single product would overflow.
+        qbits = int(q).bit_length()
+        headroom = 64 - 2 * qbits
+        if headroom < 0:
+            return _PY_FALLBACK.matvec_mod(matrix, vec, q)
+        mat = self.asmatrix(matrix, q)
+        n_in = mat.shape[1] if mat.ndim == 2 else 0
+        if n_in == 0:
+            return []
+        qv = np.uint64(q)
+        v = self.asvec(vec, q)
+        chunk = max(1, 1 << min(headroom, 30))
+        acc = np.zeros(mat.shape[0], dtype=np.uint64)
+        for start in range(0, n_in, chunk):
+            part = mat[:, start : start + chunk] @ v[start : start + chunk]
+            acc = self.add(acc, np.remainder(part, qv), q)
+        return self.tolist(acc)
+
+
+NumpyBackend = None if np is None else _NumpyBackendImpl

@@ -1,0 +1,158 @@
+"""Pure-Python reference backend: ``list[int]`` vectors, exact for any q.
+
+This is the seed implementation's arithmetic moved behind the backend
+interface — every other backend is validated bit-for-bit against it
+(``tests/test_backend_parity.py``). It has no modulus ceiling because
+Python ints are arbitrary precision, which is why oversized moduli
+(q >= 2^63) always land here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.backend.base import ComputeBackend, NttPlan
+from repro.crypto.modmath import mod_inverse
+
+
+def _iterative_ntt(values: list[int], root: int, q: int) -> list[int]:
+    """In-place iterative Cooley-Tukey NTT; ``root`` is a primitive n-th root."""
+    n = len(values)
+    a = list(values)
+    j = 0
+    for i in range(1, n):
+        bit = n >> 1
+        while j & bit:
+            j ^= bit
+            bit >>= 1
+        j |= bit
+        if i < j:
+            a[i], a[j] = a[j], a[i]
+    length = 2
+    while length <= n:
+        w_len = pow(root, n // length, q)
+        for start in range(0, n, length):
+            w = 1
+            half = length // 2
+            for k in range(start, start + half):
+                u = a[k]
+                v = a[k + half] * w % q
+                a[k] = (u + v) % q
+                a[k + half] = (u - v) % q
+                w = w * w_len % q
+        length <<= 1
+    return a
+
+
+class _PythonNttPlan(NttPlan):
+    def __init__(self, n: int, q: int, root: int):
+        self.n = n
+        self.q = q
+        self.root = root
+        self.root_inv = mod_inverse(root, q)
+        self.n_inv = mod_inverse(n, q)
+
+    def forward(self, vec: list[int]) -> list[int]:
+        return _iterative_ntt(vec, self.root, self.q)
+
+    def inverse(self, vec: list[int]) -> list[int]:
+        q = self.q
+        out = _iterative_ntt(vec, self.root_inv, q)
+        n_inv = self.n_inv
+        return [v * n_inv % q for v in out]
+
+    def inverse_unscaled(self, vec: list[int]) -> list[int]:
+        return _iterative_ntt(vec, self.root_inv, self.q)
+
+
+class PythonBackend(ComputeBackend):
+    name = "python"
+
+    def supports_modulus(self, q: int) -> bool:
+        return True
+
+    # -- vectors -----------------------------------------------------------
+
+    def asvec(self, values: Sequence[int], q: int) -> list[int]:
+        return [int(v) % q for v in values]
+
+    def tolist(self, vec: list[int]) -> list[int]:
+        return list(vec)
+
+    def zeros(self, n: int, q: int) -> list[int]:
+        return [0] * n
+
+    def veclen(self, vec: list[int]) -> int:
+        return len(vec)
+
+    def eq(self, a: list[int], b: list[int]) -> bool:
+        return a == b
+
+    # -- elementwise -------------------------------------------------------
+
+    def add(self, a, b, q):
+        return [(x + y) % q for x, y in zip(a, b)]
+
+    def sub(self, a, b, q):
+        return [(x - y) % q for x, y in zip(a, b)]
+
+    def neg(self, a, q):
+        return [-x % q for x in a]
+
+    def mul(self, a, b, q):
+        return [x * y % q for x, y in zip(a, b)]
+
+    def scalar_mul(self, a, scalar, q):
+        scalar %= q
+        return [x * scalar % q for x in a]
+
+    def max_value(self, vec):
+        return max(vec)
+
+    # -- structure ---------------------------------------------------------
+
+    def index_array(self, indices):
+        return [int(i) for i in indices]
+
+    def permute(self, vec, index):
+        return [vec[i] for i in index]
+
+    def automorphism(self, vec, galois_element, q):
+        n = len(vec)
+        two_n = 2 * n
+        out = [0] * n
+        for i, c in enumerate(vec):
+            if not c:
+                continue
+            j = i * galois_element % two_n
+            if j < n:
+                out[j] = (out[j] + c) % q
+            else:
+                out[j - n] = (out[j - n] - c) % q
+        return out
+
+    def decompose(self, vec, base_bits, num_digits, q):
+        mask = (1 << base_bits) - 1
+        digits = []
+        coeffs = list(vec)
+        for _ in range(num_digits):
+            digits.append([c & mask for c in coeffs])
+            coeffs = [c >> base_bits for c in coeffs]
+        return digits
+
+    # -- transforms --------------------------------------------------------
+
+    def make_ntt_plan(self, n, q, root):
+        return _PythonNttPlan(n, q, root)
+
+    # -- linear algebra ----------------------------------------------------
+
+    def asmatrix(self, rows, q):
+        return [[int(w) % q for w in row] for row in rows]
+
+    def matvec_mod(self, matrix, vec, q):
+        rows = matrix
+        if hasattr(matrix, "tolist") and not isinstance(matrix, list):
+            rows = matrix.tolist()  # ndarray handed across a backend switch
+        v = [int(x) for x in vec]
+        return [sum(w * x for w, x in zip(row, v)) % q for row in rows]

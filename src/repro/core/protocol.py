@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend import ComputeBackend, backend_for
+from repro.crypto.modmath import matvec_mod, mod_add_vec, mod_sub_vec
 from repro.crypto.rng import SecureRandom
 from repro.gc.circuit import Circuit, int_to_bits, words_to_int
 from repro.gc.evaluate import Evaluator
@@ -45,10 +47,15 @@ from repro.ot.extension import iknp_transfer
 
 @dataclass
 class LoweredLinear:
-    """A linear layer lowered to an explicit field matrix."""
+    """A linear layer lowered to an explicit field matrix.
+
+    ``matrix`` is backend-native: a ``uint64`` ndarray under the numpy
+    backend (so HE diagonal extraction and the online matvec are
+    vectorized gathers/matmuls) or a list of row lists under python.
+    """
 
     name: str
-    matrix: list[list[int]]
+    matrix: "np.ndarray | list[list[int]]"
 
     @property
     def n_in(self) -> int:
@@ -74,10 +81,17 @@ class LoweredNetwork:
     output_size: int
 
 
-def lower_network(network: Network, modulus: int) -> LoweredNetwork:
-    """Lower a stride-1 conv/FC/ReLU/Flatten network to field matrices."""
+def lower_network(
+    network: Network, modulus: int, backend: str | None = None
+) -> LoweredNetwork:
+    """Lower a stride-1 conv/FC/ReLU/Flatten network to field matrices.
+
+    Matrices are stored in the representation native to the compute
+    backend resolved for ``modulus`` (see :class:`LoweredLinear`).
+    """
     from repro.nn.shapes import TensorShape
 
+    be = backend_for(modulus, prefer=backend)
     linears: list[LoweredLinear] = []
     steps: list[tuple[str, int]] = []
     shape = network.input_shape
@@ -90,13 +104,13 @@ def lower_network(network: Network, modulus: int) -> LoweredNetwork:
                 layer.padding, modulus,
             )
             steps.append(("linear", len(linears)))
-            linears.append(LoweredLinear(layer.name, matrix))
+            linears.append(LoweredLinear(layer.name, be.asmatrix(matrix, modulus)))
         elif isinstance(layer, Linear):
             matrix = [
                 [int(w) % modulus for w in row] for row in np.asarray(layer.weights)
             ]
             steps.append(("linear", len(linears)))
-            linears.append(LoweredLinear(layer.name, matrix))
+            linears.append(LoweredLinear(layer.name, be.asmatrix(matrix, modulus)))
         elif isinstance(layer, ReLU):
             if not steps or steps[-1][0] != "linear":
                 raise ValueError("ReLU must follow a linear layer")
@@ -157,15 +171,28 @@ class HybridProtocol:
         garbler: str = "server",
         seed: int | None = None,
         truncate_bits: int = 0,
+        backend: str | None = None,
     ):
         if garbler not in ("server", "client"):
             raise ValueError("garbler must be 'server' or 'client'")
         self.params = params or toy_params(n=256)
+        if backend is not None:
+            from dataclasses import replace
+
+            self.params = replace(self.params, backend=backend)
         self.garbler_role = garbler
         self.modulus = self.params.t
         self.bits = self.modulus.bit_length()
         self.truncate_bits = truncate_bits
-        self.lowered = lower_network(network, self.modulus)
+        self.lowered = lower_network(
+            network, self.modulus, backend=self.params.backend
+        )
+        # Resolved once: share arithmetic and GC batching follow the same
+        # per-protocol preference the HE layer uses, not just the global.
+        self._backend_pref = self.params.backend
+        self._vectorize_gc = (
+            backend_for(self.modulus, prefer=self._backend_pref).name == "numpy"
+        )
         self.rng = SecureRandom(seed)
         self.channel = Channel(field_bytes=(self.bits + 7) // 8)
         self.counters = ProtocolCounters()
@@ -261,12 +288,12 @@ class HybridProtocol:
         circuit = build_relu_circuit(spec)
         garbler = Garbler(self.rng.spawn())
 
-        circuits, encodings = [], []
-        for _ in range(n):
-            garbled, encoding = garbler.garble(circuit)
-            self.counters.gc_circuits_garbled += 1
-            circuits.append(garbled)
-            encodings.append(encoding)
+        # One circuit per activation wire, garbled as a single batch so
+        # label generation and free-XOR walks vectorize across the layer.
+        garbled_batch = garbler.garble_batch(circuit, n, vectorize=self._vectorize_gc)
+        circuits = [garbled for garbled, _ in garbled_batch]
+        encodings = [encoding for _, encoding in garbled_batch]
+        self.counters.gc_circuits_garbled += n
 
         if self.garbler_role == "server":
             # Server -> client: circuits with decode bits stripped (the
@@ -350,7 +377,7 @@ class HybridProtocol:
             raise ValueError("input size mismatch")
         self.channel.set_phase("online")
         p = self.modulus
-        masked = [(v - r) % p for v, r in zip(x, self.client_r[0])]
+        masked = mod_sub_vec(x, self.client_r[0], p, prefer=self._backend_pref)
         self.channel.send(CLIENT, masked)
         server_vec = self.channel.recv(SERVER)
 
@@ -359,11 +386,12 @@ class HybridProtocol:
             if kind == "linear":
                 lin = self.lowered.linears[lin_idx]
                 s = self.server_s[lin_idx]
-                server_vec = [
-                    (sum(lin.matrix[i][j] * server_vec[j] for j in range(lin.n_in)) + s[i])
-                    % p
-                    for i in range(lin.n_out)
-                ]
+                server_vec = mod_add_vec(
+                    matvec_mod(lin.matrix, server_vec, p, prefer=self._backend_pref),
+                    s,
+                    p,
+                    prefer=self._backend_pref,
+                )
             else:
                 server_vec = self._online_relu(pos, lin_idx, server_vec, evaluator)
 
@@ -373,9 +401,9 @@ class HybridProtocol:
         final_client_share = self.client_linear_share[
             self.lowered.steps[-1][1]
         ]
-        return [
-            (a + b) % p for a, b in zip(final_server_share, final_client_share)
-        ]
+        return mod_add_vec(
+            final_server_share, final_client_share, p, prefer=self._backend_pref
+        )
 
     def _online_relu(self, pos, lin_idx, server_share, evaluator) -> list[int]:
         bundle = self._relu_bundles[pos]
@@ -394,15 +422,16 @@ class HybridProtocol:
                 )
             self.channel.send(SERVER, all_labels)
             all_labels = self.channel.recv(CLIENT)
-            output_label_batch = []
+            labels_batch = []
             for j, garbler_labels in enumerate(all_labels):
                 circuit = bundle.circuits[j].circuit
                 labels = dict(bundle.evaluator_labels[j])
                 labels.update(zip(circuit.garbler_inputs, garbler_labels))
-                output_label_batch.append(
-                    evaluator.evaluate(bundle.circuits[j], labels)
-                )
-                self.counters.gc_circuits_evaluated += 1
+                labels_batch.append(labels)
+            output_label_batch = evaluator.evaluate_batch(
+                bundle.circuits, labels_batch, vectorize=self._vectorize_gc
+            )
+            self.counters.gc_circuits_evaluated += len(labels_batch)
             self.channel.send(CLIENT, output_label_batch)
             output_label_batch = self.channel.recv(SERVER)
             for j, out_labels in enumerate(output_label_batch):
@@ -431,8 +460,8 @@ class HybridProtocol:
         )
         self.channel.recv(SERVER)
 
-        out = []
         per = self.bits
+        labels_batch = []
         for j in range(len(server_share)):
             circuit = bundle.circuits[j].circuit
             # The garbler's label dict preserves insertion order:
@@ -445,10 +474,15 @@ class HybridProtocol:
             )
             chunk = received[j * per : (j + 1) * per]
             labels.update(zip(circuit.evaluator_inputs, chunk))
-            out_labels = evaluator.evaluate(bundle.circuits[j], labels)
-            self.counters.gc_circuits_evaluated += 1
-            out.append(words_to_int(evaluator.decode(bundle.circuits[j], out_labels)))
-        return out
+            labels_batch.append(labels)
+        output_label_batch = evaluator.evaluate_batch(
+            bundle.circuits, labels_batch, vectorize=self._vectorize_gc
+        )
+        self.counters.gc_circuits_evaluated += len(labels_batch)
+        return [
+            words_to_int(evaluator.decode(garbled, out_labels))
+            for garbled, out_labels in zip(bundle.circuits, output_label_batch)
+        ]
 
     # -- reference ---------------------------------------------------------------
 
@@ -460,10 +494,7 @@ class HybridProtocol:
         for kind, lin_idx in self.lowered.steps:
             lin = self.lowered.linears[lin_idx]
             if kind == "linear":
-                vec = [
-                    sum(lin.matrix[i][j] * vec[j] for j in range(lin.n_in)) % p
-                    for i in range(lin.n_out)
-                ]
+                vec = matvec_mod(lin.matrix, vec, p, prefer=self._backend_pref)
             else:
                 vec = [
                     (v >> self.truncate_bits) if v < threshold else 0 for v in vec

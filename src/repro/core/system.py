@@ -47,6 +47,24 @@ class SystemConfig:
     total_bps: float = 1e9
     wsa: bool = True
     parallelism: OfflineParallelism = OfflineParallelism.LPHE
+    # Compute backend ('auto'/'python'/'numpy') the functional substrate of
+    # this deployment runs on. The analytic simulation itself is
+    # backend-agnostic; :meth:`functional_bfv_params` threads the tag into
+    # BfvParams for callers that instantiate real crypto for a simulated
+    # deployment.
+    compute_backend: str = "auto"
+
+    def functional_bfv_params(self, n: int = 256, t_bits: int = 17):
+        """BFV parameters for a functional run of this deployment.
+
+        Returns vectorization-friendly parameters carrying this config's
+        ``compute_backend`` preference, so a :class:`~repro.core.protocol.
+        HybridProtocol` built from them runs the crypto substrate on the
+        backend the deployment specifies.
+        """
+        from repro.he.params import fast_params
+
+        return fast_params(n=n, t_bits=t_bits, backend=self.compute_backend)
 
     def link(self) -> TddLink:
         volumes = self.profile.comm(self.protocol)

@@ -1,13 +1,17 @@
 """Modular arithmetic helpers used across the HE, SS, and OT substrates.
 
-Everything here operates on plain Python integers so that moduli larger than
+Scalar helpers operate on plain Python integers so that moduli larger than
 64 bits (e.g. the ~41-bit DELPHI share prime or a 60-bit RLWE ciphertext
-modulus) are handled exactly.
+modulus) are handled exactly. The ``*_vec`` helpers and :func:`matvec_mod`
+are list-in/list-out conveniences that dispatch to the active compute
+backend (:mod:`repro.backend`), so callers get vectorized execution when
+numpy is available without holding backend state themselves.
 """
 
 from __future__ import annotations
 
 import random
+from typing import Sequence
 
 _MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
 
@@ -132,3 +136,71 @@ def centered(value: int, modulus: int) -> int:
     if value > modulus // 2:
         value -= modulus
     return value
+
+
+# -- vectorized helpers (backend-dispatched) -----------------------------------
+#
+# The backend import is deferred into each function: repro.backend imports
+# this module for mod_inverse, so a top-level import would be circular.
+# ``prefer`` overrides the active backend selection per call (how
+# ``BfvParams.backend`` / ``HybridProtocol(backend=...)`` reach these).
+
+
+def _backend(modulus: int, prefer: str | None = None):
+    from repro.backend import backend_for
+
+    return backend_for(modulus, prefer=prefer)
+
+
+def mod_add_vec(
+    a: Sequence[int], b: Sequence[int], modulus: int, prefer: str | None = None
+) -> list[int]:
+    """Elementwise (a + b) mod modulus."""
+    be = _backend(modulus, prefer)
+    return be.tolist(be.add(be.asvec(a, modulus), be.asvec(b, modulus), modulus))
+
+
+def mod_sub_vec(
+    a: Sequence[int], b: Sequence[int], modulus: int, prefer: str | None = None
+) -> list[int]:
+    """Elementwise (a - b) mod modulus."""
+    be = _backend(modulus, prefer)
+    return be.tolist(be.sub(be.asvec(a, modulus), be.asvec(b, modulus), modulus))
+
+
+def mod_mul_vec(
+    a: Sequence[int], b: Sequence[int], modulus: int, prefer: str | None = None
+) -> list[int]:
+    """Elementwise (a * b) mod modulus."""
+    be = _backend(modulus, prefer)
+    return be.tolist(be.mul(be.asvec(a, modulus), be.asvec(b, modulus), modulus))
+
+
+def mod_pow_vec(
+    bases: Sequence[int], exponent: int, modulus: int, prefer: str | None = None
+) -> list[int]:
+    """Elementwise pow(base, exponent, modulus) by square-and-multiply."""
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    be = _backend(modulus, prefer)
+    base = be.asvec(bases, modulus)
+    result = be.asvec([1] * be.veclen(base), modulus)
+    while exponent:
+        if exponent & 1:
+            result = be.mul(result, base, modulus)
+        exponent >>= 1
+        if exponent:
+            base = be.mul(base, base, modulus)
+    return be.tolist(result)
+
+
+def matvec_mod(
+    matrix, vec: Sequence[int], modulus: int, prefer: str | None = None
+) -> list[int]:
+    """``matrix @ vec mod modulus`` on the resolved backend.
+
+    ``matrix`` may be a list of rows or an ndarray; either representation
+    is accepted by both backends so lowered networks survive a backend
+    switch mid-session.
+    """
+    return _backend(modulus, prefer).matvec_mod(matrix, vec, modulus)

@@ -2,9 +2,16 @@
 
 from __future__ import annotations
 
-from repro.crypto.prg import hash_label, xor_bytes
+import struct
+
+from repro.crypto.prg import LABEL_BYTES, hash_label, xor_bytes
 from repro.gc.circuit import GateType
-from repro.gc.garble import GarbledCircuit
+from repro.gc.garble import GarbledCircuit, hash_label_rows
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - minimal images only
+    _np = None
 
 
 def _lsb(label: bytes) -> int:
@@ -37,6 +44,71 @@ class Evaluator:
                 w_e = xor_bytes(w_e, xor_bytes(table.evaluator_half, a))
             labels[gate.out] = xor_bytes(w_g, w_e)
         return [labels[w] for w in circuit.outputs]
+
+    def evaluate_batch(
+        self,
+        garbled_batch: list[GarbledCircuit],
+        input_labels_batch: list[dict[int, bytes]],
+        vectorize: bool | None = None,
+    ) -> list[list[bytes]]:
+        """Evaluate many garbled instances of one circuit topology at once.
+
+        The per-layer ReLU batch shares a single :class:`Circuit`, so the
+        gate walk happens once with every instance's active labels carried
+        as a (count, 16) byte matrix — free-XOR gates collapse to one
+        vectorized XOR and half-gate corrections to masked row XORs. Falls
+        back to per-instance :meth:`evaluate` when numpy is missing, the
+        resolved gate is python, or topologies differ; ``vectorize``
+        overrides the default gate (active backend == numpy) either way.
+        """
+        count = len(garbled_batch)
+        if count != len(input_labels_batch):
+            raise ValueError("one input-label map per garbled circuit required")
+        if count == 0:
+            return []
+        if vectorize is None:
+            from repro.backend import get_backend
+
+            vectorize = get_backend().name == "numpy"
+        circuit = garbled_batch[0].circuit
+        if (
+            _np is None
+            or count == 1
+            or not vectorize
+            or any(g.circuit is not circuit for g in garbled_batch[1:])
+        ):
+            return [
+                self.evaluate(g, labels)
+                for g, labels in zip(garbled_batch, input_labels_batch)
+            ]
+
+        def stack(rows: list[bytes]):
+            return _np.frombuffer(b"".join(rows), dtype=_np.uint8).reshape(
+                count, LABEL_BYTES
+            )
+
+        labels: dict[int, "_np.ndarray"] = {
+            wire: stack([inst[wire] for inst in input_labels_batch])
+            for wire in input_labels_batch[0]
+        }
+        for index, gate in enumerate(circuit.gates):
+            a = labels[gate.a]
+            b = labels[gate.b]
+            if gate.kind is GateType.XOR:
+                labels[gate.out] = a ^ b
+                continue
+            table_g = stack([g.tables[index].generator_half for g in garbled_batch])
+            table_e = stack([g.tables[index].evaluator_half for g in garbled_batch])
+            lsb_a = (a[:, :1] & 1).astype(bool)
+            lsb_b = (b[:, :1] & 1).astype(bool)
+            h_a = hash_label_rows(a, struct.pack("<Q", 2 * index))
+            h_b = hash_label_rows(b, struct.pack("<Q", 2 * index + 1))
+            w_g = _np.where(lsb_a, h_a ^ table_g, h_a)
+            w_e = _np.where(lsb_b, h_b ^ table_e ^ a, h_b)
+            labels[gate.out] = w_g ^ w_e
+        return [
+            [labels[w][i].tobytes() for w in circuit.outputs] for i in range(count)
+        ]
 
     def decode(self, garbled: GarbledCircuit, output_labels: list[bytes]) -> list[int]:
         """Decode output labels to cleartext bits using the decode bits."""

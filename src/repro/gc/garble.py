@@ -9,15 +9,42 @@ global offset ``delta``, the free-XOR invariant being
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass, field
 
 from repro.crypto.prg import LABEL_BYTES, hash_label, xor_bytes
 from repro.crypto.rng import SecureRandom
 from repro.gc.circuit import Circuit, GateType
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - minimal images only
+    _np = None
+
 
 def _lsb(label: bytes) -> int:
     return label[0] & 1
+
+
+def hash_label_rows(labels, tweak_bytes: bytes):
+    """H(label, tweak) for every row of a (count, 16) uint8 label matrix.
+
+    SHA-256 itself cannot be vectorized from Python, but hashing straight
+    out of the matrix rows avoids the per-gate dict walks and bytes
+    plumbing of the scalar path; everything around the hashes (label XOR,
+    point-and-permute masking) is done on whole matrices.
+    """
+    digest = hashlib.sha256
+    count = labels.shape[0]
+    flat = labels.tobytes()
+    joined = b"".join(
+        digest(flat[i * LABEL_BYTES : (i + 1) * LABEL_BYTES] + tweak_bytes).digest()[
+            :LABEL_BYTES
+        ]
+        for i in range(count)
+    )
+    return _np.frombuffer(joined, dtype=_np.uint8).reshape(count, LABEL_BYTES)
 
 
 @dataclass
@@ -141,6 +168,103 @@ class Garbler:
         )
         garbled = GarbledCircuit(circuit, tables, decode_bits)
         return garbled, encoding
+
+    def garble_batch(
+        self, circuit: Circuit, count: int, vectorize: bool | None = None
+    ) -> list[tuple[GarbledCircuit, InputEncoding]]:
+        """Garble ``count`` independent instances of the same circuit.
+
+        A ReLU layer garbles one identical circuit per activation wire, so
+        instead of walking the gate list once per instance we walk it once
+        and carry every instance's labels as a (count, 16) byte matrix:
+        free-XOR gates become single vectorized XORs across the whole
+        batch and half-gate masking becomes boolean row selection. Each
+        instance still draws its own delta and input labels, and the
+        produced tables are exactly what per-instance :meth:`garble` would
+        accept — only the RNG draw order differs.
+
+        ``vectorize`` overrides the default gate (label matrices when the
+        active backend is numpy); pass False to force sequential garbling
+        (keeping `REPRO_BACKEND=python` runs pure) or True to vectorize
+        regardless of the global selection, e.g. from a per-protocol
+        backend preference.
+        """
+        if count <= 0:
+            return []
+        if vectorize is None:
+            from repro.backend import get_backend
+
+            vectorize = get_backend().name == "numpy"
+        if _np is None or count == 1 or not vectorize:
+            return [self.garble(circuit) for _ in range(count)]
+        rng = self._rng
+
+        def fresh_labels():
+            return _np.frombuffer(
+                rng.bytes(count * LABEL_BYTES), dtype=_np.uint8
+            ).reshape(count, LABEL_BYTES).copy()
+
+        deltas = fresh_labels()
+        deltas[:, 0] |= 1  # point-and-permute bit rides on the LSB
+
+        zero_labels: dict[int, "_np.ndarray"] = {
+            Circuit.CONST_ZERO: fresh_labels(),
+            Circuit.CONST_ONE: fresh_labels(),
+        }
+        for wire in circuit.garbler_inputs:
+            zero_labels[wire] = fresh_labels()
+        for wire in circuit.evaluator_inputs:
+            zero_labels[wire] = fresh_labels()
+
+        and_tables: list[tuple[int, "_np.ndarray", "_np.ndarray"]] = []
+        for index, gate in enumerate(circuit.gates):
+            a0 = zero_labels[gate.a]
+            b0 = zero_labels[gate.b]
+            if gate.kind is GateType.XOR:
+                zero_labels[gate.out] = a0 ^ b0
+                continue
+            a1 = a0 ^ deltas
+            b1 = b0 ^ deltas
+            p_a = (a0[:, :1] & 1).astype(bool)  # column vectors broadcast
+            p_b = (b0[:, :1] & 1).astype(bool)
+            tweak_g = struct.pack("<Q", 2 * index)
+            tweak_e = struct.pack("<Q", 2 * index + 1)
+            h_a0 = hash_label_rows(a0, tweak_g)
+            h_a1 = hash_label_rows(a1, tweak_g)
+            h_b0 = hash_label_rows(b0, tweak_e)
+            h_b1 = hash_label_rows(b1, tweak_e)
+            # Generator half-gate: computes a AND p_b (garbler knows p_b).
+            t_g = h_a0 ^ h_a1
+            t_g = _np.where(p_b, t_g ^ deltas, t_g)
+            w_g = _np.where(p_a, h_a0 ^ t_g, h_a0)
+            # Evaluator half-gate: computes a AND (b XOR p_b).
+            t_e = h_b0 ^ h_b1 ^ a0
+            w_e = _np.where(p_b, h_b0 ^ t_e ^ a0, h_b0)
+            zero_labels[gate.out] = w_g ^ w_e
+            and_tables.append((index, t_g, t_e))
+
+        encoding_wires = (
+            [Circuit.CONST_ZERO, Circuit.CONST_ONE]
+            + circuit.garbler_inputs
+            + circuit.evaluator_inputs
+        )
+        output_rows = {w: zero_labels[w] for w in circuit.outputs}
+        results = []
+        for i in range(count):
+            tables = {
+                index: GarbledGate(t_g[i].tobytes(), t_e[i].tobytes())
+                for index, t_g, t_e in and_tables
+            }
+            decode_bits = [int(output_rows[w][i, 0]) & 1 for w in circuit.outputs]
+            encoding = InputEncoding(
+                zero_labels={w: zero_labels[w][i].tobytes() for w in encoding_wires},
+                delta=deltas[i].tobytes(),
+                output_zero_labels={
+                    w: output_rows[w][i].tobytes() for w in circuit.outputs
+                },
+            )
+            results.append((GarbledCircuit(circuit, tables, decode_bits), encoding))
+        return results
 
     @staticmethod
     def encode_inputs(

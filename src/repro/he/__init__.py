@@ -5,8 +5,8 @@ from repro.he.costmodel import HeOpCount, HeUnitCosts, conv_op_count, fc_op_coun
 from repro.he.encoder import BatchEncoder
 from repro.he.linear import HomomorphicLinearEvaluator, required_rotation_steps
 from repro.he.ntt import NegacyclicNtt, Ntt
-from repro.he.params import BfvParams, delphi_params, toy_params
-from repro.he.polynomial import RingPoly
+from repro.he.params import BfvParams, delphi_params, fast_params, toy_params
+from repro.he.polynomial import RingPoly, clear_ntt_cache
 
 __all__ = [
     "BatchEncoder",
@@ -22,8 +22,10 @@ __all__ = [
     "PublicKey",
     "RingPoly",
     "SecretKey",
+    "clear_ntt_cache",
     "conv_op_count",
     "delphi_params",
+    "fast_params",
     "fc_op_count",
     "required_rotation_steps",
     "toy_params",

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.backend import backend_for
 from repro.crypto.rng import SecureRandom
 from repro.he.params import BfvParams
 from repro.he.polynomial import RingPoly
@@ -81,12 +82,19 @@ class BfvContext:
     def __init__(self, params: BfvParams, rng: SecureRandom | None = None):
         self.params = params
         self._rng = rng or SecureRandom()
+        # Resolved once so every polynomial this context creates agrees;
+        # oversized q falls back to the exact python backend automatically.
+        self._rq = backend_for(params.q, prefer=params.backend)
+        self._rt = backend_for(params.t, prefer=params.backend)
+
+    def _ring_poly(self, coeffs) -> RingPoly:
+        return RingPoly(coeffs, self.params.q, backend=self._rq)
 
     # -- key generation ----------------------------------------------------
 
     def keygen(self) -> tuple[SecretKey, PublicKey]:
         p = self.params
-        s = RingPoly([self._rng.ternary() for _ in range(p.n)], p.q)
+        s = self._ring_poly([self._rng.ternary() for _ in range(p.n)])
         a = self._random_uniform()
         e = self._noise()
         pk = PublicKey(p, -(a * s + e), a)
@@ -114,9 +122,9 @@ class BfvContext:
         """Encrypt a plaintext polynomial with coefficients in [0, t)."""
         p = self.params
         self._check_plaintext(plaintext)
-        u = RingPoly([self._rng.ternary() for _ in range(p.n)], p.q)
+        u = self._ring_poly([self._rng.ternary() for _ in range(p.n)])
         e1, e2 = self._noise(), self._noise()
-        scaled = RingPoly([c * p.delta for c in plaintext.coeffs], p.q)
+        scaled = plaintext.lift_scale(p.delta, p.q)
         c0 = pk.p0 * u + e1 + scaled
         c1 = pk.p1 * u + e2
         return Ciphertext(p, c0, c1)
@@ -125,15 +133,18 @@ class BfvContext:
         """Decrypt to a plaintext polynomial over Z_t."""
         p = self.params
         noisy = ct.c0 + ct.c1 * sk.s
+        # The rounding divide mixes q- and t-sized integers (c*t spans
+        # ~q_bits + t_bits), so it runs on exact Python ints regardless of
+        # backend; decryption is once-per-ciphertext, not the hot loop.
         coeffs = [(c * p.t + p.q // 2) // p.q % p.t for c in noisy.coeffs]
-        return RingPoly(coeffs, p.t)
+        return RingPoly(coeffs, p.t, backend=self._rt)
 
     def noise_budget_bits(self, sk: SecretKey, ct: Ciphertext) -> int:
         """Remaining noise budget in bits (0 means decryption may fail)."""
         p = self.params
         noisy = ct.c0 + ct.c1 * sk.s
         message = self.decrypt(sk, ct)
-        scaled = RingPoly([c * p.delta for c in message.coeffs], p.q)
+        scaled = message.lift_scale(p.delta, p.q)
         residual = noisy - scaled
         worst = max(
             min(c, p.q - c) for c in residual.coeffs
@@ -147,20 +158,20 @@ class BfvContext:
     def add_plain(self, ct: Ciphertext, plaintext: RingPoly) -> Ciphertext:
         p = self.params
         self._check_plaintext(plaintext)
-        scaled = RingPoly([c * p.delta for c in plaintext.coeffs], p.q)
+        scaled = plaintext.lift_scale(p.delta, p.q)
         return Ciphertext(p, ct.c0 + scaled, ct.c1)
 
     def sub_plain(self, ct: Ciphertext, plaintext: RingPoly) -> Ciphertext:
         p = self.params
         self._check_plaintext(plaintext)
-        scaled = RingPoly([c * p.delta for c in plaintext.coeffs], p.q)
+        scaled = plaintext.lift_scale(p.delta, p.q)
         return Ciphertext(p, ct.c0 - scaled, ct.c1)
 
     def mul_plain(self, ct: Ciphertext, plaintext: RingPoly) -> Ciphertext:
         """Multiply by a plaintext polynomial (coefficients in [0, t))."""
         p = self.params
         self._check_plaintext(plaintext)
-        lifted = RingPoly(plaintext.coeffs, p.q)
+        lifted = plaintext.lift(p.q)
         return Ciphertext(p, ct.c0 * lifted, ct.c1 * lifted)
 
     def rotate(self, ct: Ciphertext, galois_element: int, gk: GaloisKeys) -> Ciphertext:
@@ -172,7 +183,7 @@ class BfvContext:
         rotated_c1 = ct.c1.automorphism(galois_element)
         digits = rotated_c1.decompose(p.decomp_bits, p.num_decomp_digits)
         new_c0 = rotated_c0
-        new_c1 = RingPoly.zero(p.n, p.q)
+        new_c1 = RingPoly.zero(p.n, p.q, backend=self._rq)
         for d_j, (k0, k1) in zip(digits, gk.keys[galois_element]):
             new_c0 = new_c0 + d_j * k0
             new_c1 = new_c1 + d_j * k1
@@ -182,19 +193,17 @@ class BfvContext:
 
     def _random_uniform(self) -> RingPoly:
         p = self.params
-        return RingPoly(
-            [self._rng.field_element(p.q) for _ in range(p.n)], p.q
-        )
+        return self._ring_poly([self._rng.field_element(p.q) for _ in range(p.n)])
 
     def _noise(self) -> RingPoly:
         p = self.params
-        return RingPoly(
-            [self._rng.centered_binomial(p.noise_eta) for _ in range(p.n)], p.q
+        return self._ring_poly(
+            [self._rng.centered_binomial(p.noise_eta) for _ in range(p.n)]
         )
 
     def _check_plaintext(self, plaintext: RingPoly) -> None:
         p = self.params
         if plaintext.n != p.n:
             raise ValueError("plaintext degree mismatch")
-        if any(c >= p.t for c in plaintext.coeffs):
+        if plaintext.max_coeff() >= p.t:
             raise ValueError("plaintext coefficients must be reduced mod t")

@@ -8,6 +8,7 @@ Gazelle for its matrix-vector and convolution kernels.
 
 from __future__ import annotations
 
+from repro.backend import backend_for
 from repro.he.ntt import NegacyclicNtt
 from repro.he.params import BfvParams
 from repro.he.polynomial import RingPoly
@@ -19,7 +20,8 @@ class BatchEncoder:
     def __init__(self, params: BfvParams):
         self.params = params
         n = params.n
-        self._ntt = NegacyclicNtt(n, params.t)
+        self._backend = backend_for(params.t, prefer=params.backend)
+        self._ntt = NegacyclicNtt(n, params.t, backend=self._backend)
         two_n = 2 * n
         # Slot i of row 0 lives at evaluation point zeta^(3^i); slot i of
         # row 1 at zeta^(-3^i). Forward negacyclic NTT output index k holds
@@ -33,6 +35,10 @@ class BatchEncoder:
         self._eval_to_slot = [0] * n
         for slot, pos in enumerate(self._slot_to_eval):
             self._eval_to_slot[pos] = slot
+        # Native gather indices: encode scatters values[slot] to position
+        # slot_to_eval[slot], which is the gather values[eval_to_slot[pos]].
+        self._gather_encode = self._backend.index_array(self._eval_to_slot)
+        self._gather_decode = self._backend.index_array(self._slot_to_eval)
 
     @property
     def slot_count(self) -> int:
@@ -42,23 +48,29 @@ class BatchEncoder:
     def row_size(self) -> int:
         return self.params.row_size
 
-    def encode(self, values: list[int]) -> RingPoly:
+    def encode(self, values) -> RingPoly:
         """Encode up to n values (padded with zeros) into a plaintext poly."""
         p = self.params
+        be = self._backend
         if len(values) > p.n:
             raise ValueError(f"too many values for {p.n} slots")
-        evals = [0] * p.n
-        for slot, value in enumerate(values):
-            evals[self._slot_to_eval[slot]] = value % p.t
-        return RingPoly(self._ntt.inverse(evals), p.t)
+        if len(values) < p.n:
+            values = list(values) + [0] * (p.n - len(values))
+        slots = be.asvec(values, p.t)
+        evals = be.permute(slots, self._gather_encode)
+        return RingPoly._from_vec(self._ntt.inverse_vec(evals), p.t, be)
 
     def decode(self, plaintext: RingPoly) -> list[int]:
         """Decode a plaintext polynomial back to its n slot values."""
         p = self.params
+        be = self._backend
         if plaintext.n != p.n:
             raise ValueError("plaintext degree mismatch")
-        evals = self._ntt.forward(plaintext.coeffs)
-        return [evals[self._slot_to_eval[slot]] for slot in range(p.n)]
+        vec = plaintext.vec if plaintext.backend is be else be.asvec(
+            plaintext.coeffs, p.t
+        )
+        evals = self._ntt.forward_vec(vec)
+        return be.tolist(be.permute(evals, self._gather_decode))
 
     def galois_element_for_rotation(self, steps: int) -> int:
         """Galois element realizing a cyclic row rotation by ``steps``.

@@ -32,11 +32,37 @@ class HomomorphicLinearEvaluator:
         self.rotations_performed = 0
         self.plain_mults_performed = 0
 
-    def matvec(self, ct_x: Ciphertext, matrix: list[list[int]]) -> Ciphertext:
+    def _diagonal(self, matrix, d: int, n_in: int, n_out: int, row_size: int):
+        """Generalized diagonal d padded to a full batching row.
+
+        Vectorized gather when the matrix arrives as an ndarray (the
+        lowered-network representation under the numpy backend); the list
+        path keeps the reference loop.
+        """
+        t = self._encoder.params.t
+        if isinstance(matrix, np.ndarray):
+            rows = np.arange(n_out)
+            diag = np.zeros(row_size, dtype=np.uint64)
+            diag[:n_out] = matrix[rows, (rows + d) % n_in] % np.uint64(t)
+            return diag
+        return [
+            matrix[i][(i + d) % n_in] % t if i < n_out else 0
+            for i in range(row_size)
+        ]
+
+    @staticmethod
+    def _both_rows(diag):
+        """Replicate a row-sized diagonal into both batching rows."""
+        if isinstance(diag, np.ndarray):
+            return np.concatenate([diag, diag])
+        return diag + diag
+
+    def matvec(self, ct_x: Ciphertext, matrix) -> Ciphertext:
         """Homomorphically compute ``matrix @ x`` via the diagonal method.
 
         ``ct_x`` must encrypt x replicated to fill a batching row (see
         :meth:`pack_vector`); the matrix width must divide the row size.
+        ``matrix`` is a 2D field matrix — list of rows or ndarray.
         """
         encoder = self._encoder
         row_size = encoder.row_size
@@ -47,7 +73,6 @@ class HomomorphicLinearEvaluator:
         if n_out > row_size:
             raise ValueError(f"matrix height {n_out} exceeds row size {row_size}")
 
-        t = encoder.params.t
         result: Ciphertext | None = None
         rotated = ct_x
         for d in range(n_in):
@@ -55,12 +80,9 @@ class HomomorphicLinearEvaluator:
                 g = encoder.galois_element_for_rotation(1)
                 rotated = self._ctx.rotate(rotated, g, self._galois_keys)
                 self.rotations_performed += 1
-            diag = [0] * row_size
-            for i in range(row_size):
-                if i < n_out:
-                    diag[i] = matrix[i][(i + d) % n_in] % t
+            diag = self._diagonal(matrix, d, n_in, n_out, row_size)
             # Replicate into the second row so both rows stay consistent.
-            pt_diag = encoder.encode(diag + diag)
+            pt_diag = encoder.encode(self._both_rows(diag))
             term = self._ctx.mul_plain(rotated, pt_diag)
             self.plain_mults_performed += 1
             result = term if result is None else result + term
@@ -68,7 +90,7 @@ class HomomorphicLinearEvaluator:
         return result
 
     def matvec_bsgs(
-        self, ct_x: Ciphertext, matrix: list[list[int]], baby_steps: int
+        self, ct_x: Ciphertext, matrix, baby_steps: int
     ) -> Ciphertext:
         """Baby-step/giant-step diagonal matvec (Gazelle's hoisting trick).
 
@@ -89,7 +111,6 @@ class HomomorphicLinearEvaluator:
         if n_out > row_size:
             raise ValueError(f"matrix height {n_out} exceeds row size {row_size}")
         giant_steps = n_in // baby_steps
-        t = encoder.params.t
         g1 = encoder.galois_element_for_rotation(1)
         g_big = encoder.galois_element_for_rotation(baby_steps)
 
@@ -98,22 +119,19 @@ class HomomorphicLinearEvaluator:
             babies.append(self._ctx.rotate(babies[-1], g1, self._galois_keys))
             self.rotations_performed += 1
 
-        def diagonal(d: int) -> list[int]:
-            return [
-                matrix[i][(i + d) % n_in] % t if i < n_out else 0
-                for i in range(row_size)
-            ]
-
         result: Ciphertext | None = None
         for g in range(giant_steps - 1, -1, -1):
             shift = g * baby_steps
             partial: Ciphertext | None = None
             for b in range(baby_steps):
-                diag = diagonal(shift + b)
+                diag = self._diagonal(matrix, shift + b, n_in, n_out, row_size)
                 # Pre-rotate the plaintext right by the giant shift so the
                 # final ciphertext rotation lands entries at the right slot.
-                pre = [diag[(j - shift) % row_size] for j in range(row_size)]
-                term = self._ctx.mul_plain(babies[b], encoder.encode(pre + pre))
+                if isinstance(diag, np.ndarray):
+                    pre = np.roll(diag, shift)
+                else:
+                    pre = [diag[(j - shift) % row_size] for j in range(row_size)]
+                term = self._ctx.mul_plain(babies[b], encoder.encode(self._both_rows(pre)))
                 self.plain_mults_performed += 1
                 partial = term if partial is None else partial + term
             assert partial is not None

@@ -7,71 +7,67 @@ Two flavours are provided:
 * :class:`NegacyclicNtt` — the negacyclic NTT (X^n + 1), used for fast
   multiplication in the RLWE ciphertext ring R_q = Z_q[X]/(X^n + 1).
 
-Both operate on lists of Python ints so arbitrary-width moduli work exactly.
+Root finding and psi-twisting live here; the transform kernel itself is
+delegated to the active compute backend (:mod:`repro.backend`): iterative
+Cooley-Tukey over ``list[int]`` on the python backend, precomputed
+twiddle-table stages over ``uint64`` ndarrays on the numpy backend. Both
+produce bit-identical outputs.
+
+The public ``forward``/``inverse``/``multiply`` methods keep the seed's
+list-in/list-out contract; the ``*_vec`` variants operate on backend-native
+vectors and are what :class:`repro.he.polynomial.RingPoly` uses so the hot
+path never round-trips through Python lists.
 """
 
 from __future__ import annotations
 
+from repro.backend import ComputeBackend, backend_for
 from repro.crypto.modmath import mod_inverse, primitive_root_of_unity
-
-
-def _bit_reverse_permute(values: list[int]) -> list[int]:
-    n = len(values)
-    out = list(values)
-    j = 0
-    for i in range(1, n):
-        bit = n >> 1
-        while j & bit:
-            j ^= bit
-            bit >>= 1
-        j |= bit
-        if i < j:
-            out[i], out[j] = out[j], out[i]
-    return out
-
-
-def _iterative_ntt(values: list[int], root: int, q: int) -> list[int]:
-    """In-place iterative Cooley-Tukey NTT; ``root`` is a primitive n-th root."""
-    n = len(values)
-    a = _bit_reverse_permute(values)
-    length = 2
-    while length <= n:
-        w_len = pow(root, n // length, q)
-        for start in range(0, n, length):
-            w = 1
-            half = length // 2
-            for k in range(start, start + half):
-                u = a[k]
-                v = a[k + half] * w % q
-                a[k] = (u + v) % q
-                a[k + half] = (u - v) % q
-                w = w * w_len % q
-        length <<= 1
-    return a
 
 
 class Ntt:
     """Cyclic NTT of size n over Z_q (requires q ≡ 1 mod n)."""
 
-    def __init__(self, n: int, q: int, root: int | None = None):
+    def __init__(
+        self,
+        n: int,
+        q: int,
+        root: int | None = None,
+        backend: ComputeBackend | None = None,
+    ):
         if n & (n - 1):
             raise ValueError("NTT size must be a power of two")
         self.n = n
         self.q = q
+        self.backend = backend or backend_for(q)
         self.root = root if root is not None else primitive_root_of_unity(n, q)
         self.root_inv = mod_inverse(self.root, q)
         self.n_inv = mod_inverse(n, q)
+        self._plan = self.backend.make_ntt_plan(n, q, self.root)
+
+    def _check_length(self, values) -> None:
+        if len(values) != self.n:
+            raise ValueError(f"expected {self.n} values, got {len(values)}")
+
+    # -- backend-native API -------------------------------------------------
+
+    def forward_vec(self, vec):
+        return self._plan.forward(vec)
+
+    def inverse_vec(self, vec):
+        return self._plan.inverse(vec)
+
+    # -- list API (reference semantics) ------------------------------------
 
     def forward(self, values: list[int]) -> list[int]:
-        if len(values) != self.n:
-            raise ValueError(f"expected {self.n} values, got {len(values)}")
-        return _iterative_ntt([v % self.q for v in values], self.root, self.q)
+        self._check_length(values)
+        be = self.backend
+        return be.tolist(self.forward_vec(be.asvec(values, self.q)))
 
     def inverse(self, values: list[int]) -> list[int]:
-        if len(values) != self.n:
-            raise ValueError(f"expected {self.n} values, got {len(values)}")
-        out = _iterative_ntt([v % self.q for v in values], self.root_inv, self.q)
-        return [v * self.n_inv % self.q for v in out]
+        self._check_length(values)
+        be = self.backend
+        return be.tolist(self.inverse_vec(be.asvec(values, self.q)))
 
 
 class NegacyclicNtt:
@@ -83,18 +79,24 @@ class NegacyclicNtt:
     transformed domain then realize negacyclic convolution.
     """
 
-    def __init__(self, n: int, q: int):
+    def __init__(self, n: int, q: int, backend: ComputeBackend | None = None):
         if n & (n - 1):
             raise ValueError("ring degree must be a power of two")
         if (q - 1) % (2 * n) != 0:
             raise ValueError(f"q={q} is not NTT friendly for degree {n}")
         self.n = n
         self.q = q
+        self.backend = backend or backend_for(q)
         self.psi = primitive_root_of_unity(2 * n, q)
         self.psi_inv = mod_inverse(self.psi, q)
-        self._ntt = Ntt(n, q, root=self.psi * self.psi % q)
-        self._psi_powers = self._powers(self.psi)
-        self._psi_inv_powers = self._powers(self.psi_inv)
+        self._ntt = Ntt(n, q, root=self.psi * self.psi % q, backend=self.backend)
+        self._psi_powers = self.backend.asvec(self._powers(self.psi), q)
+        # 1/n folded into the untwist table: the inverse transform then skips
+        # its separate scaling pass (identical values, one fewer vector op).
+        n_inv = self._ntt.n_inv
+        self._psi_inv_scaled = self.backend.asvec(
+            [p * n_inv % q for p in self._powers(self.psi_inv)], q
+        )
 
     def _powers(self, base: int) -> list[int]:
         powers = [1] * self.n
@@ -102,16 +104,41 @@ class NegacyclicNtt:
             powers[i] = powers[i - 1] * base % self.q
         return powers
 
+    # -- backend-native API -------------------------------------------------
+
+    def forward_vec(self, vec):
+        if self.backend.veclen(vec) != self.n:
+            raise ValueError(f"expected {self.n} coefficients")
+        twisted = self.backend.mul(vec, self._psi_powers, self.q)
+        return self._ntt.forward_vec(twisted)
+
+    def inverse_vec(self, vec):
+        if self.backend.veclen(vec) != self.n:
+            raise ValueError(f"expected {self.n} values")
+        coeffs = self._ntt._plan.inverse_unscaled(vec)
+        return self.backend.mul(coeffs, self._psi_inv_scaled, self.q)
+
+    def multiply_vec(self, a, b):
+        """Negacyclic product of two backend-native coefficient vectors."""
+        be = self.backend
+        ta = be.mul(a, self._psi_powers, self.q)
+        tb = be.mul(b, self._psi_powers, self.q)
+        fa, fb = self._ntt._plan.forward_pair(ta, tb)
+        return self.inverse_vec(be.mul(fa, fb, self.q))
+
+    # -- list API (reference semantics) ------------------------------------
+
     def forward(self, coeffs: list[int]) -> list[int]:
-        twisted = [c * p % self.q for c, p in zip(coeffs, self._psi_powers)]
-        return self._ntt.forward(twisted)
+        be = self.backend
+        return be.tolist(self.forward_vec(be.asvec(coeffs, self.q)))
 
     def inverse(self, values: list[int]) -> list[int]:
-        coeffs = self._ntt.inverse(values)
-        return [c * p % self.q for c, p in zip(coeffs, self._psi_inv_powers)]
+        be = self.backend
+        return be.tolist(self.inverse_vec(be.asvec(values, self.q)))
 
     def multiply(self, a: list[int], b: list[int]) -> list[int]:
         """Negacyclic product of two coefficient vectors."""
-        fa = self.forward(a)
-        fb = self.forward(b)
-        return self.inverse([x * y % self.q for x, y in zip(fa, fb)])
+        be = self.backend
+        return be.tolist(
+            self.multiply_vec(be.asvec(a, self.q), be.asvec(b, self.q))
+        )

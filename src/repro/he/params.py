@@ -24,6 +24,10 @@ class BfvParams:
         t: plaintext modulus (prime, ≡ 1 mod 2n so batching works).
         noise_eta: centered-binomial width for fresh encryption noise.
         decomp_bits: digit width for key-switching decomposition.
+        backend: compute backend preference ('auto', 'python', 'numpy')
+            for every object built from these params; whatever is chosen,
+            moduli a backend cannot handle exactly fall back to python
+            (see :mod:`repro.backend`).
     """
 
     n: int
@@ -31,6 +35,7 @@ class BfvParams:
     t: int
     noise_eta: int = 4
     decomp_bits: int = 16
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n & (self.n - 1):
@@ -82,6 +87,25 @@ def toy_params(n: int = 256, t_bits: int = 17) -> BfvParams:
     q = find_ntt_prime(100, n)
     t = find_ntt_prime(t_bits, n)
     return BfvParams(n=n, q=q, t=t)
+
+
+def fast_params(n: int = 256, t_bits: int = 17, backend: str = "auto") -> BfvParams:
+    """Vectorization-friendly parameters (insecure; functional only).
+
+    Like :func:`toy_params` but with a 62-bit ciphertext modulus — the
+    widest prime the numpy backend's Shoup reduction handles exactly — so
+    the whole BFV pipeline runs vectorized instead of falling back to
+    arbitrary-precision Python. The narrower q buys noise budget back by
+    shrinking the key-switching digits to 4 bits (more digits per
+    rotation, each contributing far less noise): a full-row diagonal
+    matvec at a 17-bit plaintext field retains ~9 bits of budget, versus
+    going negative with the default 16-bit digits. The python backend
+    computes these parameters exactly too, which is what makes
+    cross-backend parity and benchmark comparisons apples-to-apples.
+    """
+    q = find_ntt_prime(62, n)
+    t = find_ntt_prime(t_bits, n)
+    return BfvParams(n=n, q=q, t=t, decomp_bits=4, backend=backend)
 
 
 def delphi_params() -> BfvParams:

@@ -1,34 +1,77 @@
-"""Arithmetic in the RLWE ciphertext ring R_q = Z_q[X]/(X^n + 1)."""
+"""Arithmetic in the RLWE ciphertext ring R_q = Z_q[X]/(X^n + 1).
+
+``RingPoly`` stores its coefficients as a backend-native vector (plain
+``list[int]`` on the python backend, ``uint64`` ndarray on numpy) and
+routes every operation through :mod:`repro.backend`, so a whole
+ciphertext operation runs as a handful of vectorized kernels instead of
+per-coefficient Python loops. The ``coeffs`` property materializes (and
+caches) a plain-int list for serialization, decryption and tests.
+
+Ring multiplications share :class:`~repro.he.ntt.NegacyclicNtt` contexts
+through a bounded LRU cache keyed by (n, q, backend): parameter sweeps
+used to grow the old unbounded dict without limit.
+"""
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
+from repro.backend import ComputeBackend, backend_for
 from repro.he.ntt import NegacyclicNtt
 
-_NTT_CACHE: dict[tuple[int, int], NegacyclicNtt] = {}
+_NTT_CACHE: OrderedDict[tuple[int, int, str], NegacyclicNtt] = OrderedDict()
+_NTT_CACHE_MAX = 32
 
 
-def _context(n: int, q: int) -> NegacyclicNtt:
-    key = (n, q)
+def _context(n: int, q: int, backend: ComputeBackend) -> NegacyclicNtt:
+    key = (n, q, backend.name)
     ctx = _NTT_CACHE.get(key)
     if ctx is None:
-        ctx = NegacyclicNtt(n, q)
+        ctx = NegacyclicNtt(n, q, backend=backend)
         _NTT_CACHE[key] = ctx
+        while len(_NTT_CACHE) > _NTT_CACHE_MAX:
+            _NTT_CACHE.popitem(last=False)
+    else:
+        _NTT_CACHE.move_to_end(key)
     return ctx
+
+
+def clear_ntt_cache() -> None:
+    """Drop all cached NTT contexts (tests and parameter sweeps)."""
+    _NTT_CACHE.clear()
+
+
+def ntt_cache_size() -> int:
+    return len(_NTT_CACHE)
 
 
 class RingPoly:
     """Polynomial in Z_q[X]/(X^n + 1), coefficients stored reduced mod q."""
 
-    __slots__ = ("n", "q", "coeffs")
+    __slots__ = ("n", "q", "_backend", "_vec", "_coeffs")
 
-    def __init__(self, coeffs: list[int], q: int):
-        self.n = len(coeffs)
+    def __init__(self, coeffs, q: int, backend: ComputeBackend | None = None):
+        self._backend = backend or backend_for(q)
+        self._vec = self._backend.asvec(coeffs, q)
+        self.n = self._backend.veclen(self._vec)
         self.q = q
-        self.coeffs = [c % q for c in coeffs]
+        self._coeffs: list[int] | None = None
 
     @classmethod
-    def zero(cls, n: int, q: int) -> "RingPoly":
-        return cls([0] * n, q)
+    def _from_vec(cls, vec, q: int, backend: ComputeBackend) -> "RingPoly":
+        """Wrap an already-reduced backend vector without copying."""
+        poly = cls.__new__(cls)
+        poly._backend = backend
+        poly._vec = vec
+        poly.n = backend.veclen(vec)
+        poly.q = q
+        poly._coeffs = None
+        return poly
+
+    @classmethod
+    def zero(cls, n: int, q: int, backend: ComputeBackend | None = None) -> "RingPoly":
+        backend = backend or backend_for(q)
+        return cls._from_vec(backend.zeros(n, q), q, backend)
 
     @classmethod
     def constant(cls, value: int, n: int, q: int) -> "RingPoly":
@@ -36,34 +79,65 @@ class RingPoly:
         coeffs[0] = value % q
         return cls(coeffs, q)
 
+    # -- representation -----------------------------------------------------
+
+    @property
+    def coeffs(self) -> list[int]:
+        """Coefficients as plain Python ints (computed once, then cached)."""
+        if self._coeffs is None:
+            self._coeffs = self._backend.tolist(self._vec)
+        return self._coeffs
+
+    @property
+    def backend(self) -> ComputeBackend:
+        return self._backend
+
+    @property
+    def vec(self):
+        """Backend-native coefficient vector (treat as immutable)."""
+        return self._vec
+
+    def _coerce(self, other: "RingPoly"):
+        """Other's vector on this poly's backend (same q is checked first)."""
+        if other._backend is self._backend:
+            return other._vec
+        return self._backend.asvec(other.coeffs, self.q)
+
     def _check(self, other: "RingPoly") -> None:
         if self.n != other.n or self.q != other.q:
             raise ValueError("ring mismatch between polynomials")
 
+    # -- ring operations ----------------------------------------------------
+
     def __add__(self, other: "RingPoly") -> "RingPoly":
         self._check(other)
-        q = self.q
-        return RingPoly(
-            [(a + b) % q for a, b in zip(self.coeffs, other.coeffs)], q
+        be = self._backend
+        return RingPoly._from_vec(
+            be.add(self._vec, self._coerce(other), self.q), self.q, be
         )
 
     def __sub__(self, other: "RingPoly") -> "RingPoly":
         self._check(other)
-        q = self.q
-        return RingPoly(
-            [(a - b) % q for a, b in zip(self.coeffs, other.coeffs)], q
+        be = self._backend
+        return RingPoly._from_vec(
+            be.sub(self._vec, self._coerce(other), self.q), self.q, be
         )
 
     def __neg__(self) -> "RingPoly":
-        return RingPoly([-c % self.q for c in self.coeffs], self.q)
+        be = self._backend
+        return RingPoly._from_vec(be.neg(self._vec, self.q), self.q, be)
 
     def __mul__(self, other: "RingPoly | int") -> "RingPoly":
+        be = self._backend
         if isinstance(other, int):
-            scalar = other % self.q
-            return RingPoly([c * scalar % self.q for c in self.coeffs], self.q)
+            return RingPoly._from_vec(
+                be.scalar_mul(self._vec, other, self.q), self.q, be
+            )
         self._check(other)
-        ctx = _context(self.n, self.q)
-        return RingPoly(ctx.multiply(self.coeffs, other.coeffs), self.q)
+        ctx = _context(self.n, self.q, be)
+        return RingPoly._from_vec(
+            ctx.multiply_vec(self._vec, self._coerce(other)), self.q, be
+        )
 
     __rmul__ = __mul__
 
@@ -71,35 +145,51 @@ class RingPoly:
         """Apply X -> X^g; g must be odd so the map is a ring automorphism."""
         if galois_element % 2 == 0:
             raise ValueError("Galois element must be odd")
-        n, q = self.n, self.q
-        two_n = 2 * n
-        out = [0] * n
-        for i, c in enumerate(self.coeffs):
-            if not c:
-                continue
-            j = i * galois_element % two_n
-            if j < n:
-                out[j] = (out[j] + c) % q
-            else:
-                out[j - n] = (out[j - n] - c) % q
-        return RingPoly(out, q)
+        be = self._backend
+        return RingPoly._from_vec(
+            be.automorphism(self._vec, galois_element, self.q), self.q, be
+        )
 
     def decompose(self, base_bits: int, num_digits: int) -> list["RingPoly"]:
         """Digit decomposition: self = sum_j digits[j] * 2^(j*base_bits)."""
-        mask = (1 << base_bits) - 1
-        digits = []
-        coeffs = list(self.coeffs)
-        for _ in range(num_digits):
-            digits.append(RingPoly([c & mask for c in coeffs], self.q))
-            coeffs = [c >> base_bits for c in coeffs]
-        return digits
+        be = self._backend
+        return [
+            RingPoly._from_vec(digit, self.q, be)
+            for digit in be.decompose(self._vec, base_bits, num_digits, self.q)
+        ]
+
+    # -- cross-modulus helpers (plaintext <-> ciphertext ring) --------------
+
+    def lift(self, new_q: int) -> "RingPoly":
+        """Reinterpret in Z_new_q (coefficients must already be < new_q)."""
+        target = backend_for(new_q)
+        if target is self._backend and new_q >= self.q:
+            return RingPoly._from_vec(self._vec, new_q, target)
+        return RingPoly(self.coeffs, new_q, backend=target)
+
+    def lift_scale(self, factor: int, new_q: int) -> "RingPoly":
+        """Coefficients * factor mod new_q, e.g. the delta-scaling lift."""
+        target = backend_for(new_q)
+        if target is self._backend:
+            return RingPoly._from_vec(
+                target.scalar_mul(self._vec, factor, new_q), new_q, target
+            )
+        factor %= new_q
+        return RingPoly(
+            [c * factor % new_q for c in self.coeffs], new_q, backend=target
+        )
+
+    def max_coeff(self) -> int:
+        return self._backend.max_value(self._vec)
+
+    # -- misc ----------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
-        return (
-            isinstance(other, RingPoly)
-            and self.q == other.q
-            and self.coeffs == other.coeffs
-        )
+        if not isinstance(other, RingPoly) or self.q != other.q:
+            return False
+        if other._backend is self._backend:
+            return self._backend.eq(self._vec, other._vec)
+        return self.coeffs == other.coeffs
 
     def __repr__(self) -> str:
         head = ", ".join(str(c) for c in self.coeffs[:4])
