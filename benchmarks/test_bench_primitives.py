@@ -11,8 +11,17 @@ once with ``REPRO_BACKEND=python`` and once with ``REPRO_BACKEND=numpy``
 and the per-backend timings land side by side in ``BENCH_primitives.json``
 (see ``benchmarks/conftest.py``). The vectorized backend is expected to be
 >= 10x faster on the NTT/BFV benches.
+
+The ``*_bigint`` / ``*_rns`` pairs additionally pit the two
+representations of the wide-modulus parameter sets against each other at
+the same composite q — ``toy_params`` (~100-bit chain) and
+``delphi_params`` (~180-bit SEAL-style chain, n=2048) — tracking the
+speedup the RNS chain buys on the paper-faithful configurations. Under
+the numpy backend the RNS ciphertext multiply at n=2048 is expected to be
+>= 3x faster than the bigint oracle.
 """
 
+import dataclasses
 import random
 
 import numpy as np
@@ -26,7 +35,7 @@ from repro.gc.relu import ReluCircuitSpec, build_relu_circuit
 from repro.he.bfv import BfvContext
 from repro.he.encoder import BatchEncoder
 from repro.he.ntt import NegacyclicNtt
-from repro.he.params import fast_params
+from repro.he.params import delphi_params, fast_params, toy_params
 from repro.ot.extension import iknp_transfer
 
 PARAMS = fast_params(n=256)
@@ -68,6 +77,52 @@ def test_bench_bfv_rotation(benchmark):
     gk = ctx.galois_keygen(sk, [g])
     ct = ctx.encrypt(pk, encoder.encode(list(range(100))))
     benchmark(lambda: ctx.rotate(ct, g, gk))
+
+
+def _mul_plain_bench(benchmark, params, representation, rounds):
+    """Ciphertext x plaintext multiply (two ring products) at wide q."""
+    params = dataclasses.replace(params, representation=representation)
+    ctx = BfvContext(params, SecureRandom(8))
+    encoder = BatchEncoder(params)
+    sk, pk = ctx.keygen()
+    ct = ctx.encrypt(pk, encoder.encode(list(range(100))))
+    pt = encoder.encode([7] * params.n)
+    benchmark.pedantic(
+        lambda: ctx.mul_plain(ct, pt), rounds=rounds, iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def test_bench_ct_mul_toy_bigint(benchmark):
+    _mul_plain_bench(benchmark, toy_params(n=256), "bigint", rounds=10)
+
+
+def test_bench_ct_mul_toy_rns(benchmark):
+    _mul_plain_bench(benchmark, toy_params(n=256), "rns", rounds=10)
+
+
+def test_bench_ct_mul_delphi_bigint(benchmark):
+    """The acceptance baseline: n=2048, ~180-bit q, bigint oracle ring."""
+    _mul_plain_bench(benchmark, delphi_params(), "bigint", rounds=5)
+
+
+def test_bench_ct_mul_delphi_rns(benchmark):
+    """Same multiply on CRT residues (expected >= 3x under numpy)."""
+    _mul_plain_bench(benchmark, delphi_params(), "rns", rounds=5)
+
+
+def test_bench_bfv_rotation_delphi_rns(benchmark):
+    """Key-switched rotation at delphi scale on the RNS chain."""
+    params = dataclasses.replace(delphi_params(), representation="rns")
+    ctx = BfvContext(params, SecureRandom(13))
+    encoder = BatchEncoder(params)
+    sk, pk = ctx.keygen()
+    g = encoder.galois_element_for_rotation(1)
+    gk = ctx.galois_keygen(sk, [g])
+    ct = ctx.encrypt(pk, encoder.encode(list(range(100))))
+    benchmark.pedantic(
+        lambda: ctx.rotate(ct, g, gk), rounds=3, iterations=1, warmup_rounds=1
+    )
 
 
 def test_bench_garble_relu(benchmark):

@@ -10,6 +10,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.backend import available_backends, set_backend
@@ -38,6 +39,15 @@ def main(argv: list[str] | None = None) -> int:
         "(overrides the REPRO_BACKEND environment variable; 'auto' picks "
         "numpy when available, falling back to exact python per modulus)",
     )
+    parser.add_argument(
+        "--representation",
+        choices=("auto", "bigint", "rns"),
+        default=None,
+        help="ciphertext-ring representation for wide-modulus BFV "
+        "parameter sets (overrides the REPRO_REPRESENTATION environment "
+        "variable; 'auto' picks RNS residues whenever a parameter set "
+        "carries a prime chain and the vectorized backend is active)",
+    )
     args = parser.parse_args(argv)
     if args.backend is not None:
         set_backend(args.backend)
@@ -59,8 +69,22 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print(f"unknown experiment {item!r}; try --list", file=sys.stderr)
             return 2
-    for key in selected:
-        ALL_EXPERIMENTS[key].main()
+    # Parameter sets are built inside each experiment; the environment
+    # variable is how 'auto' representation resolution hears about the
+    # override. Scoped to the experiment runs (and restored after) so an
+    # in-process caller of main() does not leak the selection.
+    saved = os.environ.get("REPRO_REPRESENTATION")
+    if args.representation is not None:
+        os.environ["REPRO_REPRESENTATION"] = args.representation
+    try:
+        for key in selected:
+            ALL_EXPERIMENTS[key].main()
+    finally:
+        if args.representation is not None:
+            if saved is None:
+                os.environ.pop("REPRO_REPRESENTATION", None)
+            else:
+                os.environ["REPRO_REPRESENTATION"] = saved
     return 0
 
 

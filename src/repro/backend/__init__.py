@@ -5,7 +5,7 @@ label batches, lowered linear layers) runs on whichever
 :class:`~repro.backend.base.ComputeBackend` the registry resolves:
 
 * ``python`` — exact arbitrary-precision reference (any modulus).
-* ``numpy``  — vectorized ``uint64`` residue arithmetic (moduli < 2^63),
+* ``numpy``  — vectorized ``uint64`` residue arithmetic (moduli < 2^62),
   typically 10-100x faster; only registered when numpy imports.
 
 Selection precedence, highest first:
@@ -18,9 +18,12 @@ Selection precedence, highest first:
 
 Whatever is selected, :func:`backend_for` silently falls back to the
 python backend for any modulus the chosen backend cannot compute exactly
-(q >= 2^63), so correctness never depends on configuration. Mixed runs
-are normal: with the default 100-bit toy ciphertext modulus the ring
-R_q stays on python while the 17-bit plaintext field runs on numpy.
+(q >= 2^62), so correctness never depends on configuration. Wide
+ciphertext moduli avoid that fallback via :class:`RnsContext`
+(:mod:`repro.backend.rns`): parameter sets carrying a CRT prime chain
+represent ring elements as per-prime residues, every one of which the
+vectorized backend handles exactly — see
+:class:`repro.he.polynomial.RnsPoly`.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ from repro.backend.python_backend import PythonBackend
 __all__ = [
     "ComputeBackend",
     "NttPlan",
+    "RnsContext",
     "available_backends",
     "active_backend_name",
     "backend_for",
@@ -110,3 +114,8 @@ def backend_for(q: int, prefer: str | None = None) -> ComputeBackend:
     if backend.supports_modulus(q):
         return backend
     return _REGISTRY["python"]
+
+
+# Imported last: repro.backend.rns resolves its per-prime backends through
+# backend_for above, so it needs this module's registry to exist first.
+from repro.backend.rns import RnsContext  # noqa: E402

@@ -8,7 +8,7 @@ written against. Two implementations exist:
   arbitrary-precision Python arithmetic. Exact for any modulus; this is
   the reference semantics every other backend must match bit for bit.
 * :mod:`repro.backend.numpy_backend` — ``uint64`` ndarray vectors with
-  Barrett/Shoup reduction. Exact for moduli below 2^63; larger moduli
+  Barrett/Shoup reduction. Exact for moduli below 2^62; larger moduli
   must fall back to the python backend (see
   :func:`repro.backend.backend_for`).
 
@@ -59,6 +59,21 @@ class NttPlan(abc.ABC):
         unreduced and must feed a reducing pointwise multiply.
         """
         return self.forward(a), self.forward(b)
+
+    def forward_many(self, vecs: Sequence[Vec]) -> list[Vec]:
+        """Forward transforms of every vector; backends may stack them
+        into a single pass (one ufunc walk per butterfly stage instead of
+        one per vector). Same unreduced-output contract as
+        :meth:`inverse_unscaled`.
+        """
+        return [self.forward(v) for v in vecs]
+
+    def inverse_unscaled_many(self, vecs: Sequence[Vec]) -> list[Vec]:
+        """Unscaled inverse transforms of every vector, batchable like
+        :meth:`forward_many`; outputs follow the :meth:`inverse_unscaled`
+        unreduced contract.
+        """
+        return [self.inverse_unscaled(v) for v in vecs]
 
 
 class ComputeBackend(abc.ABC):

@@ -221,6 +221,17 @@ class _NumpyNttPlan(NttPlan):
         stacked = self._transform(np.stack((a, b)), self.fwd_stages, normalize=False)
         return stacked[0], stacked[1]
 
+    def forward_many(self, vecs):
+        """All forward transforms as one stacked pass; outputs may be
+        unreduced residues in [0, 2q) per the base-class contract."""
+        if len(vecs) < 2:  # np.stack needs at least one array
+            return [
+                self._transform(v, self.fwd_stages, normalize=False)
+                for v in vecs
+            ]
+        stacked = self._transform(np.stack(vecs), self.fwd_stages, normalize=False)
+        return list(stacked)
+
     def inverse(self, vec):
         out = self._transform(vec, self.inv_stages)
         return self.backend.scalar_mul(out, self.n_inv, self.q)
@@ -229,6 +240,17 @@ class _NumpyNttPlan(NttPlan):
         """Inverse transform WITHOUT the 1/n factor (caller folds it in);
         output may be unreduced per the base-class contract."""
         return self._transform(vec, self.inv_stages, normalize=False)
+
+    def inverse_unscaled_many(self, vecs):
+        """All unscaled inverse transforms as one stacked pass (unreduced
+        outputs, same contract as :meth:`inverse_unscaled`)."""
+        if len(vecs) < 2:  # np.stack needs at least one array
+            return [
+                self._transform(v, self.inv_stages, normalize=False)
+                for v in vecs
+            ]
+        stacked = self._transform(np.stack(vecs), self.inv_stages, normalize=False)
+        return list(stacked)
 
 
 class _NumpyBackendImpl(ComputeBackend):

@@ -4,7 +4,7 @@ This is the seed implementation's arithmetic moved behind the backend
 interface — every other backend is validated bit-for-bit against it
 (``tests/test_backend_parity.py``). It has no modulus ceiling because
 Python ints are arbitrary precision, which is why oversized moduli
-(q >= 2^63) always land here.
+(q >= 2^62) always land here.
 """
 
 from __future__ import annotations

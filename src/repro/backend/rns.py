@@ -1,0 +1,126 @@
+"""Residue-number-system (CRT) representation of a wide ciphertext modulus.
+
+The numpy backend is exact only for moduli below 2^62, so the
+paper-faithful 100/180-bit ciphertext moduli historically fell back to
+the arbitrary-precision python ring. The standard fix — what SEAL and
+every production HE library do — is to pick q as a *product* of small
+NTT-friendly primes and keep ring elements as one residue vector per
+prime: every ring operation (add, negacyclic multiply, automorphism,
+scalar lift) commutes with the CRT isomorphism
+
+    Z_q[X]/(X^n + 1)  ≅  ⨉_i  Z_{q_i}[X]/(X^n + 1),
+
+so the whole chain runs on the vectorized backend. Only the
+noise-sensitive steps that need the *integer representative* of a
+coefficient — decryption rounding and key-switch digit decomposition —
+reconstruct through the CRT, and the digits they produce are small
+enough to convert straight back into every residue base.
+
+:class:`RnsContext` owns the chain: the primes, the per-prime compute
+backends, and the precomputed CRT garbage (Q/q_i and its inverse mod
+q_i). The ring element itself lives in
+:class:`repro.he.polynomial.RnsPoly`, which pairs these residues with
+the per-prime NTT contexts from the shared LRU cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+from repro.backend import backend_for
+from repro.backend.base import ComputeBackend
+from repro.crypto.modmath import mod_inverse
+
+
+class RnsContext:
+    """Precomputed constants for one RNS prime chain.
+
+    Cheap to build but typically shared: use :meth:`for_primes` to get a
+    cached instance keyed by (primes, resolved backend names) — a bounded
+    LRU, so parameter sweeps over many chains cannot grow it without
+    limit (same policy as the NTT-context cache).
+    """
+
+    __slots__ = ("primes", "q", "backends", "_m", "_m_inv")
+
+    _cache: OrderedDict[tuple, "RnsContext"] = OrderedDict()
+    _cache_max = 16
+
+    def __init__(self, primes: Sequence[int], prefer: str | None = None):
+        primes = tuple(int(p) for p in primes)
+        if not primes:
+            raise ValueError("RNS chain needs at least one prime")
+        if len(set(primes)) != len(primes):
+            raise ValueError("RNS chain primes must be distinct")
+        self.primes = primes
+        q = 1
+        for p in primes:
+            q *= p
+        self.q = q
+        self.backends: tuple[ComputeBackend, ...] = tuple(
+            backend_for(p, prefer=prefer) for p in primes
+        )
+        self._m = tuple(q // p for p in primes)
+        self._m_inv = tuple(
+            mod_inverse(m % p, p) for m, p in zip(self._m, primes)
+        )
+        # Note: the composite q's factorization is registered with the
+        # root finder by BfvParams.__post_init__, not here — RNS itself
+        # never transforms at the composite modulus (only per prime), so
+        # a standalone context has no use for it.
+
+    @classmethod
+    def for_primes(
+        cls, primes: Sequence[int], prefer: str | None = None
+    ) -> "RnsContext":
+        """Shared context for a chain (re-resolves if the backend changed)."""
+        primes = tuple(int(p) for p in primes)
+        names = tuple(backend_for(p, prefer=prefer).name for p in primes)
+        key = (primes, names)
+        ctx = cls._cache.get(key)
+        if ctx is None:
+            ctx = cls._cache[key] = cls(primes, prefer=prefer)
+            while len(cls._cache) > cls._cache_max:
+                cls._cache.popitem(last=False)
+        else:
+            cls._cache.move_to_end(key)
+        return ctx
+
+    def __len__(self) -> int:
+        return len(self.primes)
+
+    # -- base conversion ----------------------------------------------------
+
+    def to_rns(self, values) -> list:
+        """Residue vectors of ``values`` (ints, a list, or a native vector).
+
+        Each backend's ``asvec`` handles the reduction, so small inputs
+        (plaintext coefficients, key-switch digits, noise draws) take the
+        vectorized path and only genuinely wide integers pay for
+        arbitrary-precision reduction.
+        """
+        return [
+            be.asvec(values, p) for p, be in zip(self.primes, self.backends)
+        ]
+
+    def from_rns(self, residues: Sequence) -> list[int]:
+        """CRT reconstruction to integer coefficients in [0, q).
+
+        The per-prime half (r_i * (Q/q_i)^-1 mod q_i) runs vectorized; only
+        the final combination against the wide Q/q_i constants is
+        arbitrary-precision, so reconstruction costs O(n*k) bigint
+        multiply-adds for a chain of k primes.
+        """
+        parts = [
+            be.tolist(be.scalar_mul(r, inv, p))
+            for r, inv, p, be in zip(
+                residues, self._m_inv, self.primes, self.backends
+            )
+        ]
+        q = self.q
+        big = self._m
+        return [
+            sum(part[j] * m for part, m in zip(parts, big)) % q
+            for j in range(len(parts[0]))
+        ]

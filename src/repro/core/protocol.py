@@ -172,14 +172,23 @@ class HybridProtocol:
         seed: int | None = None,
         truncate_bits: int = 0,
         backend: str | None = None,
+        representation: str | None = None,
     ):
         if garbler not in ("server", "client"):
             raise ValueError("garbler must be 'server' or 'client'")
         self.params = params or toy_params(n=256)
-        if backend is not None:
+        if backend is not None or representation is not None:
             from dataclasses import replace
 
-            self.params = replace(self.params, backend=backend)
+            overrides = {}
+            if backend is not None:
+                overrides["backend"] = backend
+            if representation is not None:
+                # 'bigint' forces the one-vector oracle ring; 'rns' forces
+                # CRT residues (params must carry a chain); 'auto' re-opens
+                # the per-params heuristic.
+                overrides["representation"] = representation
+            self.params = replace(self.params, **overrides)
         self.garbler_role = garbler
         self.modulus = self.params.t
         self.bits = self.modulus.bit_length()

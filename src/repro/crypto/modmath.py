@@ -84,16 +84,98 @@ def find_ntt_prime(bits: int, n: int) -> int:
     return find_prime_one_mod(bits, 2 * n)
 
 
-def primitive_root_of_unity(order: int, p: int) -> int:
-    """A primitive ``order``-th root of unity modulo prime ``p``.
+def generate_ntt_primes(n: int, count: int, bits: int) -> tuple[int, ...]:
+    """``count`` distinct primes ≡ 1 mod 2n just below 2^``bits``.
 
-    Raises candidates to the power (p-1)/order — the result always has
-    order dividing ``order`` — and accepts the first whose order is exactly
-    ``order``. Only ``order`` itself (small) is ever factored, so this stays
-    fast for wide moduli where factoring p-1 would be intractable.
+    Searching downward keeps every prime close to 2^bits, so the product of
+    ``count`` primes has bit length count*bits — the shape an RNS (CRT)
+    ciphertext-modulus chain wants: each residue fits the vectorized
+    backend's exact reduction while the chain spans an arbitrary total
+    width. Returned largest-first; deterministic for a given (n, count,
+    bits), so parameter sets built from the chain are reproducible.
+    """
+    step = 2 * n
+    candidate = (1 << bits) - 1
+    candidate -= (candidate - 1) % step
+    primes: list[int] = []
+    while len(primes) < count and candidate > (1 << (bits - 1)):
+        if is_probable_prime(candidate):
+            primes.append(candidate)
+        candidate -= step
+    if len(primes) < count:
+        raise ValueError(
+            f"fewer than {count} NTT primes of {bits} bits for degree {n}"
+        )
+    return tuple(primes)
+
+
+def crt_combine(residues: Sequence[int], moduli: Sequence[int]) -> int:
+    """The unique x mod prod(moduli) with x ≡ residues[i] mod moduli[i].
+
+    Moduli must be pairwise coprime (distinct primes in the RNS use case).
+    """
+    total = 1
+    for m in moduli:
+        total *= m
+    x = 0
+    for r, m in zip(residues, moduli):
+        big = total // m
+        x += r * big * mod_inverse(big % m, m)
+    return x % total
+
+
+# Known factorizations of composite CRT moduli, registered when an RNS
+# parameter set is built. Root finding consults this so the arbitrary-
+# precision bigint path works on the same composite q the RNS chain
+# represents (Z_q^* is not cyclic for composite q, so the prime-modulus
+# exponent trick below cannot find roots there directly).
+#
+# Deliberately unbounded, unlike the NTT/RNS context caches: an entry is
+# a handful of ints (~100 bytes), and evicting one would be a correctness
+# hazard — a still-live parameter set whose factorization disappeared
+# would send primitive_root_of_unity down the prime-modulus search, which
+# does not terminate usefully for a wide composite.
+_MODULUS_FACTORS: dict[int, tuple[int, ...]] = {}
+
+
+def register_modulus_factors(modulus: int, factors: Sequence[int]) -> None:
+    """Record that ``modulus`` is the product of the given distinct primes."""
+    factors = tuple(sorted(int(f) for f in factors))
+    product = 1
+    for f in factors:
+        product *= f
+    if product != modulus:
+        raise ValueError("factors do not multiply to the modulus")
+    if len(set(factors)) != len(factors):
+        raise ValueError("modulus factors must be distinct")
+    _MODULUS_FACTORS[modulus] = factors
+
+
+def registered_modulus_factors(modulus: int) -> tuple[int, ...] | None:
+    return _MODULUS_FACTORS.get(modulus)
+
+
+def primitive_root_of_unity(order: int, p: int) -> int:
+    """A primitive ``order``-th root of unity modulo ``p``.
+
+    For prime ``p``: raises candidates to the power (p-1)/order — the
+    result always has order dividing ``order`` — and accepts the first
+    whose order is exactly ``order``. Only ``order`` itself (small) is ever
+    factored, so this stays fast for wide moduli where factoring p-1 would
+    be intractable.
+
+    For a composite ``p`` registered via :func:`register_modulus_factors`
+    (an RNS chain product): CRT-combines per-prime primitive roots, giving
+    an element that is a primitive ``order``-th root modulo every factor —
+    exactly the principal root the NTT over Z_p needs.
     """
     if order == 1:
         return 1
+    factors = _MODULUS_FACTORS.get(p)
+    if factors is not None:
+        return crt_combine(
+            [primitive_root_of_unity(order, f) for f in factors], factors
+        )
     if (p - 1) % order != 0:
         raise ValueError(f"{order} does not divide {p}-1")
     order_factors = _prime_factors(order)

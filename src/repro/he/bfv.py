@@ -5,29 +5,36 @@ encryption, decryption, ciphertext addition, plaintext multiplication and
 addition, and slot rotations via Galois automorphisms with digit-decomposed
 key switching. Ciphertext-ciphertext multiplication is deliberately absent —
 the hybrid protocol never uses it.
+
+The ciphertext-ring representation is resolved per parameter set (see
+:meth:`repro.he.params.BfvParams.resolve_representation`): ``bigint``
+keeps one coefficient vector mod q, ``rns`` keeps CRT residues per chain
+prime so wide moduli run on the vectorized backend. Both produce
+bit-identical transcripts under the same randomness; everything below the
+construction helpers is representation-agnostic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.backend import backend_for
+from repro.backend import RnsContext, backend_for
 from repro.crypto.rng import SecureRandom
 from repro.he.params import BfvParams
-from repro.he.polynomial import RingPoly
+from repro.he.polynomial import RingPoly, RnsPoly, multiply_shared
 
 
 @dataclass
 class SecretKey:
     params: BfvParams
-    s: RingPoly
+    s: "RingPoly | RnsPoly"
 
 
 @dataclass
 class PublicKey:
     params: BfvParams
-    p0: RingPoly  # -(a*s + e)
-    p1: RingPoly  # a
+    p0: "RingPoly | RnsPoly"  # -(a*s + e)
+    p1: "RingPoly | RnsPoly"  # a
 
     @property
     def byte_size(self) -> int:
@@ -39,7 +46,7 @@ class GaloisKeys:
     """Key-switching keys for a set of Galois elements."""
 
     params: BfvParams
-    keys: dict[int, list[tuple[RingPoly, RingPoly]]]
+    keys: dict[int, list[tuple["RingPoly | RnsPoly", "RingPoly | RnsPoly"]]]
 
     @property
     def byte_size(self) -> int:
@@ -52,7 +59,7 @@ class Ciphertext:
 
     __slots__ = ("params", "c0", "c1")
 
-    def __init__(self, params: BfvParams, c0: RingPoly, c1: RingPoly):
+    def __init__(self, params: BfvParams, c0, c1):
         self.params = params
         self.c0 = c0
         self.c1 = c1
@@ -71,6 +78,21 @@ class Ciphertext:
         return Ciphertext(self.params, -self.c0, -self.c1)
 
 
+def make_ring_element(coeffs, params: BfvParams):
+    """Ciphertext-ring element in the params' resolved representation.
+
+    The constructor deserialization and key loading go through, so wire
+    bytes land directly in whichever representation the receiving context
+    computes in.
+    """
+    if params.resolve_representation() == "rns":
+        ctx = RnsContext.for_primes(params.rns_primes, prefer=params.backend)
+        return RnsPoly.from_coeffs(ctx, coeffs)
+    return RingPoly(
+        coeffs, params.q, backend=backend_for(params.q, prefer=params.backend)
+    )
+
+
 class BfvContext:
     """Stateless algorithm bundle for one parameter set.
 
@@ -86,9 +108,38 @@ class BfvContext:
         # oversized q falls back to the exact python backend automatically.
         self._rq = backend_for(params.q, prefer=params.backend)
         self._rt = backend_for(params.t, prefer=params.backend)
+        self.representation = params.resolve_representation()
+        self._rns = (
+            RnsContext.for_primes(params.rns_primes, prefer=params.backend)
+            if self.representation == "rns"
+            else None
+        )
 
-    def _ring_poly(self, coeffs) -> RingPoly:
+    def _ring_poly(self, coeffs):
+        if self._rns is not None:
+            return RnsPoly.from_coeffs(self._rns, coeffs)
         return RingPoly(coeffs, self.params.q, backend=self._rq)
+
+    def _zero_poly(self):
+        if self._rns is not None:
+            return RnsPoly.zero(self._rns, self.params.n)
+        return RingPoly.zero(self.params.n, self.params.q, backend=self._rq)
+
+    def _lift_plain(self, plaintext: RingPoly):
+        """Reinterpret a mod-t plaintext in the ciphertext ring."""
+        if self._rns is not None:
+            # Plaintext coefficients are < t; each backend reduces them
+            # into its residue ring directly (vectorized when native).
+            return RnsPoly.from_coeffs(self._rns, plaintext.vec)
+        return plaintext.lift(self.params.q, backend=self._rq)
+
+    def _scale_plain(self, plaintext: RingPoly):
+        """The delta-scaling lift: coefficients * floor(q/t) mod q."""
+        if self._rns is not None:
+            return self._lift_plain(plaintext) * self.params.delta
+        return plaintext.lift_scale(
+            self.params.delta, self.params.q, backend=self._rq
+        )
 
     # -- key generation ----------------------------------------------------
 
@@ -103,7 +154,7 @@ class BfvContext:
     def galois_keygen(self, sk: SecretKey, elements: list[int]) -> GaloisKeys:
         """Generate key-switching keys for each Galois element."""
         p = self.params
-        keys: dict[int, list[tuple[RingPoly, RingPoly]]] = {}
+        keys: dict[int, list[tuple]] = {}
         for g in elements:
             rotated_s = sk.s.automorphism(g)
             digits = []
@@ -124,7 +175,7 @@ class BfvContext:
         self._check_plaintext(plaintext)
         u = self._ring_poly([self._rng.ternary() for _ in range(p.n)])
         e1, e2 = self._noise(), self._noise()
-        scaled = plaintext.lift_scale(p.delta, p.q)
+        scaled = self._scale_plain(plaintext)
         c0 = pk.p0 * u + e1 + scaled
         c1 = pk.p1 * u + e2
         return Ciphertext(p, c0, c1)
@@ -135,7 +186,8 @@ class BfvContext:
         noisy = ct.c0 + ct.c1 * sk.s
         # The rounding divide mixes q- and t-sized integers (c*t spans
         # ~q_bits + t_bits), so it runs on exact Python ints regardless of
-        # backend; decryption is once-per-ciphertext, not the hot loop.
+        # backend or representation (RNS reconstructs through the CRT
+        # here); decryption is once-per-ciphertext, not the hot loop.
         coeffs = [(c * p.t + p.q // 2) // p.q % p.t for c in noisy.coeffs]
         return RingPoly(coeffs, p.t, backend=self._rt)
 
@@ -144,7 +196,7 @@ class BfvContext:
         p = self.params
         noisy = ct.c0 + ct.c1 * sk.s
         message = self.decrypt(sk, ct)
-        scaled = message.lift_scale(p.delta, p.q)
+        scaled = self._scale_plain(message)
         residual = noisy - scaled
         worst = max(
             min(c, p.q - c) for c in residual.coeffs
@@ -158,21 +210,27 @@ class BfvContext:
     def add_plain(self, ct: Ciphertext, plaintext: RingPoly) -> Ciphertext:
         p = self.params
         self._check_plaintext(plaintext)
-        scaled = plaintext.lift_scale(p.delta, p.q)
+        scaled = self._scale_plain(plaintext)
         return Ciphertext(p, ct.c0 + scaled, ct.c1)
 
     def sub_plain(self, ct: Ciphertext, plaintext: RingPoly) -> Ciphertext:
         p = self.params
         self._check_plaintext(plaintext)
-        scaled = plaintext.lift_scale(p.delta, p.q)
+        scaled = self._scale_plain(plaintext)
         return Ciphertext(p, ct.c0 - scaled, ct.c1)
 
     def mul_plain(self, ct: Ciphertext, plaintext: RingPoly) -> Ciphertext:
-        """Multiply by a plaintext polynomial (coefficients in [0, t))."""
+        """Multiply by a plaintext polynomial (coefficients in [0, t)).
+
+        The lifted plaintext multiplies both ciphertext components, so its
+        forward NTT is shared and all transforms run as one batched pass
+        per ring (see :func:`repro.he.polynomial.multiply_shared`).
+        """
         p = self.params
         self._check_plaintext(plaintext)
-        lifted = plaintext.lift(p.q)
-        return Ciphertext(p, ct.c0 * lifted, ct.c1 * lifted)
+        lifted = self._lift_plain(plaintext)
+        c0, c1 = multiply_shared(lifted, (ct.c0, ct.c1))
+        return Ciphertext(p, c0, c1)
 
     def rotate(self, ct: Ciphertext, galois_element: int, gk: GaloisKeys) -> Ciphertext:
         """Apply the automorphism X -> X^g and switch back to the original key."""
@@ -183,19 +241,21 @@ class BfvContext:
         rotated_c1 = ct.c1.automorphism(galois_element)
         digits = rotated_c1.decompose(p.decomp_bits, p.num_decomp_digits)
         new_c0 = rotated_c0
-        new_c1 = RingPoly.zero(p.n, p.q, backend=self._rq)
+        new_c1 = self._zero_poly()
         for d_j, (k0, k1) in zip(digits, gk.keys[galois_element]):
-            new_c0 = new_c0 + d_j * k0
-            new_c1 = new_c1 + d_j * k1
+            # Each digit hits both key components: share its forward NTT.
+            m0, m1 = multiply_shared(d_j, (k0, k1))
+            new_c0 = new_c0 + m0
+            new_c1 = new_c1 + m1
         return Ciphertext(p, new_c0, new_c1)
 
     # -- helpers --------------------------------------------------------------
 
-    def _random_uniform(self) -> RingPoly:
+    def _random_uniform(self):
         p = self.params
         return self._ring_poly([self._rng.field_element(p.q) for _ in range(p.n)])
 
-    def _noise(self) -> RingPoly:
+    def _noise(self):
         p = self.params
         return self._ring_poly(
             [self._rng.centered_binomial(p.noise_eta) for _ in range(p.n)]

@@ -126,6 +126,28 @@ class NegacyclicNtt:
         fa, fb = self._ntt._plan.forward_pair(ta, tb)
         return self.inverse_vec(be.mul(fa, fb, self.q))
 
+    def multiply_shared_vec(self, shared, others):
+        """Products shared*o for every vector in ``others``.
+
+        The shared operand is twisted and transformed exactly once, and all
+        forward transforms (1 + len(others)) land in a single batched plan
+        call — likewise the inverse transforms — so a two-component
+        ciphertext op (c0, c1 against one plaintext or key digit) costs one
+        stacked forward and one stacked inverse instead of four and two
+        separate transforms. Outputs are fully reduced and bit-identical to
+        ``[multiply_vec(shared, o) for o in others]``.
+        """
+        be = self.backend
+        q = self.q
+        twisted = [
+            be.mul(v, self._psi_powers, q) for v in (shared, *others)
+        ]
+        transformed = self._ntt._plan.forward_many(twisted)
+        f_shared = transformed[0]
+        products = [be.mul(f_shared, f, q) for f in transformed[1:]]
+        untwisted = self._ntt._plan.inverse_unscaled_many(products)
+        return [be.mul(v, self._psi_inv_scaled, q) for v in untwisted]
+
     # -- list API (reference semantics) ------------------------------------
 
     def forward(self, coeffs: list[int]) -> list[int]:

@@ -2,16 +2,39 @@
 
 The DELPHI/Gazelle pipeline only ever evaluates depth-1 circuits under HE
 (one plaintext-ciphertext product plus additions and rotations per linear
-layer), so a single 60-bit ciphertext modulus gives ample noise budget. The
-plaintext modulus doubles as the secret-sharing field, exactly as in DELPHI
-where the SEAL plain modulus equals the share prime.
+layer), so a modest ciphertext modulus gives ample noise budget. The
+plaintext modulus doubles as the secret-sharing field, exactly as in
+DELPHI where the SEAL plain modulus equals the share prime.
+
+Wide ciphertext moduli come in two representations (see
+:mod:`repro.he.polynomial`):
+
+* ``bigint`` — one coefficient vector mod q; exact on the python backend
+  for any width. The oracle semantics.
+* ``rns`` — q is a product of small NTT primes (``rns_primes``) and ring
+  elements live as per-prime residue vectors, so the whole ciphertext
+  ring runs on the vectorized numpy backend. SEAL does exactly this.
+
+``representation="auto"`` (optionally overridden by the
+``REPRO_REPRESENTATION`` environment variable) picks ``rns`` whenever the
+parameter set carries a chain, the modulus is too wide for the numpy
+backend directly (q >= 2^62), and a vectorized backend is active —
+i.e. precisely the case where ``bigint`` would fall back to
+arbitrary-precision Python.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
-from repro.crypto.modmath import find_ntt_prime, find_prime_one_mod
+from repro.crypto.modmath import (
+    find_ntt_prime,
+    generate_ntt_primes,
+    register_modulus_factors,
+)
+
+_REPRESENTATIONS = ("auto", "bigint", "rns")
 
 
 @dataclass(frozen=True)
@@ -20,7 +43,8 @@ class BfvParams:
 
     Attributes:
         n: polynomial ring degree (power of two); also the slot count.
-        q: ciphertext coefficient modulus (prime, NTT friendly, ≡ 1 mod 2n).
+        q: ciphertext coefficient modulus (≡ 1 mod 2n): a single NTT
+            prime, or the product of the ``rns_primes`` chain.
         t: plaintext modulus (prime, ≡ 1 mod 2n so batching works).
         noise_eta: centered-binomial width for fresh encryption noise.
         decomp_bits: digit width for key-switching decomposition.
@@ -28,6 +52,10 @@ class BfvParams:
             for every object built from these params; whatever is chosen,
             moduli a backend cannot handle exactly fall back to python
             (see :mod:`repro.backend`).
+        rns_primes: optional CRT chain of distinct NTT primes whose
+            product is q; required for the ``rns`` representation.
+        representation: ciphertext-ring representation ('auto', 'bigint',
+            'rns'); resolve with :meth:`resolve_representation`.
     """
 
     n: int
@@ -36,6 +64,8 @@ class BfvParams:
     noise_eta: int = 4
     decomp_bits: int = 16
     backend: str = "auto"
+    rns_primes: tuple[int, ...] | None = None
+    representation: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n & (self.n - 1):
@@ -46,6 +76,57 @@ class BfvParams:
             raise ValueError("t must be congruent to 1 mod 2n for batching")
         if self.t >= self.q:
             raise ValueError("plaintext modulus must be below q")
+        if self.representation not in _REPRESENTATIONS:
+            raise ValueError(
+                f"unknown representation {self.representation!r}; choose one "
+                f"of {', '.join(_REPRESENTATIONS)}"
+            )
+        if self.rns_primes is not None:
+            primes = tuple(int(p) for p in self.rns_primes)
+            object.__setattr__(self, "rns_primes", primes)
+            product = 1
+            for p in primes:
+                if (p - 1) % (2 * self.n) != 0:
+                    raise ValueError(
+                        f"RNS prime {p} is not NTT friendly for degree {self.n}"
+                    )
+                product *= p
+            if product != self.q:
+                raise ValueError("rns_primes must multiply to q")
+            # Distinctness is checked here; the bigint oracle needs the
+            # factorization to find roots of unity in the composite ring.
+            register_modulus_factors(self.q, primes)
+        elif self.representation == "rns":
+            raise ValueError("representation='rns' requires rns_primes")
+
+    def resolve_representation(self) -> str:
+        """The concrete ciphertext-ring representation for these params.
+
+        Explicit ``representation`` wins; ``auto`` consults the
+        ``REPRO_REPRESENTATION`` environment variable and otherwise picks
+        ``rns`` exactly when it beats bigint: a chain exists, q is too
+        wide for direct vectorization, and the resolved backend for the
+        chain's primes is vectorized. An env-forced ``rns`` on chainless
+        params fails soft to ``bigint`` so configs stay portable.
+        """
+        rep = self.representation
+        if rep == "auto":
+            rep = os.environ.get("REPRO_REPRESENTATION", "").strip().lower()
+            if rep not in ("bigint", "rns"):
+                rep = "auto"
+        if rep == "rns" and not self.rns_primes:
+            return "bigint"
+        if rep == "auto":
+            if self.rns_primes is None or self.q < (1 << 62):
+                return "bigint"
+            from repro.backend import backend_for
+
+            vectorized = (
+                backend_for(max(self.rns_primes), prefer=self.backend).name
+                != "python"
+            )
+            return "rns" if vectorized else "bigint"
+        return rep
 
     @property
     def delta(self) -> int:
@@ -80,28 +161,33 @@ class BfvParams:
 def toy_params(n: int = 256, t_bits: int = 17) -> BfvParams:
     """Small, fast parameters for unit tests (insecure; functional only).
 
-    The 100-bit ciphertext modulus leaves enough noise headroom for a chain
-    of row rotations followed by a plaintext multiplication with full-width
-    weights, which is what the diagonal-method matvec performs.
+    The ~100-bit ciphertext modulus — a chain of four 25-bit NTT primes,
+    so the ring runs RNS-vectorized whenever numpy is available — leaves
+    enough noise headroom for a chain of row rotations followed by a
+    plaintext multiplication with full-width weights, which is what the
+    diagonal-method matvec performs.
     """
-    q = find_ntt_prime(100, n)
+    primes = generate_ntt_primes(n, count=4, bits=25)
+    q = 1
+    for p in primes:
+        q *= p
     t = find_ntt_prime(t_bits, n)
-    return BfvParams(n=n, q=q, t=t)
+    return BfvParams(n=n, q=q, t=t, rns_primes=primes)
 
 
 def fast_params(n: int = 256, t_bits: int = 17, backend: str = "auto") -> BfvParams:
     """Vectorization-friendly parameters (insecure; functional only).
 
-    Like :func:`toy_params` but with a 62-bit ciphertext modulus — the
-    widest prime the numpy backend's Shoup reduction handles exactly — so
-    the whole BFV pipeline runs vectorized instead of falling back to
-    arbitrary-precision Python. The narrower q buys noise budget back by
-    shrinking the key-switching digits to 4 bits (more digits per
-    rotation, each contributing far less noise): a full-row diagonal
-    matvec at a 17-bit plaintext field retains ~9 bits of budget, versus
-    going negative with the default 16-bit digits. The python backend
-    computes these parameters exactly too, which is what makes
-    cross-backend parity and benchmark comparisons apples-to-apples.
+    Like :func:`toy_params` but with a single 62-bit ciphertext prime —
+    the widest the numpy backend's Shoup reduction handles exactly — so
+    the whole BFV pipeline runs vectorized without RNS bookkeeping. The
+    narrower q buys noise budget back by shrinking the key-switching
+    digits to 4 bits (more digits per rotation, each contributing far
+    less noise): a full-row diagonal matvec at a 17-bit plaintext field
+    retains ~9 bits of budget, versus going negative with the default
+    16-bit digits. The python backend computes these parameters exactly
+    too, which is what makes cross-backend parity and benchmark
+    comparisons apples-to-apples.
     """
     q = find_ntt_prime(62, n)
     t = find_ntt_prime(t_bits, n)
@@ -113,15 +199,22 @@ def delphi_params() -> BfvParams:
 
     DELPHI uses degree 8192 with a ~41-bit plain modulus (the share prime
     2061584302081 ≈ 2^41). We keep the 41-bit plaintext field but use degree
-    2048 so pure-Python execution stays tractable; byte accounting exposes
-    the true n so cost hooks can scale.
+    2048 so arbitrary-precision execution stays tractable; byte accounting
+    exposes the true n so cost hooks can scale.
+
+    The ciphertext modulus is a ~180-bit chain of six 30-bit NTT primes —
+    the same shape as the RNS chain SEAL uses for this profile. A 41-bit
+    plaintext modulus needs that much width to absorb plain-multiplication
+    noise: the (q mod t)·k rounding term reaches ~n·t² ≈ 2^93, against a
+    q/2t ≈ 2^138 budget. (A single wide prime chosen ≡ 1 mod t could kill
+    that term at 120 bits, but no <2^31 chain prime can satisfy a 41-bit
+    congruence, and the chain is what puts the ring on the vectorized
+    backend — SEAL makes the same trade.)
     """
     n = 2048
     t = find_ntt_prime(41, n)
-    # A 41-bit plaintext modulus needs a wide ciphertext modulus to absorb
-    # plain-multiplication noise (SEAL uses a ~180-bit RNS chain; a single
-    # 120-bit prime gives the same headroom for depth-1 circuits). Choosing
-    # q ≡ 1 mod t as well kills the (q mod t)·u plain-mult noise term that
-    # would otherwise dominate at this plaintext width.
-    q = find_prime_one_mod(120, 2 * n * t)
-    return BfvParams(n=n, q=q, t=t)
+    primes = generate_ntt_primes(n, count=6, bits=30)
+    q = 1
+    for p in primes:
+        q *= p
+    return BfvParams(n=n, q=q, t=t, rns_primes=primes)

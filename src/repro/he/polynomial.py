@@ -1,22 +1,34 @@
 """Arithmetic in the RLWE ciphertext ring R_q = Z_q[X]/(X^n + 1).
 
-``RingPoly`` stores its coefficients as a backend-native vector (plain
-``list[int]`` on the python backend, ``uint64`` ndarray on numpy) and
-routes every operation through :mod:`repro.backend`, so a whole
-ciphertext operation runs as a handful of vectorized kernels instead of
-per-coefficient Python loops. The ``coeffs`` property materializes (and
-caches) a plain-int list for serialization, decryption and tests.
+Two representations of a ring element are provided:
+
+* ``RingPoly`` — one coefficient vector mod q ("bigint"): backend-native
+  (plain ``list[int]`` on the python backend, ``uint64`` ndarray on
+  numpy), exact for any q because oversized moduli resolve to the python
+  backend. The reference semantics.
+* ``RnsPoly`` — one residue vector per prime of an RNS (CRT) chain whose
+  product is q. Every residue fits the numpy backend's exact reduction,
+  so wide-modulus parameter sets (the paper-faithful 100/180-bit q)
+  run vectorized. Bit-exact with ``RingPoly`` at the same q; enforced by
+  ``tests/test_rns_parity.py``.
+
+The ``coeffs`` property of either class materializes (and caches) a
+plain-int list for serialization, decryption and tests — for ``RnsPoly``
+that is the CRT reconstruction.
 
 Ring multiplications share :class:`~repro.he.ntt.NegacyclicNtt` contexts
 through a bounded LRU cache keyed by (n, q, backend): parameter sweeps
-used to grow the old unbounded dict without limit.
+used to grow the old unbounded dict without limit. An RNS chain of k
+primes occupies k slots (one per residue ring); the bound comfortably
+exceeds any realistic chain so a chain never evicts its own contexts
+mid-ciphertext-op (pinned by ``tests/test_ntt_cache.py``).
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 
-from repro.backend import ComputeBackend, backend_for
+from repro.backend import ComputeBackend, RnsContext, backend_for
 from repro.he.ntt import NegacyclicNtt
 
 _NTT_CACHE: OrderedDict[tuple[int, int, str], NegacyclicNtt] = OrderedDict()
@@ -43,6 +55,11 @@ def clear_ntt_cache() -> None:
 
 def ntt_cache_size() -> int:
     return len(_NTT_CACHE)
+
+
+def ntt_cache_keys() -> tuple[tuple[int, int, str], ...]:
+    """Cache keys oldest-first (the LRU eviction order), for tests."""
+    return tuple(_NTT_CACHE)
 
 
 class RingPoly:
@@ -97,13 +114,19 @@ class RingPoly:
         """Backend-native coefficient vector (treat as immutable)."""
         return self._vec
 
-    def _coerce(self, other: "RingPoly"):
-        """Other's vector on this poly's backend (same q is checked first)."""
-        if other._backend is self._backend:
+    def _coerce(self, other: "RingPoly | RnsPoly"):
+        """Other's vector on this poly's backend (same ring checked first).
+
+        Accepts an :class:`RnsPoly` operand too (its ``coeffs`` are the
+        CRT reconstruction), so cross-representation arithmetic works in
+        either operand order.
+        """
+        backend = getattr(other, "_backend", None)
+        if backend is self._backend:
             return other._vec
         return self._backend.asvec(other.coeffs, self.q)
 
-    def _check(self, other: "RingPoly") -> None:
+    def _check(self, other: "RingPoly | RnsPoly") -> None:
         if self.n != other.n or self.q != other.q:
             raise ValueError("ring mismatch between polynomials")
 
@@ -160,16 +183,22 @@ class RingPoly:
 
     # -- cross-modulus helpers (plaintext <-> ciphertext ring) --------------
 
-    def lift(self, new_q: int) -> "RingPoly":
-        """Reinterpret in Z_new_q (coefficients must already be < new_q)."""
-        target = backend_for(new_q)
+    def lift(self, new_q: int, backend: ComputeBackend | None = None) -> "RingPoly":
+        """Reinterpret in Z_new_q (coefficients must already be < new_q).
+
+        ``backend`` pins the target backend (callers holding a resolved
+        per-params preference); otherwise the registry resolves it.
+        """
+        target = backend or backend_for(new_q)
         if target is self._backend and new_q >= self.q:
             return RingPoly._from_vec(self._vec, new_q, target)
         return RingPoly(self.coeffs, new_q, backend=target)
 
-    def lift_scale(self, factor: int, new_q: int) -> "RingPoly":
+    def lift_scale(
+        self, factor: int, new_q: int, backend: ComputeBackend | None = None
+    ) -> "RingPoly":
         """Coefficients * factor mod new_q, e.g. the delta-scaling lift."""
-        target = backend_for(new_q)
+        target = backend or backend_for(new_q)
         if target is self._backend:
             return RingPoly._from_vec(
                 target.scalar_mul(self._vec, factor, new_q), new_q, target
@@ -185,12 +214,205 @@ class RingPoly:
     # -- misc ----------------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
-        if not isinstance(other, RingPoly) or self.q != other.q:
-            return False
-        if other._backend is self._backend:
-            return self._backend.eq(self._vec, other._vec)
-        return self.coeffs == other.coeffs
+        if isinstance(other, RingPoly):
+            if self.q != other.q:
+                return False
+            if other._backend is self._backend:
+                return self._backend.eq(self._vec, other._vec)
+            return self.coeffs == other.coeffs
+        if isinstance(other, RnsPoly) and other.q == self.q:
+            # Mirror RnsPoly.__eq__ so equality is symmetric across
+            # representations.
+            return self.coeffs == other.coeffs
+        return False
 
     def __repr__(self) -> str:
         head = ", ".join(str(c) for c in self.coeffs[:4])
         return f"RingPoly(n={self.n}, q={self.q}, [{head}, ...])"
+
+
+class RnsPoly:
+    """Polynomial in Z_q[X]/(X^n + 1) held as CRT residues, q = prod q_i.
+
+    ``residues[i]`` is a backend-native coefficient vector mod the chain's
+    i-th prime. All ring operations act residue-wise (they commute with
+    the CRT isomorphism), so each runs as small-modulus vectorized
+    kernels; only ``coeffs`` — and the operations that genuinely need the
+    integer representative, decryption rounding and digit decomposition —
+    pay for CRT reconstruction. Mirrors the :class:`RingPoly` surface the
+    BFV layer uses, so ciphertexts are representation-agnostic.
+    """
+
+    __slots__ = ("ctx", "residues", "n", "_coeffs")
+
+    def __init__(self, ctx: RnsContext, residues: list):
+        self.ctx = ctx
+        self.residues = residues
+        self.n = ctx.backends[0].veclen(residues[0])
+        self._coeffs: list[int] | None = None
+
+    @classmethod
+    def from_coeffs(cls, ctx: RnsContext, values) -> "RnsPoly":
+        """Decompose integer (or backend-native) coefficients into residues."""
+        return cls(ctx, ctx.to_rns(values))
+
+    @classmethod
+    def zero(cls, ctx: RnsContext, n: int) -> "RnsPoly":
+        return cls(
+            ctx,
+            [be.zeros(n, p) for p, be in zip(ctx.primes, ctx.backends)],
+        )
+
+    # -- representation -----------------------------------------------------
+
+    @property
+    def q(self) -> int:
+        return self.ctx.q
+
+    @property
+    def coeffs(self) -> list[int]:
+        """CRT-reconstructed coefficients in [0, q) (computed once)."""
+        if self._coeffs is None:
+            self._coeffs = self.ctx.from_rns(self.residues)
+        return self._coeffs
+
+    def _coerce(self, other: "RnsPoly | RingPoly") -> "RnsPoly":
+        if isinstance(other, RnsPoly):
+            if other.ctx.primes != self.ctx.primes or other.n != self.n:
+                raise ValueError("ring mismatch between RNS polynomials")
+            return other
+        if isinstance(other, RingPoly) and other.q == self.q:
+            if other.n != self.n:
+                raise ValueError("ring mismatch between polynomials")
+            # Cross-representation operand (e.g. a deserialized bigint
+            # ciphertext meeting RNS key material): decompose it.
+            return RnsPoly.from_coeffs(self.ctx, other.coeffs)
+        raise TypeError(f"cannot combine RnsPoly with {type(other).__name__}")
+
+    def _map(self, op) -> "RnsPoly":
+        return RnsPoly(
+            self.ctx,
+            [
+                op(i, p, be)
+                for i, (p, be) in enumerate(
+                    zip(self.ctx.primes, self.ctx.backends)
+                )
+            ],
+        )
+
+    # -- ring operations ----------------------------------------------------
+
+    def __add__(self, other) -> "RnsPoly":
+        o = self._coerce(other)
+        return self._map(
+            lambda i, p, be: be.add(self.residues[i], o.residues[i], p)
+        )
+
+    def __sub__(self, other) -> "RnsPoly":
+        o = self._coerce(other)
+        return self._map(
+            lambda i, p, be: be.sub(self.residues[i], o.residues[i], p)
+        )
+
+    def __neg__(self) -> "RnsPoly":
+        return self._map(lambda i, p, be: be.neg(self.residues[i], p))
+
+    def __mul__(self, other) -> "RnsPoly":
+        if isinstance(other, int):
+            return self._map(
+                lambda i, p, be: be.scalar_mul(self.residues[i], other, p)
+            )
+        o = self._coerce(other)
+        return self._map(
+            lambda i, p, be: _context(self.n, p, be).multiply_vec(
+                self.residues[i], o.residues[i]
+            )
+        )
+
+    __rmul__ = __mul__
+
+    def mul_shared(self, others: list) -> list["RnsPoly"]:
+        """self*o for each o, batching NTTs per residue ring (the paired
+        c0/c1 transform: self is forward-transformed once per prime)."""
+        coerced = [self._coerce(o) for o in others]
+        per_prime = [
+            _context(self.n, p, be).multiply_shared_vec(
+                self.residues[i], [o.residues[i] for o in coerced]
+            )
+            for i, (p, be) in enumerate(
+                zip(self.ctx.primes, self.ctx.backends)
+            )
+        ]
+        return [
+            RnsPoly(self.ctx, [prime_out[j] for prime_out in per_prime])
+            for j in range(len(others))
+        ]
+
+    def automorphism(self, galois_element: int) -> "RnsPoly":
+        """Apply X -> X^g residue-wise (the map commutes with the CRT)."""
+        if galois_element % 2 == 0:
+            raise ValueError("Galois element must be odd")
+        return self._map(
+            lambda i, p, be: be.automorphism(self.residues[i], galois_element, p)
+        )
+
+    def decompose(self, base_bits: int, num_digits: int) -> list["RnsPoly"]:
+        """Digit decomposition of the *integer representative* of each
+        coefficient: reconstructs once through the CRT, splits into
+        digits, and converts each (small) digit back into every residue
+        base — the exact base conversion the key switch needs to stay
+        bit-identical with the bigint path.
+        """
+        mask = (1 << base_bits) - 1
+        work = self.coeffs
+        digits = []
+        for _ in range(num_digits):
+            digits.append(
+                RnsPoly.from_coeffs(self.ctx, [c & mask for c in work])
+            )
+            work = [c >> base_bits for c in work]
+        return digits
+
+    def max_coeff(self) -> int:
+        return max(self.coeffs)
+
+    # -- misc ----------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RnsPoly) and other.ctx.primes == self.ctx.primes:
+            return all(
+                be.eq(a, b)
+                for a, b, be in zip(
+                    self.residues, other.residues, self.ctx.backends
+                )
+            )
+        if isinstance(other, (RnsPoly, RingPoly)) and other.q == self.q:
+            return self.coeffs == other.coeffs
+        return False
+
+    def __repr__(self) -> str:
+        bits = [p.bit_length() for p in self.ctx.primes]
+        return f"RnsPoly(n={self.n}, chain={bits} bits)"
+
+
+def multiply_shared(shared, others):
+    """Products shared*o for each ring element o, batching NTT transforms.
+
+    The shared operand (a lifted plaintext in ``mul_plain``, a key-switch
+    digit in ``rotate``) is forward-transformed once and all transforms
+    run as stacked plan calls — see
+    :meth:`~repro.he.ntt.NegacyclicNtt.multiply_shared_vec`. Dispatches on
+    representation; results are bit-identical to ``[shared * o for o in
+    others]`` either way.
+    """
+    others = list(others)
+    if isinstance(shared, RnsPoly):
+        return shared.mul_shared(others)
+    coerced = []
+    for o in others:
+        shared._check(o)  # same ValueError the elementwise path raises
+        coerced.append(shared._coerce(o))
+    be = shared.backend
+    ctx = _context(shared.n, shared.q, be)
+    vecs = ctx.multiply_shared_vec(shared.vec, coerced)
+    return [RingPoly._from_vec(v, shared.q, be) for v in vecs]

@@ -17,9 +17,8 @@ import struct
 from repro.crypto.prg import LABEL_BYTES
 from repro.gc.circuit import Circuit
 from repro.gc.garble import GarbledCircuit, GarbledGate
-from repro.he.bfv import Ciphertext
+from repro.he.bfv import Ciphertext, make_ring_element
 from repro.he.params import BfvParams
-from repro.he.polynomial import RingPoly
 
 
 def _pack_uint(value: int, width: int) -> bytes:
@@ -82,7 +81,9 @@ def deserialize_ciphertext(data: bytes, params: BfvParams) -> Ciphertext:
         for _ in range(n):
             coeffs.append(int.from_bytes(data[offset : offset + width], "little"))
             offset += width
-        polys.append(RingPoly(coeffs, params.q))
+        # Lands in the params' resolved representation (bigint or RNS), so
+        # a deserialized ciphertext computes natively at the receiver.
+        polys.append(make_ring_element(coeffs, params))
     if offset != len(data):
         raise ValueError("trailing bytes in ciphertext")
     return Ciphertext(params, polys[0], polys[1])

@@ -1,0 +1,196 @@
+"""The paired c0/c1 transform: correctness and pinned NTT op-counts.
+
+``mul_plain`` and ``rotate`` multiply one shared operand (the lifted
+plaintext, a key-switch digit) into both ciphertext components. The
+shared operand must be forward-transformed once, and all transforms must
+land in batched plan calls (`forward_many` / `inverse_unscaled_many`)
+rather than per-product passes. A call-counting stub wrapped around the
+cached NTT plan pins the exact op counts so the batching cannot silently
+regress to the 4-forward/2-inverse shape.
+"""
+
+import dataclasses
+import random
+from collections import Counter
+
+import pytest
+
+from repro.backend import available_backends, get_backend
+from repro.crypto.modmath import find_ntt_prime
+from repro.crypto.rng import SecureRandom
+from repro.he import polynomial
+from repro.he.bfv import BfvContext
+from repro.he.encoder import BatchEncoder
+from repro.he.ntt import NegacyclicNtt
+from repro.he.params import fast_params, toy_params
+from repro.he.polynomial import RingPoly, clear_ntt_cache, multiply_shared
+
+
+class CountingPlan:
+    """Wraps an NttPlan, counting calls and transformed vectors."""
+
+    def __init__(self, plan):
+        self._plan = plan
+        self.calls = Counter()
+        self.vectors = Counter()
+
+    def _wrap(self, name, vecs_counted):
+        def call(*args):
+            self.calls[name] += 1
+            self.vectors[name] += vecs_counted(*args)
+            return getattr(self._plan, name)(*args)
+
+        return call
+
+    def __getattr__(self, name):
+        if name in ("forward", "inverse", "inverse_unscaled"):
+            return self._wrap(name, lambda vec: 1)
+        if name == "forward_pair":
+            return self._wrap(name, lambda a, b: 2)
+        if name in ("forward_many", "inverse_unscaled_many"):
+            return self._wrap(name, lambda vecs: len(vecs))
+        return getattr(self._plan, name)
+
+
+def _counted_context(n, q, backend):
+    """The cached NegacyclicNtt for (n, q, backend) with a counting plan."""
+    ctx = polynomial._context(n, q, backend)
+    counter = CountingPlan(ctx._ntt._plan)
+    ctx._ntt._plan = counter
+    return ctx, counter
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_ntt_cache()
+    yield
+    clear_ntt_cache()
+
+
+class TestMultiplySharedCorrectness:
+    @pytest.mark.parametrize("backend_name", available_backends())
+    @pytest.mark.parametrize("q_bits", (24, 40))
+    def test_matches_separate_multiplies(self, backend_name, q_bits):
+        rng = random.Random(q_bits)
+        n = 64
+        q = find_ntt_prime(q_bits, n)
+        be = get_backend(backend_name)
+        ntt = NegacyclicNtt(n, q, backend=be)
+        shared = [rng.randrange(q) for _ in range(n)]
+        others = [[rng.randrange(q) for _ in range(n)] for _ in range(3)]
+        sv = be.asvec(shared, q)
+        ov = [be.asvec(o, q) for o in others]
+        batched = [be.tolist(v) for v in ntt.multiply_shared_vec(sv, ov)]
+        separate = [ntt.multiply(shared, o) for o in others]
+        assert batched == separate
+
+    @pytest.mark.parametrize("backend_name", available_backends())
+    def test_ring_poly_helper(self, backend_name):
+        rng = random.Random(8)
+        n = 32
+        q = find_ntt_prime(30, n)
+        be = get_backend(backend_name)
+        shared = RingPoly([rng.randrange(q) for _ in range(n)], q, backend=be)
+        others = [
+            RingPoly([rng.randrange(q) for _ in range(n)], q, backend=be)
+            for _ in range(2)
+        ]
+        got = multiply_shared(shared, others)
+        assert [p.coeffs for p in got] == [(shared * o).coeffs for o in others]
+
+    @pytest.mark.parametrize("backend_name", available_backends())
+    def test_empty_others_returns_empty(self, backend_name):
+        n = 32
+        q = find_ntt_prime(28, n)
+        be = get_backend(backend_name)
+        ntt = NegacyclicNtt(n, q, backend=be)
+        shared = be.asvec(list(range(n)), q)
+        assert ntt.multiply_shared_vec(shared, []) == []
+        poly = RingPoly(list(range(n)), q, backend=be)
+        assert multiply_shared(poly, []) == []
+
+    def test_ring_mismatch_raises_like_elementwise_path(self):
+        rng = random.Random(3)
+        n = 32
+        q_a, q_b = find_ntt_prime(28, n), find_ntt_prime(29, n)
+        shared = RingPoly([rng.randrange(q_a) for _ in range(n)], q_a)
+        other = RingPoly([rng.randrange(q_b) for _ in range(n)], q_b)
+        with pytest.raises(ValueError):
+            multiply_shared(shared, [other])
+        with pytest.raises(ValueError):
+            shared * other  # the contract multiply_shared mirrors
+
+    def test_rns_poly_helper(self):
+        from repro.backend import RnsContext
+        from repro.he.polynomial import RnsPoly
+
+        params = toy_params(n=64)
+        rng = random.Random(12)
+        ctx = RnsContext.for_primes(params.rns_primes)
+        mk = lambda: RnsPoly.from_coeffs(
+            ctx, [rng.randrange(params.q) for _ in range(64)]
+        )
+        shared, a, b = mk(), mk(), mk()
+        got = multiply_shared(shared, [a, b])
+        assert [p.coeffs for p in got] == [
+            (shared * a).coeffs,
+            (shared * b).coeffs,
+        ]
+
+
+class TestPinnedOpCounts:
+    def _rig(self, params):
+        ctx = BfvContext(params, SecureRandom(4))
+        encoder = BatchEncoder(params)
+        sk, pk = ctx.keygen()
+        ct = ctx.encrypt(pk, encoder.encode(list(range(8))))
+        return ctx, encoder, sk, ct
+
+    def test_mul_plain_is_one_batched_forward_and_inverse(self):
+        params = fast_params(n=64)
+        ctx, encoder, sk, ct = self._rig(params)
+        _, counter = _counted_context(params.n, params.q, ctx._rq)
+        ctx.mul_plain(ct, encoder.encode([5] * params.n))
+        # One stacked forward of {lifted plaintext, c0, c1}; one stacked
+        # inverse of the two products. No per-vector transform calls.
+        assert counter.calls == Counter(
+            {"forward_many": 1, "inverse_unscaled_many": 1}
+        )
+        assert counter.vectors["forward_many"] == 3
+        assert counter.vectors["inverse_unscaled_many"] == 2
+
+    def test_rotate_batches_per_key_digit(self):
+        params = fast_params(n=64)
+        ctx, encoder, sk, ct = self._rig(params)
+        g = encoder.galois_element_for_rotation(1)
+        gk = ctx.galois_keygen(sk, [g])
+        _, counter = _counted_context(params.n, params.q, ctx._rq)
+        ctx.rotate(ct, g, gk)
+        digits = params.num_decomp_digits
+        # Each digit shares its forward NTT across both key components.
+        assert counter.calls == Counter(
+            {"forward_many": digits, "inverse_unscaled_many": digits}
+        )
+        assert counter.vectors["forward_many"] == 3 * digits
+        assert counter.vectors["inverse_unscaled_many"] == 2 * digits
+
+    def test_rns_mul_plain_batches_every_residue_ring(self):
+        params = dataclasses.replace(toy_params(n=64), representation="rns")
+        ctx, encoder, sk, ct = self._rig(params)
+        counters = []
+        for prime, be in zip(ctx._rns.primes, ctx._rns.backends):
+            counters.append(_counted_context(params.n, prime, be)[1])
+        ctx.mul_plain(ct, encoder.encode([3] * params.n))
+        for counter in counters:
+            assert counter.calls == Counter(
+                {"forward_many": 1, "inverse_unscaled_many": 1}
+            )
+            assert counter.vectors["forward_many"] == 3
+
+    def test_batched_output_still_decrypts(self):
+        params = fast_params(n=64)
+        ctx, encoder, sk, ct = self._rig(params)
+        ct = ctx.mul_plain(ct, encoder.encode([5] * params.n))
+        assert encoder.decode(ctx.decrypt(sk, ct))[:8] == [
+            5 * v % params.t for v in range(8)
+        ]

@@ -47,7 +47,27 @@ class TestParams:
         p = delphi_params()
         assert p.n == 2048
         assert p.t.bit_length() == 41
-        assert p.q.bit_length() == 120
+        # SEAL-style ~180-bit RNS chain: six distinct 30-bit NTT primes.
+        assert p.q.bit_length() == 180
+        assert len(p.rns_primes) == 6
+        assert len(set(p.rns_primes)) == 6
+        product = 1
+        for prime in p.rns_primes:
+            assert prime.bit_length() == 30
+            assert prime < 1 << 31
+            assert (prime - 1) % (2 * p.n) == 0
+            product *= prime
+        assert product == p.q
+
+    def test_toy_params_carry_rns_chain(self):
+        p = toy_params(n=128)
+        assert p.rns_primes is not None
+        product = 1
+        for prime in p.rns_primes:
+            assert (prime - 1) % (2 * p.n) == 0
+            product *= prime
+        assert product == p.q
+        assert p.resolve_representation() in ("bigint", "rns")
 
 
 class TestEncryptDecrypt:
