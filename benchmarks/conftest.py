@@ -52,7 +52,37 @@ def _collect_primitive_stats(session):
             }
         except (AttributeError, TypeError):  # incomplete run; skip quietly
             continue
+        extra = dict(getattr(bench, "extra_info", None) or {})
+        if extra:
+            stats[bench.name]["extra"] = extra
     return stats
+
+
+def _annotate_pool_scaling(results):
+    """Wall-clock + per-core efficiency for pooled rows.
+
+    Pool-size scaling rows carry ``extra.workers``; the ``workers == 1``
+    row is the single-core oracle. Efficiency = t1 / (w * tw), so a value
+    near 1.0 means linear scaling and a regression shows up as a drop in
+    the JSON diff. Computed over the merged results so partial runs keep
+    annotations consistent with the stored baseline.
+    """
+    baseline = None
+    pooled = []
+    for stats in results.values():
+        workers = stats.get("extra", {}).get("workers")
+        if workers is None:
+            continue
+        pooled.append((workers, stats))
+        if workers == 1:
+            baseline = stats["min_s"]
+    for workers, stats in pooled:
+        stats["wall_clock_s"] = stats["min_s"]
+        if baseline is not None and stats["min_s"] > 0:
+            stats["speedup_vs_w1"] = round(baseline / stats["min_s"], 3)
+            stats["per_core_efficiency"] = round(
+                baseline / (workers * stats["min_s"]), 3
+            )
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -74,6 +104,7 @@ def pytest_sessionfinish(session, exitstatus):
     # Merge per test so a partial run (-k/::test selection) refreshes only
     # the benches it actually executed instead of clobbering the column.
     entry.setdefault("results", {}).update(stats)
+    _annotate_pool_scaling(entry["results"])
     try:
         path.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
     except OSError:  # read-only checkout: benches still ran fine

@@ -22,6 +22,7 @@ the numpy backend the RNS ciphertext multiply at n=2048 is expected to be
 """
 
 import dataclasses
+import os
 import random
 
 import numpy as np
@@ -37,19 +38,33 @@ from repro.he.encoder import BatchEncoder
 from repro.he.ntt import NegacyclicNtt
 from repro.he.params import delphi_params, fast_params, toy_params
 from repro.ot.extension import iknp_transfer
+from repro.runtime import PrecomputePool
 
 PARAMS = fast_params(n=256)
 RELU_BATCH = 64
+# One wider conv layer's worth of activations (ROADMAP: raise benchmark
+# network sizes) — e.g. an 8-channel 8x8 feature map.
+WIDE_RELU_BATCH = 512
+# The pool-scaling batch the acceptance row is measured at.
+POOL_RELU_BATCH = 256
 
 
-def test_bench_ntt_multiply_1024(benchmark):
-    n = 1024
+def _ntt_multiply_bench(benchmark, n):
     q = find_ntt_prime(62, n)
     ntt = NegacyclicNtt(n, q)
     rng = random.Random(0)
     a = [rng.randrange(q) for _ in range(n)]
     b = [rng.randrange(q) for _ in range(n)]
     benchmark(lambda: ntt.multiply(a, b))
+
+
+def test_bench_ntt_multiply_1024(benchmark):
+    _ntt_multiply_bench(benchmark, 1024)
+
+
+def test_bench_ntt_multiply_2048(benchmark):
+    """The delphi-scale ring degree on a single 62-bit prime."""
+    _ntt_multiply_bench(benchmark, 2048)
 
 
 def test_bench_bfv_encrypt(benchmark):
@@ -140,6 +155,54 @@ def test_bench_garble_relu_layer(benchmark):
     benchmark.pedantic(
         lambda: garbler.garble_batch(circuit, RELU_BATCH), rounds=1, iterations=1
     )
+
+
+def test_bench_garble_relu_layer_wide(benchmark):
+    """A wider conv layer's GC batch (512 activations, n=2048-era shapes)."""
+    spec = ReluCircuitSpec(bits=17, modulus=PARAMS.t, mask_owner="evaluator")
+    circuit = build_relu_circuit(spec)
+    garbler = Garbler(SecureRandom(16))
+    benchmark.pedantic(
+        lambda: garbler.garble_batch(circuit, WIDE_RELU_BATCH),
+        rounds=1, iterations=1,
+    )
+
+
+def _pooled_garble_bench(benchmark, workers):
+    """Pool-size scaling row: one n=256 ReLU batch through the pool.
+
+    ``workers=1`` runs the identical shard jobs inline, so the w1 row is
+    the single-core baseline the per-core efficiency of the w2/w4 rows is
+    computed against (see benchmarks/conftest.py). The recorded rows are
+    transcript-identical across pool sizes by construction.
+    """
+    spec = ReluCircuitSpec(bits=17, modulus=PARAMS.t, mask_owner="evaluator")
+    circuit = build_relu_circuit(spec)
+    with PrecomputePool(workers=workers) as pool:
+        if workers > 1:
+            # Warm the fork + initializer cost out of the measured rounds.
+            pool.garble_batch(circuit, 16, rng=SecureRandom(0))
+        benchmark.pedantic(
+            lambda: pool.garble_batch(
+                circuit, POOL_RELU_BATCH, rng=SecureRandom(21)
+            ),
+            rounds=2, iterations=1,
+        )
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["batch"] = POOL_RELU_BATCH
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+
+
+def test_bench_garble_relu_pool_w1(benchmark):
+    _pooled_garble_bench(benchmark, 1)
+
+
+def test_bench_garble_relu_pool_w2(benchmark):
+    _pooled_garble_bench(benchmark, 2)
+
+
+def test_bench_garble_relu_pool_w4(benchmark):
+    _pooled_garble_bench(benchmark, 4)
 
 
 def test_bench_evaluate_relu_layer(benchmark):

@@ -15,6 +15,9 @@ from repro import HybridProtocol, tiny_cnn, tiny_dataset, toy_params
 
 
 def run_role(network, x, garbler: str):
+    # workers=None defers to REPRO_WORKERS: set it (or pass workers=N) to
+    # mint the offline phase on a multi-core PrecomputePool — transcripts
+    # are byte-identical either way.
     protocol = HybridProtocol(network, toy_params(n=256), garbler=garbler, seed=7)
     protocol.run_offline()
     prediction = protocol.run_online(x)
@@ -24,7 +27,7 @@ def run_role(network, x, garbler: str):
 def main() -> None:
     params = toy_params(n=256)
     dataset = tiny_dataset(size=4, channels=1, classes=3)
-    network = tiny_cnn(dataset, width=2)
+    network = tiny_cnn(dataset, width=4)  # wider conv layers per ROADMAP
     network.randomize_weights(params.t, np.random.default_rng(3))
     print(network.summary())
 

@@ -48,6 +48,7 @@ from repro.nn import (
     vgg16,
 )
 from repro.profiling.devices import ATOM, EPYC, DeviceProfile
+from repro.runtime import PrecomputePool, PrecomputeStore
 from repro.profiling.model_costs import (
     NetworkCostProfile,
     Protocol,
@@ -69,6 +70,8 @@ __all__ = [
     "NetworkCostProfile",
     "OfflineParallelism",
     "PiSystemSimulator",
+    "PrecomputePool",
+    "PrecomputeStore",
     "Protocol",
     "SpeedupKnobs",
     "SystemConfig",

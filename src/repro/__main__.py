@@ -48,6 +48,15 @@ def main(argv: list[str] | None = None) -> int:
         "variable; 'auto' picks RNS residues whenever a parameter set "
         "carries a prime chain and the vectorized backend is active)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="offline precompute pool size for functional protocol runs "
+        "(overrides the REPRO_WORKERS environment variable; 1 disables "
+        "pooling)",
+    )
     args = parser.parse_args(argv)
     if args.backend is not None:
         set_backend(args.backend)
@@ -69,22 +78,27 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print(f"unknown experiment {item!r}; try --list", file=sys.stderr)
             return 2
-    # Parameter sets are built inside each experiment; the environment
-    # variable is how 'auto' representation resolution hears about the
-    # override. Scoped to the experiment runs (and restored after) so an
-    # in-process caller of main() does not leak the selection.
-    saved = os.environ.get("REPRO_REPRESENTATION")
+    # Parameter sets and protocol objects are built inside each
+    # experiment; the environment variables are how 'auto' representation
+    # resolution and worker-count resolution hear about the overrides.
+    # Scoped to the experiment runs (and restored after) so an in-process
+    # caller of main() does not leak the selections.
+    scoped = {}
     if args.representation is not None:
-        os.environ["REPRO_REPRESENTATION"] = args.representation
+        scoped["REPRO_REPRESENTATION"] = args.representation
+    if args.workers is not None:
+        scoped["REPRO_WORKERS"] = str(max(1, args.workers))
+    saved = {name: os.environ.get(name) for name in scoped}
+    os.environ.update(scoped)
     try:
         for key in selected:
             ALL_EXPERIMENTS[key].main()
     finally:
-        if args.representation is not None:
-            if saved is None:
-                os.environ.pop("REPRO_REPRESENTATION", None)
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
             else:
-                os.environ["REPRO_REPRESENTATION"] = saved
+                os.environ[name] = value
     return 0
 
 

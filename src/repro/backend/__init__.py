@@ -42,6 +42,7 @@ __all__ = [
     "active_backend_name",
     "backend_for",
     "get_backend",
+    "reset_backend_selection",
     "set_backend",
 ]
 
@@ -51,9 +52,25 @@ if NumpyBackend is not None:
 
 _VALID = ("auto",) + tuple(sorted(_REGISTRY))
 
-_active: str = os.environ.get("REPRO_BACKEND", "").strip().lower() or "auto"
-if _active not in _VALID:  # unknown env value: fail soft, stay functional
-    _active = "auto"
+def _selection_from_env() -> str:
+    name = os.environ.get("REPRO_BACKEND", "").strip().lower() or "auto"
+    return name if name in _VALID else "auto"  # fail soft, stay functional
+
+
+_active: str = _selection_from_env()
+
+
+def reset_backend_selection() -> str:
+    """Re-read the selection from ``REPRO_BACKEND``, dropping set_backend().
+
+    Pool worker initializers call this (via
+    :func:`repro.runtime.reset_process_state`) so a forked worker's
+    selection is governed by the environment it actually runs in rather
+    than whatever the parent last set programmatically.
+    """
+    global _active
+    _active = _selection_from_env()
+    return _active
 
 
 def available_backends() -> tuple[str, ...]:

@@ -87,6 +87,16 @@ class RnsContext:
             cls._cache.move_to_end(key)
         return ctx
 
+    @classmethod
+    def clear_cache(cls) -> None:
+        """Drop all shared contexts (fork-safety / test isolation hook).
+
+        A context caches per-prime backend resolutions; pool workers clear
+        it so their contexts re-resolve under the worker's own backend
+        selection instead of state inherited across fork().
+        """
+        cls._cache.clear()
+
     def __len__(self) -> int:
         return len(self.primes)
 

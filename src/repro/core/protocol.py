@@ -173,6 +173,8 @@ class HybridProtocol:
         truncate_bits: int = 0,
         backend: str | None = None,
         representation: str | None = None,
+        workers: int | None = None,
+        pool=None,
     ):
         if garbler not in ("server", "client"):
             raise ValueError("garbler must be 'server' or 'client'")
@@ -206,6 +208,19 @@ class HybridProtocol:
         self.channel = Channel(field_bytes=(self.bits + 7) // 8)
         self.counters = ProtocolCounters()
         self._offline_done = False
+        # Offline parallelism: an explicit pool wins; otherwise `workers`
+        # (explicit > REPRO_WORKERS > 1) makes run_offline create its own
+        # PrecomputePool for the duration of the offline phase. Pooled and
+        # sequential offline phases are transcript-identical under the
+        # same seed (all randomness stays on this side of the pool).
+        from repro.runtime.pool import resolve_workers
+
+        self._shared_pool = pool
+        self._workers = (
+            pool.workers if pool is not None else resolve_workers(workers, default=1)
+        )
+        self._active_pool = None
+        self._relu_circuit_cache: Circuit | None = None
         self._validate_packing()
 
     def _validate_packing(self) -> None:
@@ -221,12 +236,47 @@ class HybridProtocol:
     # -- offline phase ---------------------------------------------------------
 
     def run_offline(self) -> None:
-        """Execute the full offline phase (HE correlations + garbling + OT)."""
+        """Execute the full offline phase (HE correlations + garbling + OT).
+
+        With ``workers > 1`` (or an explicit ``pool``), garbling, the OT
+        extension stages, and the Galois key products run on a
+        :class:`~repro.runtime.pool.PrecomputePool`; every transcript
+        byte matches the sequential run under the same seed.
+        """
+        own_pool = None
+        self._active_pool = self._shared_pool
+        if self._active_pool is None and self._workers > 1:
+            from repro.backend import active_backend_name
+            from repro.runtime.pool import PrecomputePool
+
+            # Forward the *effective* selections: a worker's initializer
+            # re-reads its environment (dropping the parent's programmatic
+            # set_backend / a params-level override), so an explicit
+            # backend or representation choice must travel with the pool.
+            backend = self._backend_pref
+            if not backend or backend == "auto":
+                backend = active_backend_name()
+            own_pool = PrecomputePool(
+                workers=self._workers,
+                backend=backend,
+                representation=self.params.resolve_representation(),
+            )
+            self._active_pool = own_pool
+        try:
+            self._run_offline_phase()
+        finally:
+            self._active_pool = None
+            if own_pool is not None:
+                own_pool.close()
+
+    def _run_offline_phase(self) -> None:
         self.channel.set_phase("offline")
         ctx = BfvContext(self.params, self.rng.spawn())
         encoder = BatchEncoder(self.params)
         sk, pk = ctx.keygen()
-        gk = ctx.galois_keygen(sk, [encoder.galois_element_for_rotation(1)])
+        gk = ctx.galois_keygen(
+            sk, [encoder.galois_element_for_rotation(1)], pool=self._active_pool
+        )
         self.channel.send(CLIENT, pk)
         self.channel.send(CLIENT, gk)
         self.channel.recv(SERVER)
@@ -263,16 +313,39 @@ class HybridProtocol:
         self.counters.he_rotations = evaluator.rotations_performed
         self.counters.he_plain_mults = evaluator.plain_mults_performed
 
-        # GC pass: garble one circuit per ReLU activation.
+        # GC pass: garble one circuit per ReLU activation. All layers'
+        # batches are garbled up front — sequentially per layer, or, with
+        # a pool, through one skew-aware garble_layers() plan so a wide
+        # layer's shards interleave with narrow layers' instead of
+        # straggling — then each layer's channel exchange runs in order.
+        # Each layer draws from its own spawned RNG, so the bytes are
+        # identical between the two branches.
         self._relu_bundles: dict[int, ReluBundle] = {}
         relu_steps = [
             (pos, lin_idx)
             for pos, (kind, lin_idx) in enumerate(self.lowered.steps)
             if kind == "relu"
         ]
+        circuit = self._relu_circuit()
+        layer_plan = []
         for pos, lin_idx in relu_steps:
             mask_index = self._next_linear_index(pos)
-            self._offline_relu_layer(pos, lin_idx, mask_index)
+            n = self.lowered.linears[lin_idx].n_out
+            if len(self.client_r[mask_index]) != n:
+                raise ValueError("mask length mismatch (unsupported layer between)")
+            layer_plan.append((pos, lin_idx, mask_index, n, self.rng.spawn()))
+        if self._active_pool is not None:
+            batches = self._active_pool.garble_layers(
+                [(circuit, n, rng) for _, _, _, n, rng in layer_plan],
+                vectorize=self._vectorize_gc,
+            )
+        else:
+            batches = [
+                Garbler(rng).garble_batch(circuit, n, vectorize=self._vectorize_gc)
+                for _, _, _, n, rng in layer_plan
+            ]
+        for (pos, lin_idx, mask_index, n, _), batch in zip(layer_plan, batches):
+            self._offline_relu_layer(pos, lin_idx, mask_index, batch)
         self._offline_done = True
 
     def _next_linear_index(self, relu_pos: int) -> int:
@@ -281,25 +354,30 @@ class HybridProtocol:
                 return idx
         raise ValueError("ReLU with no following linear layer")
 
-    def _offline_relu_layer(self, pos: int, lin_idx: int, mask_index: int) -> None:
-        p = self.modulus
-        n = self.lowered.linears[lin_idx].n_out
-        mask = self.client_r[mask_index]
-        if len(mask) != n:
-            raise ValueError("mask length mismatch (unsupported layer between)")
-        mask_owner = "evaluator" if self.garbler_role == "server" else "garbler"
-        spec = ReluCircuitSpec(
-            bits=self.bits,
-            modulus=p,
-            mask_owner=mask_owner,
-            truncate_bits=self.truncate_bits,
-        )
-        circuit = build_relu_circuit(spec)
-        garbler = Garbler(self.rng.spawn())
+    def _relu_circuit(self) -> Circuit:
+        """The (shared) ReLU circuit topology for this protocol's layers.
 
-        # One circuit per activation wire, garbled as a single batch so
-        # label generation and free-XOR walks vectorize across the layer.
-        garbled_batch = garbler.garble_batch(circuit, n, vectorize=self._vectorize_gc)
+        Every ReLU layer garbles the same public topology — only the
+        labels differ — so it is built once and shared, which also lets
+        :meth:`import_offline` rebind stored bundles without re-lowering.
+        """
+        if self._relu_circuit_cache is None:
+            mask_owner = "evaluator" if self.garbler_role == "server" else "garbler"
+            spec = ReluCircuitSpec(
+                bits=self.bits,
+                modulus=self.modulus,
+                mask_owner=mask_owner,
+                truncate_bits=self.truncate_bits,
+            )
+            self._relu_circuit_cache = build_relu_circuit(spec)
+        return self._relu_circuit_cache
+
+    def _offline_relu_layer(
+        self, pos: int, lin_idx: int, mask_index: int, garbled_batch
+    ) -> None:
+        """Channel exchange for one ReLU layer's pre-garbled batch."""
+        n = self.lowered.linears[lin_idx].n_out
+        circuit = self._relu_circuit()
         circuits = [garbled for garbled, _ in garbled_batch]
         encodings = [encoding for _, encoding in garbled_batch]
         self.counters.gc_circuits_garbled += n
@@ -356,7 +434,9 @@ class HybridProtocol:
             for wire, bit in zip(circuit.evaluator_inputs, share_bits + mask_bits):
                 pairs.append((encoding.label_for(wire, 0), encoding.label_for(wire, 1)))
                 choices.append(bit)
-        received, transcript = iknp_transfer(pairs, choices, self.rng.spawn())
+        received, transcript = iknp_transfer(
+            pairs, choices, self.rng.spawn(), pool=self._active_pool
+        )
         self.counters.ots_performed += len(pairs)
         receiver = CLIENT if sender == SERVER else SERVER
         self.channel.send(receiver, None, nbytes=transcript.column_bytes)
@@ -375,6 +455,115 @@ class HybridProtocol:
             label_map[Circuit.CONST_ONE] = encoding.label_for(Circuit.CONST_ONE, 1)
             labels.append(label_map)
         return labels
+
+    # -- precompute store integration --------------------------------------------
+
+    def export_offline(
+        self, store, model_id: str, client_id: str = "client0",
+        name: str | None = None,
+    ) -> str:
+        """Persist this offline phase into a :class:`PrecomputeStore`.
+
+        Everything the online phase needs — per-layer mask/share vectors
+        and the garbled ReLU bundles — is packed into one ``offline``
+        entry under (model, params, client), so precomputes minted now
+        (possibly by a many-worker pool) can serve inferences later, the
+        buffering the paper's streaming system is built around.
+        """
+        if not self._offline_done:
+            raise RuntimeError("offline phase must run before export")
+        from repro.runtime.store import (
+            KIND_OFFLINE,
+            StoreKey,
+            serialize_offline_transcript,
+        )
+
+        bundles = {
+            pos: (b.mask_index, b.circuits, b.encodings, b.evaluator_labels)
+            for pos, b in self._relu_bundles.items()
+        }
+        blob = serialize_offline_transcript(
+            self.modulus,
+            self.client_r,
+            self.server_s,
+            self.client_linear_share,
+            bundles,
+            garbler_role=self.garbler_role,
+            truncate_bits=self.truncate_bits,
+        )
+        key = StoreKey.for_protocol(model_id, self.params, client_id)
+        return store.put(key, KIND_OFFLINE, blob, name=name)
+
+    def import_offline(
+        self, store, model_id: str, client_id: str = "client0",
+        name: str | None = None, consume: bool = True,
+    ) -> bool:
+        """Load a stored offline transcript instead of running run_offline.
+
+        ``consume`` (default) removes the entry — the buffer-drain
+        semantics of the paper's client storage: each stored precompute
+        serves one inference. Returns False when no entry is available.
+        """
+        from collections import defaultdict
+
+        from repro.runtime.store import (
+            KIND_OFFLINE,
+            StoreKey,
+            deserialize_offline_transcript,
+        )
+
+        key = StoreKey.for_protocol(model_id, self.params, client_id)
+        lookup = name or next(iter(store.names(key, KIND_OFFLINE)), None)
+        blob = store.get(key, KIND_OFFLINE, lookup) if lookup else None
+        if blob is None:
+            return False
+        circuit = self._relu_circuit()
+        client_r, server_s, shares, bundles = deserialize_offline_transcript(
+            blob,
+            defaultdict(lambda: circuit),
+            garbler_role=self.garbler_role,
+            truncate_bits=self.truncate_bits,
+        )
+        if len(client_r) != len(self.lowered.linears):
+            raise ValueError("stored transcript does not match this network")
+        for lin, r, s in zip(self.lowered.linears, client_r, server_s):
+            if len(r) != lin.n_in or len(s) != lin.n_out:
+                raise ValueError("stored transcript does not match this network")
+        # Structural check of the ReLU bundles too (a revised network can
+        # keep its linear widths but move/add/remove ReLUs): positions,
+        # per-layer activation counts, and mask bindings must all match,
+        # or the online phase would crash after the entry was consumed.
+        expected = {
+            pos: (self._next_linear_index(pos), self.lowered.linears[lin_idx].n_out)
+            for pos, (kind, lin_idx) in enumerate(self.lowered.steps)
+            if kind == "relu"
+        }
+        found = {
+            pos: (mask_index, len(circuits))
+            for pos, (mask_index, circuits, _, _) in bundles.items()
+        }
+        if found != expected:
+            raise ValueError(
+                "stored transcript's ReLU bundles do not match this network"
+            )
+        if consume:
+            # Only after validation: a rejected transcript stays buffered
+            # (it may belong to a differently-configured protocol).
+            store.delete(key, KIND_OFFLINE, lookup)
+        self.client_r = client_r
+        self.server_s = server_s
+        self.client_linear_share = shares
+        self._relu_bundles = {
+            pos: ReluBundle(
+                circuits=circuits,
+                encodings=encodings,
+                evaluator_labels=labels,
+                mask_index=mask_index,
+            )
+            for pos, (mask_index, circuits, encodings, labels) in bundles.items()
+        }
+        self._offline_done = True
+        return True
 
     # -- online phase ------------------------------------------------------------
 

@@ -53,6 +53,12 @@ class SystemConfig:
     # BfvParams for callers that instantiate real crypto for a simulated
     # deployment.
     compute_backend: str = "auto"
+    # Offline precompute pool size for functional runs of this deployment
+    # (None defers to REPRO_WORKERS, then 1). The simulator's `parallelism`
+    # knob models the same resource analytically; `workers` is what an
+    # actual HybridProtocol built for this deployment hands to its
+    # PrecomputePool. Resolve via :meth:`precompute_workers`.
+    workers: int | None = None
 
     def functional_bfv_params(self, n: int = 256, t_bits: int = 17):
         """BFV parameters for a functional run of this deployment.
@@ -65,6 +71,32 @@ class SystemConfig:
         from repro.he.params import fast_params
 
         return fast_params(n=n, t_bits=t_bits, backend=self.compute_backend)
+
+    def precompute_workers(self) -> int:
+        """Resolved offline pool size (explicit > REPRO_WORKERS > 1)."""
+        from repro.runtime.pool import resolve_workers
+
+        return resolve_workers(self.workers, default=1)
+
+    def functional_protocol(self, network, n: int = 256, t_bits: int = 17, **kwargs):
+        """A HybridProtocol configured like this deployment.
+
+        Threads the deployment's compute backend (via
+        :meth:`functional_bfv_params`), garbling role, and offline pool
+        size into a functional protocol instance, so a simulated
+        configuration can be executed for real with one call.
+        """
+        from repro.core.protocol import HybridProtocol
+        from repro.profiling.model_costs import Protocol as ProtocolKind
+
+        kwargs.setdefault(
+            "garbler",
+            "client" if self.protocol is ProtocolKind.CLIENT_GARBLER else "server",
+        )
+        kwargs.setdefault("workers", self.precompute_workers())
+        return HybridProtocol(
+            network, self.functional_bfv_params(n=n, t_bits=t_bits), **kwargs
+        )
 
     def link(self) -> TddLink:
         volumes = self.profile.comm(self.protocol)

@@ -95,6 +95,183 @@ class InputEncoding:
         return LABEL_BYTES * (2 * len(self.zero_labels) + 1)
 
 
+def derive_instance_labels(
+    rng: SecureRandom, circuit: Circuit
+) -> tuple[bytes, dict[int, bytes]]:
+    """Draw one instance's delta and input zero-labels.
+
+    This is the *only* randomness one garbling consumes; the half-gates
+    walk after it is deterministic, which is what lets a process pool
+    shard the walk across workers while the parent keeps the RNG stream —
+    pooled output stays byte-identical to :meth:`Garbler.garble` under
+    the same seed (see :mod:`repro.runtime.pool`). Draw order: delta,
+    then CONST_ZERO, CONST_ONE, garbler inputs, evaluator inputs.
+    """
+    delta = bytearray(rng.bytes(LABEL_BYTES))
+    delta[0] |= 1  # point-and-permute bit rides on the LSB
+    delta = bytes(delta)
+
+    zero_labels: dict[int, bytes] = {}
+
+    def fresh_label() -> bytes:
+        return rng.bytes(LABEL_BYTES)
+
+    # Constant wires: the garbler knows their truth values, so it hands
+    # the evaluator the label of the actual value; zero-label bookkeeping
+    # stays uniform.
+    zero_labels[Circuit.CONST_ZERO] = fresh_label()
+    zero_labels[Circuit.CONST_ONE] = fresh_label()
+    for wire in circuit.garbler_inputs:
+        zero_labels[wire] = fresh_label()
+    for wire in circuit.evaluator_inputs:
+        zero_labels[wire] = fresh_label()
+    return delta, zero_labels
+
+
+def derive_batch_labels(rng: SecureRandom, circuit: Circuit, count: int):
+    """Draw a batch's deltas and input zero-labels as (count, 16) matrices.
+
+    The vectorized analogue of :func:`derive_instance_labels`, consuming
+    the RNG in exactly the order :meth:`Garbler.garble_batch` does: all
+    deltas first, then each input wire's labels for the whole batch. Row
+    ``i`` of every matrix belongs to instance ``i``.
+    """
+
+    def fresh_labels():
+        return _np.frombuffer(
+            rng.bytes(count * LABEL_BYTES), dtype=_np.uint8
+        ).reshape(count, LABEL_BYTES).copy()
+
+    deltas = fresh_labels()
+    deltas[:, 0] |= 1  # point-and-permute bit rides on the LSB
+
+    zero_labels: dict[int, "_np.ndarray"] = {
+        Circuit.CONST_ZERO: fresh_labels(),
+        Circuit.CONST_ONE: fresh_labels(),
+    }
+    for wire in circuit.garbler_inputs:
+        zero_labels[wire] = fresh_labels()
+    for wire in circuit.evaluator_inputs:
+        zero_labels[wire] = fresh_labels()
+    return deltas, zero_labels
+
+
+def garble_from_labels(
+    circuit: Circuit, delta: bytes, input_zero_labels: dict[int, bytes]
+) -> tuple[GarbledCircuit, InputEncoding]:
+    """Deterministic half-gates walk over pre-drawn input labels."""
+    zero_labels = dict(input_zero_labels)
+    tables: dict[int, GarbledGate] = {}
+    for index, gate in enumerate(circuit.gates):
+        a0 = zero_labels[gate.a]
+        b0 = zero_labels[gate.b]
+        if gate.kind is GateType.XOR:
+            zero_labels[gate.out] = xor_bytes(a0, b0)
+            continue
+        a1 = xor_bytes(a0, delta)
+        b1 = xor_bytes(b0, delta)
+        p_a = _lsb(a0)
+        p_b = _lsb(b0)
+        tweak_g = 2 * index
+        tweak_e = 2 * index + 1
+        # Generator half-gate: computes a AND p_b (garbler knows p_b).
+        t_g = xor_bytes(hash_label(a0, tweak_g), hash_label(a1, tweak_g))
+        if p_b:
+            t_g = xor_bytes(t_g, delta)
+        w_g = hash_label(a0, tweak_g)
+        if p_a:
+            w_g = xor_bytes(w_g, t_g)
+        # Evaluator half-gate: computes a AND (b XOR p_b).
+        t_e = xor_bytes(
+            xor_bytes(hash_label(b0, tweak_e), hash_label(b1, tweak_e)), a0
+        )
+        w_e = hash_label(b0, tweak_e)
+        if p_b:
+            w_e = xor_bytes(w_e, xor_bytes(t_e, a0))
+        out0 = xor_bytes(w_g, w_e)
+        zero_labels[gate.out] = out0
+        tables[index] = GarbledGate(t_g, t_e)
+
+    decode_bits = [_lsb(zero_labels[w]) for w in circuit.outputs]
+    encoding = InputEncoding(
+        zero_labels={
+            w: zero_labels[w]
+            for w in (
+                [Circuit.CONST_ZERO, Circuit.CONST_ONE]
+                + circuit.garbler_inputs
+                + circuit.evaluator_inputs
+            )
+        },
+        delta=delta,
+        output_zero_labels={w: zero_labels[w] for w in circuit.outputs},
+    )
+    garbled = GarbledCircuit(circuit, tables, decode_bits)
+    return garbled, encoding
+
+
+def garble_batch_from_labels(
+    circuit: Circuit, deltas, input_zero_labels
+) -> list[tuple[GarbledCircuit, InputEncoding]]:
+    """Deterministic vectorized walk over pre-drawn (count, 16) matrices.
+
+    Every operation is row-wise, so the walk over any contiguous row slice
+    of the full batch's matrices produces exactly those instances' results
+    — the property :class:`repro.runtime.pool.PrecomputePool` relies on to
+    shard one layer's batch across processes without splitting the RNG.
+    """
+    count = deltas.shape[0]
+    zero_labels: dict[int, "_np.ndarray"] = dict(input_zero_labels)
+    and_tables: list[tuple[int, "_np.ndarray", "_np.ndarray"]] = []
+    for index, gate in enumerate(circuit.gates):
+        a0 = zero_labels[gate.a]
+        b0 = zero_labels[gate.b]
+        if gate.kind is GateType.XOR:
+            zero_labels[gate.out] = a0 ^ b0
+            continue
+        a1 = a0 ^ deltas
+        b1 = b0 ^ deltas
+        p_a = (a0[:, :1] & 1).astype(bool)  # column vectors broadcast
+        p_b = (b0[:, :1] & 1).astype(bool)
+        tweak_g = struct.pack("<Q", 2 * index)
+        tweak_e = struct.pack("<Q", 2 * index + 1)
+        h_a0 = hash_label_rows(a0, tweak_g)
+        h_a1 = hash_label_rows(a1, tweak_g)
+        h_b0 = hash_label_rows(b0, tweak_e)
+        h_b1 = hash_label_rows(b1, tweak_e)
+        # Generator half-gate: computes a AND p_b (garbler knows p_b).
+        t_g = h_a0 ^ h_a1
+        t_g = _np.where(p_b, t_g ^ deltas, t_g)
+        w_g = _np.where(p_a, h_a0 ^ t_g, h_a0)
+        # Evaluator half-gate: computes a AND (b XOR p_b).
+        t_e = h_b0 ^ h_b1 ^ a0
+        w_e = _np.where(p_b, h_b0 ^ t_e ^ a0, h_b0)
+        zero_labels[gate.out] = w_g ^ w_e
+        and_tables.append((index, t_g, t_e))
+
+    encoding_wires = (
+        [Circuit.CONST_ZERO, Circuit.CONST_ONE]
+        + circuit.garbler_inputs
+        + circuit.evaluator_inputs
+    )
+    output_rows = {w: zero_labels[w] for w in circuit.outputs}
+    results = []
+    for i in range(count):
+        tables = {
+            index: GarbledGate(t_g[i].tobytes(), t_e[i].tobytes())
+            for index, t_g, t_e in and_tables
+        }
+        decode_bits = [int(output_rows[w][i, 0]) & 1 for w in circuit.outputs]
+        encoding = InputEncoding(
+            zero_labels={w: zero_labels[w][i].tobytes() for w in encoding_wires},
+            delta=deltas[i].tobytes(),
+            output_zero_labels={
+                w: output_rows[w][i].tobytes() for w in circuit.outputs
+            },
+        )
+        results.append((GarbledCircuit(circuit, tables, decode_bits), encoding))
+    return results
+
+
 class Garbler:
     """Produces a garbled circuit plus the private input encoding."""
 
@@ -102,72 +279,8 @@ class Garbler:
         self._rng = rng or SecureRandom()
 
     def garble(self, circuit: Circuit) -> tuple[GarbledCircuit, InputEncoding]:
-        rng = self._rng
-        delta = bytearray(rng.bytes(LABEL_BYTES))
-        delta[0] |= 1  # point-and-permute bit rides on the LSB
-        delta = bytes(delta)
-
-        zero_labels: dict[int, bytes] = {}
-
-        def fresh_label() -> bytes:
-            return rng.bytes(LABEL_BYTES)
-
-        # Constant wires: the garbler knows their truth values, so it hands
-        # the evaluator the label of the actual value; zero-label bookkeeping
-        # stays uniform.
-        zero_labels[Circuit.CONST_ZERO] = fresh_label()
-        zero_labels[Circuit.CONST_ONE] = fresh_label()
-        for wire in circuit.garbler_inputs:
-            zero_labels[wire] = fresh_label()
-        for wire in circuit.evaluator_inputs:
-            zero_labels[wire] = fresh_label()
-
-        tables: dict[int, GarbledGate] = {}
-        for index, gate in enumerate(circuit.gates):
-            a0 = zero_labels[gate.a]
-            b0 = zero_labels[gate.b]
-            if gate.kind is GateType.XOR:
-                zero_labels[gate.out] = xor_bytes(a0, b0)
-                continue
-            a1 = xor_bytes(a0, delta)
-            b1 = xor_bytes(b0, delta)
-            p_a = _lsb(a0)
-            p_b = _lsb(b0)
-            tweak_g = 2 * index
-            tweak_e = 2 * index + 1
-            # Generator half-gate: computes a AND p_b (garbler knows p_b).
-            t_g = xor_bytes(hash_label(a0, tweak_g), hash_label(a1, tweak_g))
-            if p_b:
-                t_g = xor_bytes(t_g, delta)
-            w_g = hash_label(a0, tweak_g)
-            if p_a:
-                w_g = xor_bytes(w_g, t_g)
-            # Evaluator half-gate: computes a AND (b XOR p_b).
-            t_e = xor_bytes(
-                xor_bytes(hash_label(b0, tweak_e), hash_label(b1, tweak_e)), a0
-            )
-            w_e = hash_label(b0, tweak_e)
-            if p_b:
-                w_e = xor_bytes(w_e, xor_bytes(t_e, a0))
-            out0 = xor_bytes(w_g, w_e)
-            zero_labels[gate.out] = out0
-            tables[index] = GarbledGate(t_g, t_e)
-
-        decode_bits = [_lsb(zero_labels[w]) for w in circuit.outputs]
-        encoding = InputEncoding(
-            zero_labels={
-                w: zero_labels[w]
-                for w in (
-                    [Circuit.CONST_ZERO, Circuit.CONST_ONE]
-                    + circuit.garbler_inputs
-                    + circuit.evaluator_inputs
-                )
-            },
-            delta=delta,
-            output_zero_labels={w: zero_labels[w] for w in circuit.outputs},
-        )
-        garbled = GarbledCircuit(circuit, tables, decode_bits)
-        return garbled, encoding
+        delta, zero_labels = derive_instance_labels(self._rng, circuit)
+        return garble_from_labels(circuit, delta, zero_labels)
 
     def garble_batch(
         self, circuit: Circuit, count: int, vectorize: bool | None = None
@@ -197,74 +310,8 @@ class Garbler:
             vectorize = get_backend().name == "numpy"
         if _np is None or count == 1 or not vectorize:
             return [self.garble(circuit) for _ in range(count)]
-        rng = self._rng
-
-        def fresh_labels():
-            return _np.frombuffer(
-                rng.bytes(count * LABEL_BYTES), dtype=_np.uint8
-            ).reshape(count, LABEL_BYTES).copy()
-
-        deltas = fresh_labels()
-        deltas[:, 0] |= 1  # point-and-permute bit rides on the LSB
-
-        zero_labels: dict[int, "_np.ndarray"] = {
-            Circuit.CONST_ZERO: fresh_labels(),
-            Circuit.CONST_ONE: fresh_labels(),
-        }
-        for wire in circuit.garbler_inputs:
-            zero_labels[wire] = fresh_labels()
-        for wire in circuit.evaluator_inputs:
-            zero_labels[wire] = fresh_labels()
-
-        and_tables: list[tuple[int, "_np.ndarray", "_np.ndarray"]] = []
-        for index, gate in enumerate(circuit.gates):
-            a0 = zero_labels[gate.a]
-            b0 = zero_labels[gate.b]
-            if gate.kind is GateType.XOR:
-                zero_labels[gate.out] = a0 ^ b0
-                continue
-            a1 = a0 ^ deltas
-            b1 = b0 ^ deltas
-            p_a = (a0[:, :1] & 1).astype(bool)  # column vectors broadcast
-            p_b = (b0[:, :1] & 1).astype(bool)
-            tweak_g = struct.pack("<Q", 2 * index)
-            tweak_e = struct.pack("<Q", 2 * index + 1)
-            h_a0 = hash_label_rows(a0, tweak_g)
-            h_a1 = hash_label_rows(a1, tweak_g)
-            h_b0 = hash_label_rows(b0, tweak_e)
-            h_b1 = hash_label_rows(b1, tweak_e)
-            # Generator half-gate: computes a AND p_b (garbler knows p_b).
-            t_g = h_a0 ^ h_a1
-            t_g = _np.where(p_b, t_g ^ deltas, t_g)
-            w_g = _np.where(p_a, h_a0 ^ t_g, h_a0)
-            # Evaluator half-gate: computes a AND (b XOR p_b).
-            t_e = h_b0 ^ h_b1 ^ a0
-            w_e = _np.where(p_b, h_b0 ^ t_e ^ a0, h_b0)
-            zero_labels[gate.out] = w_g ^ w_e
-            and_tables.append((index, t_g, t_e))
-
-        encoding_wires = (
-            [Circuit.CONST_ZERO, Circuit.CONST_ONE]
-            + circuit.garbler_inputs
-            + circuit.evaluator_inputs
-        )
-        output_rows = {w: zero_labels[w] for w in circuit.outputs}
-        results = []
-        for i in range(count):
-            tables = {
-                index: GarbledGate(t_g[i].tobytes(), t_e[i].tobytes())
-                for index, t_g, t_e in and_tables
-            }
-            decode_bits = [int(output_rows[w][i, 0]) & 1 for w in circuit.outputs]
-            encoding = InputEncoding(
-                zero_labels={w: zero_labels[w][i].tobytes() for w in encoding_wires},
-                delta=deltas[i].tobytes(),
-                output_zero_labels={
-                    w: output_rows[w][i].tobytes() for w in circuit.outputs
-                },
-            )
-            results.append((GarbledCircuit(circuit, tables, decode_bits), encoding))
-        return results
+        deltas, zero_labels = derive_batch_labels(self._rng, circuit, count)
+        return garble_batch_from_labels(circuit, deltas, zero_labels)
 
     @staticmethod
     def encode_inputs(

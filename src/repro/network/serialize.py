@@ -16,7 +16,7 @@ import struct
 
 from repro.crypto.prg import LABEL_BYTES
 from repro.gc.circuit import Circuit
-from repro.gc.garble import GarbledCircuit, GarbledGate
+from repro.gc.garble import GarbledCircuit, GarbledGate, InputEncoding
 from repro.he.bfv import Ciphertext, make_ring_element
 from repro.he.params import BfvParams
 
@@ -111,6 +111,66 @@ def deserialize_labels(data: bytes) -> list[bytes]:
     return [
         data[4 + i * LABEL_BYTES : 4 + (i + 1) * LABEL_BYTES] for i in range(count)
     ]
+
+
+# -- label maps and input encodings --------------------------------------------
+
+def serialize_label_map(labels: dict[int, bytes]) -> bytes:
+    """Ordered (wire id, label) pairs.
+
+    Iteration order is preserved on the wire and restored on
+    deserialization — the protocol's online phase relies on garbler label
+    dicts keeping their insertion order ([consts, garbler inputs]).
+    """
+    out = [struct.pack("<I", len(labels))]
+    for wire, label in labels.items():
+        if len(label) != LABEL_BYTES:
+            raise ValueError("labels must be 16 bytes")
+        out.append(struct.pack("<I", wire))
+        out.append(label)
+    return b"".join(out)
+
+
+def deserialize_label_map(data: bytes) -> dict[int, bytes]:
+    (count,) = struct.unpack_from("<I", data, 0)
+    offset = 4
+    labels: dict[int, bytes] = {}
+    for _ in range(count):
+        (wire,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        labels[wire] = data[offset : offset + LABEL_BYTES]
+        offset += LABEL_BYTES
+    if offset != len(data):
+        raise ValueError("trailing bytes in label map")
+    return labels
+
+
+def serialize_input_encoding(encoding: InputEncoding) -> bytes:
+    """Delta plus the (ordered) zero-label and output-zero-label maps."""
+    zero = serialize_label_map(encoding.zero_labels)
+    outputs = serialize_label_map(encoding.output_zero_labels)
+    return (
+        struct.pack("<II", len(zero), len(outputs))
+        + encoding.delta
+        + zero
+        + outputs
+    )
+
+
+def deserialize_input_encoding(data: bytes) -> InputEncoding:
+    n_zero, n_out = struct.unpack_from("<II", data, 0)
+    offset = 8
+    delta = data[offset : offset + LABEL_BYTES]
+    offset += LABEL_BYTES
+    zero = deserialize_label_map(data[offset : offset + n_zero])
+    offset += n_zero
+    outputs = deserialize_label_map(data[offset : offset + n_out])
+    offset += n_out
+    if offset != len(data):
+        raise ValueError("trailing bytes in input encoding")
+    return InputEncoding(
+        zero_labels=zero, delta=delta, output_zero_labels=outputs
+    )
 
 
 # -- garbled circuits ----------------------------------------------------------

@@ -46,15 +46,103 @@ def _int_to_label(value: int) -> bytes:
     return value.to_bytes(LABEL_BYTES, "little")
 
 
+# -- shardable stages ----------------------------------------------------------
+#
+# The extension's m-proportional work — PRG column expansion and the
+# per-row mask/unmask hashing — is split into module-level stage functions
+# over contiguous blocks. All randomness (column seeds, base-OT secrets)
+# stays with the caller, so executing the stages through a process pool
+# (repro.runtime.pool.PrecomputePool) produces byte-identical transcripts
+# to the sequential path: the blocks are pure functions of their inputs.
+
+
+def expand_column_block(args) -> list[int]:
+    """PRG-expand a block of column seeds into m-bit column integers."""
+    seeds, m = args
+    mask = (1 << m) - 1
+    nbytes = (m + 7) // 8
+    return [
+        int.from_bytes(Prg(seed).read(nbytes), "little") & mask for seed in seeds
+    ]
+
+
+def _slice_columns(columns: list[int], lo: int, hi: int) -> list[int]:
+    """Rows [lo, hi) of each m-bit column — jobs ship only their shard's
+    bits instead of the full m-row matrix (KAPPA * m/8 bytes per job)."""
+    mask = (1 << (hi - lo)) - 1
+    return [(col >> lo) & mask for col in columns]
+
+
+def mask_row_block(args) -> list[tuple[bytes, bytes]]:
+    """Sender side: mask a block of message pairs with row hashes of Q.
+
+    ``q_columns`` holds only this block's rows (shard-relative bit 0 is
+    global row ``row_offset``); the hash tweaks stay global.
+    """
+    pairs, q_columns, s_packed, row_offset, msg_len = args
+    kappa_mask = (1 << KAPPA) - 1
+    masked = []
+    for offset, (m0, m1) in enumerate(pairs):
+        j = row_offset + offset
+        q_j = _row(q_columns, offset)
+        pad0 = hash_label(_int_to_label(q_j & kappa_mask), j)
+        pad1 = hash_label(_int_to_label((q_j ^ s_packed) & kappa_mask), j)
+        masked.append(
+            (
+                xor_bytes(m0, Prg(pad0).read(msg_len)),
+                xor_bytes(m1, Prg(pad1).read(msg_len)),
+            )
+        )
+    return masked
+
+
+def unmask_row_block(args) -> list[bytes]:
+    """Receiver side: unmask the chosen message of each row in a block.
+
+    ``t_columns`` holds only this block's rows, like :func:`mask_row_block`.
+    """
+    masked, choices, t_columns, row_offset, msg_len = args
+    kappa_mask = (1 << KAPPA) - 1
+    chosen = []
+    for offset, (pair, c) in enumerate(zip(masked, choices)):
+        j = row_offset + offset
+        t_j = _row(t_columns, offset)
+        pad = hash_label(_int_to_label(t_j & kappa_mask), j)
+        chosen.append(xor_bytes(pair[c & 1], Prg(pad).read(msg_len)))
+    return chosen
+
+
+def _block_ranges(total: int, pool) -> list[tuple[int, int]]:
+    """Contiguous block bounds: one block inline, skew-aware under a pool."""
+    if pool is None or total == 0:
+        return [(0, total)]
+    return pool.shard_ranges(total)
+
+
+def _run_stage(pool, func, jobs):
+    """Run stage jobs through the pool (or inline) and flatten the blocks."""
+    if pool is None:
+        block_results = [func(job) for job in jobs]
+    else:
+        block_results = pool.map_jobs(func, jobs)
+    return [item for block in block_results for item in block]
+
+
 def iknp_transfer(
     message_pairs: list[tuple[bytes, bytes]],
     choices: list[int],
     rng: SecureRandom | None = None,
+    pool=None,
 ) -> tuple[list[bytes], ExtensionTranscript]:
     """Run IKNP extension end to end for ``len(message_pairs)`` OTs.
 
     Returns the receiver's chosen messages and a transcript of byte volumes
     (base OTs + the m x kappa column matrix + the masked message pairs).
+
+    ``pool`` (a :class:`repro.runtime.pool.PrecomputePool`) shards the
+    column expansion and the row mask/unmask hashing across worker
+    processes; output is byte-identical to the sequential path because all
+    randomness is drawn here, in the same order, regardless of pooling.
     """
     rng = rng or SecureRandom()
     m = len(message_pairs)
@@ -74,16 +162,16 @@ def iknp_transfer(
     # Receiver expands kappa column seeds; the sender obtains, via base OT
     # with its secret bits s_i, either t_i or t_i xor r per column.
     receiver_rng = rng.spawn()
-    t_columns = []
-    column_pairs = []
-    for i in range(KAPPA):
-        seed0 = receiver_rng.bytes(LABEL_BYTES)
-        t_i = int.from_bytes(Prg(seed0).read((m + 7) // 8), "little") & ((1 << m) - 1)
-        t_columns.append(t_i)
-        u_i = t_i ^ r_packed
-        column_pairs.append(
-            (t_i.to_bytes((m + 7) // 8, "little"), u_i.to_bytes((m + 7) // 8, "little"))
-        )
+    seeds = [receiver_rng.bytes(LABEL_BYTES) for _ in range(KAPPA)]
+    column_jobs = [
+        (seeds[lo:hi], m) for lo, hi in _block_ranges(KAPPA, pool)
+    ]
+    t_columns = _run_stage(pool, expand_column_block, column_jobs)
+    nbytes = (m + 7) // 8
+    column_pairs = [
+        (t_i.to_bytes(nbytes, "little"), (t_i ^ r_packed).to_bytes(nbytes, "little"))
+        for t_i in t_columns
+    ]
 
     sender_rng = rng.spawn()
     s_bits = sender_rng.bits(KAPPA)
@@ -99,25 +187,37 @@ def iknp_transfer(
         s_packed |= s << i
 
     # Sender masks each message pair with row hashes of Q.
-    masked: list[tuple[bytes, bytes]] = []
-    for j, (m0, m1) in enumerate(message_pairs):
-        q_j = _row(q_columns, j)
-        pad0 = hash_label(_int_to_label(q_j & ((1 << KAPPA) - 1)), j)
-        pad1 = hash_label(_int_to_label((q_j ^ s_packed) & ((1 << KAPPA) - 1)), j)
-        masked.append(
+    row_ranges = _block_ranges(m, pool)
+    masked = _run_stage(
+        pool,
+        mask_row_block,
+        [
             (
-                xor_bytes(m0, Prg(pad0).read(msg_len)),
-                xor_bytes(m1, Prg(pad1).read(msg_len)),
+                message_pairs[lo:hi],
+                _slice_columns(q_columns, lo, hi),
+                s_packed,
+                lo,
+                msg_len,
             )
-        )
+            for lo, hi in row_ranges
+        ],
+    )
 
     # Receiver unmasks its chosen message with row hashes of T.
-    chosen: list[bytes] = []
-    for j, c in enumerate(choices):
-        t_j = _row(t_columns, j)
-        pad = hash_label(_int_to_label(t_j & ((1 << KAPPA) - 1)), j)
-        cipher = masked[j][c & 1]
-        chosen.append(xor_bytes(cipher, Prg(pad).read(msg_len)))
+    chosen = _run_stage(
+        pool,
+        unmask_row_block,
+        [
+            (
+                masked[lo:hi],
+                choices[lo:hi],
+                _slice_columns(t_columns, lo, hi),
+                lo,
+                msg_len,
+            )
+            for lo, hi in row_ranges
+        ],
+    )
 
     transcript = ExtensionTranscript(
         base_ot_bytes=KAPPA * (2 * ((m + 7) // 8)) + KAPPA * 32 + 32,

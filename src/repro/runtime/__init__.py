@@ -1,0 +1,40 @@
+"""Multi-core offline precompute runtime.
+
+Executes the offline phase — ReLU garbling, IKNP OT extension stages,
+Galois key products — across worker processes
+(:class:`~repro.runtime.pool.PrecomputePool`) and persists the minted
+precomputes in a disk-backed, LRU-evicted buffer
+(:class:`~repro.runtime.store.PrecomputeStore`), mirroring the paper's
+client-storage buffer that the streaming simulator models analytically.
+
+Transcript parity is the design invariant: a pooled offline phase is
+byte-identical to the sequential one under the same seeds, because all
+randomness is drawn by the parent in sequential order and jobs are pure
+functions of pre-drawn material (see :mod:`repro.runtime.pool`).
+"""
+
+from repro.runtime.pool import (
+    PrecomputePool,
+    plan_shards,
+    resolve_workers,
+)
+from repro.runtime.state import (
+    derive_worker_seed,
+    reset_process_state,
+    worker_index,
+    worker_rng,
+)
+from repro.runtime.store import PrecomputeStore, StoreKey, params_fingerprint
+
+__all__ = [
+    "PrecomputePool",
+    "PrecomputeStore",
+    "StoreKey",
+    "derive_worker_seed",
+    "params_fingerprint",
+    "plan_shards",
+    "reset_process_state",
+    "resolve_workers",
+    "worker_index",
+    "worker_rng",
+]
