@@ -78,6 +78,15 @@ def _annotate_pool_scaling(results):
             baseline = stats["min_s"]
     for workers, stats in pooled:
         stats["wall_clock_s"] = stats["min_s"]
+        cpus = stats.get("extra", {}).get("cpu_count")
+        if cpus is not None and cpus < workers:
+            # A row recorded on a core-starved host measures IPC overhead,
+            # not scaling; the bench now fails before recording one, but a
+            # stale merged row must not keep advertising an efficiency.
+            stats.pop("speedup_vs_w1", None)
+            stats.pop("per_core_efficiency", None)
+            stats["insufficient_cores"] = True
+            continue
         if baseline is not None and stats["min_s"] > 0:
             stats["speedup_vs_w1"] = round(baseline / stats["min_s"], 3)
             stats["per_core_efficiency"] = round(

@@ -26,6 +26,7 @@ import os
 import random
 
 import numpy as np
+import pytest
 
 from repro.crypto.modmath import find_ntt_prime
 from repro.crypto.rng import SecureRandom
@@ -175,7 +176,25 @@ def _pooled_garble_bench(benchmark, workers):
     the single-core baseline the per-core efficiency of the w2/w4 rows is
     computed against (see benchmarks/conftest.py). The recorded rows are
     transcript-identical across pool sizes by construction.
+
+    On a host with fewer cores than requested workers the row would
+    measure IPC overhead, not scaling — a misleading number that once
+    landed in BENCH_primitives.json from a 1-CPU container. Never record
+    it: skip on small hosts (tier-1 collects this file), and fail loudly
+    under ``REPRO_BENCH_STRICT=1`` — which CI's bench-smoke job sets, so
+    a core-starved runner breaks the build instead of the baseline.
     """
+    cpus = os.cpu_count() or 1
+    if cpus < workers:
+        message = (
+            f"pool-scaling bench requested {workers} workers but this host "
+            f"has {cpus} CPU(s): per_core_efficiency would measure IPC "
+            f"overhead, not scaling — record this row on a >= {workers}-core "
+            "host"
+        )
+        if os.environ.get("REPRO_BENCH_STRICT"):
+            pytest.fail(message)
+        pytest.skip(message)
     spec = ReluCircuitSpec(bits=17, modulus=PARAMS.t, mask_owner="evaluator")
     circuit = build_relu_circuit(spec)
     with PrecomputePool(workers=workers) as pool:

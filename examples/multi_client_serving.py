@@ -1,27 +1,50 @@
-"""Multi-client PI serving: RLP's sweet spot (§5.2's closing discussion).
+"""Multi-client PI serving: RLP's sweet spot (§5.2), measured for real.
 
-Nine clients with 16 GB each give the server 144 GB of aggregate
-pre-compute storage — similar to the single 140 GB client of Figure 10c —
-so the server can run one single-core pre-compute pipeline per client.
-Each client's own latency, though, still resembles the single-client
-16 GB case, because it can only buffer its own pre-computes.
+N clients share one server: per-client precomputes are minted on ONE
+shared PrecomputePool (the paper's request-level parallelism), admitted
+into per-client namespaces of one PrecomputeStore under a *global* byte
+budget, and drained by interleaved online requests. Under a tight budget
+one client's admission evicts another's least-recently-used precompute,
+and the victim's next request pays a demand mint — the measured analogue
+of the buffer dynamics the analytic simulator models.
 
-Run:  python examples/multi_client_serving.py
+Run:  python examples/multi_client_serving.py --clients 4 --requests 2 \
+          --budget-mb 4
+
+Add --analytic to also run the paper-scale analytic MultiClientSimulator
+(resnet18 profile, 16 GB clients) next to the measured tiny-network run.
 """
 
-from repro import (
-    TINY_IMAGENET,
-    OfflineParallelism,
-    Protocol,
-    SystemConfig,
-    profile_network,
-    resnet18,
-    simulate_mean_latency,
-)
-from repro.core.multiclient import MultiClientConfig, MultiClientSimulator
+import argparse
+
+from repro.runtime.serving import ServingReport, demo
 
 
-def main() -> None:
+def functional_run(args) -> ServingReport:
+    # demo() drives the whole mint -> admit -> drain lifecycle and checks
+    # every served logit vector against the plaintext field evaluation —
+    # eviction pressure must never surface a stale result.
+    return demo(
+        num_clients=args.clients,
+        requests_per_client=args.requests,
+        workers=args.workers,
+        budget_mb=args.budget_mb,
+        store_dir=args.store,
+        summary_path=args.summary,
+    )
+
+
+def analytic_run() -> None:
+    from repro import (
+        TINY_IMAGENET,
+        OfflineParallelism,
+        Protocol,
+        SystemConfig,
+        profile_network,
+        resnet18,
+    )
+    from repro.core.multiclient import MultiClientConfig, MultiClientSimulator
+
     profile = profile_network(resnet18(TINY_IMAGENET))
     base = SystemConfig(
         profile=profile,
@@ -30,22 +53,54 @@ def main() -> None:
         wsa=True,
         parallelism=OfflineParallelism.LPHE,
     )
-
-    print("single client, 16 GB (reference):")
-    single = simulate_mean_latency(base, 60 * 60, replications=3)
-    print(f"  mean latency at 1 req/60 min: {single['latency'] / 60:.1f} min\n")
-
-    for clients in (3, 6, 9):
+    print("\nanalytic simulator at paper scale (resnet18, 16 GB clients):")
+    for clients in (3, 9):
         config = MultiClientConfig(base=base, num_clients=clients)
-        simulator = MultiClientSimulator(config)
-        result = simulator.run(mean_interarrival=60 * 60, horizon=24 * 3600, seed=1)
-        print(f"{clients} clients x 16 GB "
-              f"(aggregate {config.aggregate_storage_bytes / 1e9:.0f} GB):")
-        print(f"  completed inferences: {len(result.all_completed)}")
-        print(f"  fleet mean latency:   {result.mean_latency / 60:.1f} min")
-        print(f"  client 0 mean:        {result.client_mean_latency(0) / 60:.1f} min")
-    print("\nper-client latency stays near the single-client value — aggregate")
+        result = MultiClientSimulator(config).run(
+            mean_interarrival=60 * 60, horizon=24 * 3600, seed=1
+        )
+        print(
+            f"  {clients} clients x 16 GB "
+            f"(aggregate {config.aggregate_storage_bytes / 1e9:.0f} GB): "
+            f"{len(result.all_completed)} done, fleet mean "
+            f"{result.mean_latency / 60:.1f} min, client 0 "
+            f"{result.client_mean_latency(0) / 60:.1f} min"
+        )
+    print("per-client latency stays near the single-client value — aggregate")
     print("storage helps server throughput, not an individual client's buffer.")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument(
+        "--requests", type=int, default=1, help="online requests per client"
+    )
+    parser.add_argument(
+        "--budget-mb", type=float, default=4.0,
+        help="global store byte budget in MB (LRU eviction above this; "
+        "0 = unbounded)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="shared pool size (default: REPRO_WORKERS, then all cores)",
+    )
+    parser.add_argument(
+        "--store", default=None,
+        help="store directory (default: a temporary directory)",
+    )
+    parser.add_argument(
+        "--summary", default=None, metavar="PATH",
+        help="write the queue-depth/occupancy summary JSON here",
+    )
+    parser.add_argument(
+        "--analytic", action="store_true",
+        help="also run the paper-scale analytic multi-client simulator",
+    )
+    args = parser.parse_args()
+    functional_run(args)
+    if args.analytic:
+        analytic_run()
 
 
 if __name__ == "__main__":

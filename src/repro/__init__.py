@@ -48,7 +48,12 @@ from repro.nn import (
     vgg16,
 )
 from repro.profiling.devices import ATOM, EPYC, DeviceProfile
-from repro.runtime import PrecomputePool, PrecomputeStore
+from repro.runtime import (
+    PrecomputePool,
+    PrecomputeStore,
+    ServingLoop,
+    ServingReport,
+)
 from repro.profiling.model_costs import (
     NetworkCostProfile,
     Protocol,
@@ -73,6 +78,8 @@ __all__ = [
     "PrecomputePool",
     "PrecomputeStore",
     "Protocol",
+    "ServingLoop",
+    "ServingReport",
     "SpeedupKnobs",
     "SystemConfig",
     "TINY_IMAGENET",

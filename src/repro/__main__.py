@@ -57,9 +57,44 @@ def main(argv: list[str] | None = None) -> int:
         "(overrides the REPRO_WORKERS environment variable; 1 disables "
         "pooling)",
     )
+    parser.add_argument(
+        "--serve",
+        type=int,
+        default=None,
+        metavar="N",
+        help="instead of experiments, run the functional multi-client "
+        "serving loop with N clients (one shared precompute pool, "
+        "per-client store namespaces under --serve-budget-mb)",
+    )
+    parser.add_argument(
+        "--serve-requests",
+        type=int,
+        default=1,
+        metavar="R",
+        help="online requests per served client (with --serve)",
+    )
+    parser.add_argument(
+        "--serve-budget-mb",
+        type=float,
+        default=8.0,
+        metavar="MB",
+        help="global precompute store byte budget (with --serve; "
+        "0 = unbounded)",
+    )
     args = parser.parse_args(argv)
     if args.backend is not None:
         set_backend(args.backend)
+
+    if args.serve is not None:
+        from repro.runtime.serving import demo
+
+        demo(
+            num_clients=max(1, args.serve),
+            requests_per_client=max(1, args.serve_requests),
+            workers=args.workers,
+            budget_mb=args.serve_budget_mb,
+        )
+        return 0
 
     if args.list or not args.experiments:
         for key, module in ALL_EXPERIMENTS.items():

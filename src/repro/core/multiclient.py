@@ -11,6 +11,15 @@ This module simulates N independent clients with private storage and
 request streams contending for one server's cores and one downlink/uplink
 per client (clients have independent wireless links; the server's compute
 is the shared resource).
+
+The analytical answer is no longer the only one: :meth:`MultiClientSimulator.
+run_functional` executes the same deployment for real through
+:class:`repro.runtime.serving.ServingLoop` — per-client precomputes minted
+on one shared :class:`~repro.runtime.PrecomputePool`, admitted into
+per-client :class:`~repro.runtime.PrecomputeStore` namespaces under a
+global byte budget, and drained by interleaved online requests — returning
+measured wall-clock/queue-depth/buffer-occupancy results this simulator
+can be validated against.
 """
 
 from __future__ import annotations
@@ -173,6 +182,50 @@ class MultiClientSimulator:
         env.run(until=horizon)
         env.run(until=horizon + 1000 * 24 * 3600)
         return MultiClientResult(per_client=per_client)
+
+    def run_functional(
+        self,
+        network,
+        store,
+        requests_per_client: int = 1,
+        workers: int | None = None,
+        prefill: int = 1,
+        seed: int = 0,
+        model_id: str = "multiclient",
+    ):
+        """Measured counterpart of :meth:`run`: really serve the clients.
+
+        Builds a :class:`~repro.runtime.serving.ServingLoop` shaped like
+        this deployment — garbler role from the config's protocol, BFV
+        parameters from ``functional_bfv_params()``, pool size from
+        ``precompute_workers()`` unless overridden — and serves
+        ``requests_per_client`` interleaved requests per client from the
+        given :class:`~repro.runtime.PrecomputeStore`. Returns the
+        :class:`~repro.runtime.serving.ServingReport` of measured
+        wall-clock, queue-depth, and buffer-occupancy results that the
+        analytical :meth:`run` answer can be validated against.
+        """
+        from repro.runtime.pool import PrecomputePool
+        from repro.runtime.serving import ServingLoop
+
+        base = self.config.base
+        garbler = (
+            "client" if base.protocol is Protocol.CLIENT_GARBLER else "server"
+        )
+        resolved = base.precompute_workers() if workers is None else workers
+        with PrecomputePool(workers=resolved) as pool:
+            loop = ServingLoop(
+                network,
+                base.functional_bfv_params(),
+                self.config.num_clients,
+                store,
+                pool=pool,
+                garbler=garbler,
+                prefill=prefill,
+                base_seed=seed,
+                model_id=model_id,
+            )
+            return loop.run(requests_per_client)
 
     def _arrivals(self, env, server_he, service, rig, workload, requests, buffered):
         previous = 0.0

@@ -208,10 +208,13 @@ class HybridProtocol:
         self.channel = Channel(field_bytes=(self.bits + 7) // 8)
         self.counters = ProtocolCounters()
         self._offline_done = False
-        # Offline parallelism: an explicit pool wins; otherwise `workers`
+        # Precompute parallelism: an explicit pool wins; otherwise `workers`
         # (explicit > REPRO_WORKERS > 1) makes run_offline create its own
-        # PrecomputePool for the duration of the offline phase. Pooled and
-        # sequential offline phases are transcript-identical under the
+        # PrecomputePool for the duration of the offline phase. A
+        # constructor-provided pool also serves run_online's label OT
+        # (Client-Garbler); `workers` alone stays offline-only, so the
+        # short-lived online phase never pays a pool's fork cost unasked.
+        # Pooled and sequential phases are transcript-identical under the
         # same seed (all randomness stays on this side of the pool).
         from repro.runtime.pool import resolve_workers
 
@@ -567,12 +570,26 @@ class HybridProtocol:
 
     # -- online phase ------------------------------------------------------------
 
-    def run_online(self, x: list[int]) -> list[int]:
-        """Run one inference on the client input ``x``; returns the logits."""
+    def run_online(self, x: list[int], pool=None) -> list[int]:
+        """Run one inference on the client input ``x``; returns the logits.
+
+        ``pool`` (default: the pool passed to the constructor, if any)
+        runs the Client-Garbler online label OT's extension stages on a
+        :class:`~repro.runtime.pool.PrecomputePool`, cutting online
+        latency on multi-core hosts; the channel transcript is
+        byte-identical to the sequential path under the same seed.
+        """
         if not self._offline_done:
             raise RuntimeError("offline phase must run before online phase")
         if len(x) != self.lowered.input_size:
             raise ValueError("input size mismatch")
+        self._active_pool = pool if pool is not None else self._shared_pool
+        try:
+            return self._run_online_phase(x)
+        finally:
+            self._active_pool = None
+
+    def _run_online_phase(self, x: list[int]) -> list[int]:
         self.channel.set_phase("online")
         p = self.modulus
         masked = mod_sub_vec(x, self.client_r[0], p, prefer=self._backend_pref)
@@ -649,7 +666,9 @@ class HybridProtocol:
             for wire, bit in zip(circuit.evaluator_inputs, bits):
                 pairs.append((encoding.label_for(wire, 0), encoding.label_for(wire, 1)))
                 choices.append(bit)
-        received, transcript = iknp_transfer(pairs, choices, self.rng.spawn())
+        received, transcript = iknp_transfer(
+            pairs, choices, self.rng.spawn(), pool=self._active_pool
+        )
         self.counters.ots_performed += len(pairs)
         self.channel.send(SERVER, None, nbytes=transcript.column_bytes)
         self.channel.recv(CLIENT)

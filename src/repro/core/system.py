@@ -98,6 +98,22 @@ class SystemConfig:
             network, self.functional_bfv_params(n=n, t_bits=t_bits), **kwargs
         )
 
+    def functional_store(self, root, byte_budget: float | None = None):
+        """A :class:`~repro.runtime.PrecomputeStore` for this deployment.
+
+        The store's global byte budget defaults to this config's
+        ``client_storage_bytes`` — the functional analogue of the
+        simulator's storage container. Pass an explicit ``byte_budget``
+        (or ``0`` for unbounded) for scaled-down functional runs whose
+        tiny precomputes would never pressure a 16 GB budget.
+        """
+        from repro.runtime.store import PrecomputeStore
+
+        budget = self.client_storage_bytes if byte_budget is None else byte_budget
+        return PrecomputeStore(
+            root, byte_budget=int(budget) if budget else None
+        )
+
     def link(self) -> TddLink:
         volumes = self.profile.comm(self.protocol)
         fraction = optimal_upload_fraction(volumes) if self.wsa else 0.5

@@ -20,6 +20,13 @@ from repro.ot.base import BaseOtReceiver, BaseOtSender
 
 KAPPA = 128  # computational security parameter / number of base OTs
 
+# Below this many rows, shipping shard jobs to pool workers costs more
+# than the work they parallelize — relevant since run_online threads a
+# pool through the per-layer label OTs, whose batches can be tiny. The
+# extension simply runs inline below the threshold; output bytes are
+# identical either way (pooling never changes a transcript bit).
+MIN_POOLED_ROWS = 64
+
 
 @dataclass
 class ExtensionTranscript:
@@ -143,6 +150,9 @@ def iknp_transfer(
     column expansion and the row mask/unmask hashing across worker
     processes; output is byte-identical to the sequential path because all
     randomness is drawn here, in the same order, regardless of pooling.
+    Batches smaller than :data:`MIN_POOLED_ROWS` run every stage inline
+    even under a pool — the online phase's per-layer OTs can be a handful
+    of rows, where dispatch overhead would swamp the win.
     """
     rng = rng or SecureRandom()
     m = len(message_pairs)
@@ -154,6 +164,10 @@ def iknp_transfer(
     for m0, m1 in message_pairs:
         if len(m0) != msg_len or len(m1) != msg_len:
             raise ValueError("all messages must share one length")
+    if m < MIN_POOLED_ROWS:
+        # Every stage's work is m-proportional (the column stage expands
+        # KAPPA m-bit columns); below the threshold, run it all inline.
+        pool = None
 
     r_packed = 0
     for j, c in enumerate(choices):

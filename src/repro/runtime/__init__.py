@@ -6,6 +6,10 @@ Galois key products — across worker processes
 precomputes in a disk-backed, LRU-evicted buffer
 (:class:`~repro.runtime.store.PrecomputeStore`), mirroring the paper's
 client-storage buffer that the streaming simulator models analytically.
+:class:`~repro.runtime.serving.ServingLoop` closes the loop: N clients'
+precomputes minted on one shared pool, admitted into per-client store
+namespaces under a global byte budget, drained by interleaved online
+requests (§5.2's multi-client serving, measured instead of modeled).
 
 Transcript parity is the design invariant: a pooled offline phase is
 byte-identical to the sequential one under the same seeds, because all
@@ -18,6 +22,7 @@ from repro.runtime.pool import (
     plan_shards,
     resolve_workers,
 )
+from repro.runtime.serving import ServedRequest, ServingLoop, ServingReport
 from repro.runtime.state import (
     derive_worker_seed,
     reset_process_state,
@@ -29,6 +34,9 @@ from repro.runtime.store import PrecomputeStore, StoreKey, params_fingerprint
 __all__ = [
     "PrecomputePool",
     "PrecomputeStore",
+    "ServedRequest",
+    "ServingLoop",
+    "ServingReport",
     "StoreKey",
     "derive_worker_seed",
     "params_fingerprint",

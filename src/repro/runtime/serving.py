@@ -1,0 +1,442 @@
+"""Multi-client serving loop over the precompute store (§5.2, functional).
+
+The paper's closing multi-client argument is a statement about *buffers*:
+one server mints offline precomputes for N clients concurrently, each
+client buffers only its own, and end-to-end throughput is governed by how
+fast the mint pipeline refills what the online phase drains.
+:mod:`repro.core.multiclient` models that analytically; this module runs
+it for real:
+
+* **Mint** — per-client offline phases (garbling, IKNP OT, Galois keys)
+  execute on ONE shared :class:`~repro.runtime.pool.PrecomputePool`, the
+  functional analogue of the paper's request-level parallelism: each
+  precompute is a self-contained job stream, and the pool's skew-aware
+  shards keep every core busy across clients.
+* **Admit** — minted transcripts land in per-client namespaces of one
+  :class:`~repro.runtime.store.PrecomputeStore` under a single global
+  byte budget, so clients contend for buffer space exactly like hash-join
+  partitions contend for a memory budget: admitting one client's
+  precompute can evict another's least-recently-used entry.
+* **Drain** — interleaved online requests consume stored precomputes
+  through :meth:`~repro.core.protocol.HybridProtocol.import_offline`. A
+  request whose precompute was evicted (or never minted) demand-mints a
+  fresh one on the spot — a *miss*, the measured counterpart of the
+  simulator's un-buffered request path.
+
+Every request's logits are byte-identical to a per-client sequential run
+(mint seeds are derived per (client, mint-index), and the protocol's
+output is seed-independent anyway), so the loop doubles as an end-to-end
+correctness harness while it measures wall-clock, queue depth, and buffer
+occupancy that the analytic :class:`MultiClientSimulator` can be
+validated against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.runtime.state import derive_worker_seed
+from repro.runtime.store import PrecomputeStore, StoreKey
+
+
+@dataclass
+class ServedRequest:
+    """One drained online request and everything measured around it."""
+
+    client: str
+    index: int  # per-client request index
+    hit: bool  # served from a buffered precompute (False = demand mint)
+    queue_depth: int  # requests still pending when this one started
+    mint_seconds: float  # demand-mint wall-clock (0.0 on a hit)
+    online_seconds: float  # run_online wall-clock
+    store_bytes: int  # buffer occupancy right after the drain
+    logits: list[int] = field(repr=False, default_factory=list)
+
+
+@dataclass
+class ServingReport:
+    """Measured outcome of one serving run.
+
+    The analytic :class:`~repro.core.multiclient.MultiClientSimulator`
+    reports the same quantities (hit rate, queue, latency decomposition)
+    from its discrete-event model; this report is the measured ground
+    truth it can be validated against.
+    """
+
+    num_clients: int
+    requests: list[ServedRequest]
+    minted: int  # total precomputes minted (prefill + refill + demand)
+    demand_mints: int  # mints forced onto a request's critical path
+    evictions: int  # store evictions during the run
+    prefill_seconds: float
+    refill_seconds: float = 0.0  # background-refill mints (off critical path)
+    occupancy: list[dict] = field(default_factory=list)
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.requests:
+            return 0.0
+        return sum(1 for r in self.requests if r.hit) / len(self.requests)
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max((r.queue_depth for r in self.requests), default=0)
+
+    @property
+    def mean_queue_depth(self) -> float:
+        if not self.requests:
+            return 0.0
+        return sum(r.queue_depth for r in self.requests) / len(self.requests)
+
+    @property
+    def mean_online_seconds(self) -> float:
+        if not self.requests:
+            return 0.0
+        return sum(r.online_seconds for r in self.requests) / len(self.requests)
+
+    @property
+    def total_mint_seconds(self) -> float:
+        return (
+            self.prefill_seconds
+            + self.refill_seconds
+            + sum(r.mint_seconds for r in self.requests)
+        )
+
+    def client_requests(self, client: str) -> list[ServedRequest]:
+        return [r for r in self.requests if r.client == client]
+
+    def summary(self) -> dict:
+        """JSON-serializable digest (what the CI smoke job uploads)."""
+        return {
+            "clients": self.num_clients,
+            "requests": len(self.requests),
+            "hit_rate": round(self.hit_rate, 4),
+            "minted": self.minted,
+            "demand_mints": self.demand_mints,
+            "evictions": self.evictions,
+            "max_queue_depth": self.max_queue_depth,
+            "mean_queue_depth": round(self.mean_queue_depth, 3),
+            "mean_online_seconds": round(self.mean_online_seconds, 6),
+            "prefill_seconds": round(self.prefill_seconds, 6),
+            "refill_seconds": round(self.refill_seconds, 6),
+            "total_mint_seconds": round(self.total_mint_seconds, 6),
+            "queue_depths": [r.queue_depth for r in self.requests],
+            "occupancy": self.occupancy,
+        }
+
+
+class ServingLoop:
+    """Mint → admit → drain loop serving N clients from one shared pool.
+
+    One :class:`~repro.runtime.store.PrecomputeStore` holds every
+    client's precomputes in its own namespace under the store's *global*
+    byte budget; one optional :class:`~repro.runtime.pool.PrecomputePool`
+    executes all clients' offline phases AND the online label OT
+    (Client-Garbler) — ``pool=None`` runs everything sequentially with
+    byte-identical transcripts.
+
+    ``prefill`` precomputes are minted per client before serving starts
+    (round-robin, so budget pressure hits all clients evenly — the
+    admission analogue of a fair partition split); with ``refill`` each
+    consumed precompute is re-minted after the request completes while
+    that client still has demand, modelling the simulator's background
+    refill worker in a single-threaded, deterministic way.
+    """
+
+    def __init__(
+        self,
+        network,
+        params,
+        num_clients: int,
+        store: PrecomputeStore,
+        pool=None,
+        garbler: str = "client",
+        prefill: int = 1,
+        refill: bool = True,
+        base_seed: int = 0,
+        model_id: str = "serving",
+    ):
+        if num_clients < 1:
+            raise ValueError("need at least one client")
+        if prefill < 0:
+            raise ValueError("prefill must be >= 0")
+        self.network = network
+        self.params = params
+        self.num_clients = num_clients
+        self.store = store
+        self.pool = pool
+        self.garbler = garbler
+        self.prefill = prefill
+        self.refill = refill
+        self.base_seed = base_seed
+        self.model_id = model_id
+        self.minted = [0] * num_clients  # per-client mint counter (monotonic)
+        self._occupancy: list[dict] = []
+
+    # -- identity -----------------------------------------------------------
+
+    def client_id(self, index: int) -> str:
+        return f"client{index}"
+
+    def mint_seed(self, client_index: int, mint_index: int) -> int:
+        """The seed of one client's j-th minted precompute.
+
+        Hash-derived per (base seed, client, mint index), so a per-client
+        *sequential* rerun — mint j with this seed, serve request j — is
+        the reproducible reference the loop's outputs are tested against.
+        """
+        client_stream = derive_worker_seed(self.base_seed, client_index)
+        return derive_worker_seed(client_stream, mint_index)
+
+    def _protocol(self, seed: int):
+        from repro.core.protocol import HybridProtocol
+
+        return HybridProtocol(
+            self.network,
+            self.params,
+            garbler=self.garbler,
+            seed=seed,
+            pool=self.pool,
+        )
+
+    def store_key(self, client_index: int) -> StoreKey:
+        return StoreKey.for_protocol(
+            self.model_id, self.params, self.client_id(client_index)
+        )
+
+    # -- mint + admit -------------------------------------------------------
+
+    def mint_one(self, client_index: int) -> float:
+        """Mint one precompute for a client; returns wall-clock seconds.
+
+        The offline phase runs through the shared pool; the resulting
+        transcript is admitted into the client's store namespace under
+        the global budget (possibly evicting another client's LRU entry).
+        Raises ``ValueError`` if a single precompute exceeds the budget —
+        the paper's ``buffer_capacity == 0`` regime, where serving from
+        storage is impossible.
+        """
+        seed = self.mint_seed(client_index, self.minted[client_index])
+        start = time.perf_counter()
+        minter = self._protocol(seed)
+        minter.run_offline()
+        minter.export_offline(
+            self.store,
+            self.model_id,
+            client_id=self.client_id(client_index),
+            name=f"{self.minted[client_index]:08d}",
+        )
+        self.minted[client_index] += 1
+        elapsed = time.perf_counter() - start
+        self._sample("mint", client_index)
+        return elapsed
+
+    def prefill_buffers(self) -> float:
+        """Mint ``prefill`` precomputes per client, interleaved round-robin."""
+        start = time.perf_counter()
+        for _ in range(self.prefill):
+            for c in range(self.num_clients):
+                self.mint_one(c)
+        return time.perf_counter() - start
+
+    def _sample(self, event: str, client_index: int) -> None:
+        self._occupancy.append(
+            {
+                "event": event,
+                "client": self.client_id(client_index),
+                "bytes": self.store.total_bytes,
+                "entries": self.store.entry_count,
+            }
+        )
+
+    # -- drain --------------------------------------------------------------
+
+    def serve_one(
+        self, client_index: int, x: list[int], request_index: int,
+        queue_depth: int = 0,
+    ) -> ServedRequest:
+        """Serve one online request, demand-minting on a buffer miss."""
+        server = self._protocol(
+            derive_worker_seed(self.base_seed + 0x5EED, request_index)
+        )
+        client = self.client_id(client_index)
+        hit = server.import_offline(self.store, self.model_id, client_id=client)
+        mint_seconds = 0.0
+        if not hit:
+            # Evicted (another client's admission) or never minted: mint on
+            # the request's critical path — the measured miss penalty.
+            mint_seconds = self.mint_one(client_index)
+            if not server.import_offline(self.store, self.model_id, client_id=client):
+                raise RuntimeError(
+                    f"{client}: freshly minted precompute immediately "
+                    "unavailable — store budget admits no entry"
+                )
+        start = time.perf_counter()
+        logits = server.run_online(x)
+        online_seconds = time.perf_counter() - start
+        self._sample("serve", client_index)
+        return ServedRequest(
+            client=client,
+            index=request_index,
+            hit=hit,
+            queue_depth=queue_depth,
+            mint_seconds=mint_seconds,
+            online_seconds=online_seconds,
+            store_bytes=self.store.total_bytes,
+            logits=logits,
+        )
+
+    def run(
+        self,
+        requests_per_client: int,
+        inputs: list[list[list[int]]] | None = None,
+        input_seed: int = 1,
+    ) -> ServingReport:
+        """Serve ``requests_per_client`` interleaved requests per client.
+
+        Requests are drained round-robin (client0's j-th, client1's j-th,
+        ...), the schedule under which per-client buffers contend hardest
+        for the global budget. ``inputs[c][j]`` supplies client c's j-th
+        input vector; by default inputs are drawn deterministically from
+        ``input_seed`` so runs are reproducible end to end.
+        """
+        if inputs is None:
+            inputs = self.draw_inputs(requests_per_client, input_seed)
+        if len(inputs) < self.num_clients or any(
+            len(per_client) < requests_per_client
+            for per_client in inputs[: self.num_clients]
+        ):
+            raise ValueError(
+                f"inputs must provide >= {requests_per_client} vector(s) for "
+                f"each of {self.num_clients} clients"
+            )
+        # Deltas/slices against the pre-run state, so a reused loop's
+        # second run() reports only its own activity.
+        evictions_before = self.store.evictions
+        minted_before = sum(self.minted)
+        occupancy_before = len(self._occupancy)
+        prefill_seconds = self.prefill_buffers()
+
+        pending: list[tuple[int, int]] = [
+            (c, j)
+            for j in range(requests_per_client)
+            for c in range(self.num_clients)
+        ]
+        # Gate refills on the request schedule, not len(inputs): an
+        # oversized inputs array must not mint precomputes for requests
+        # that will never arrive.
+        remaining = [requests_per_client] * self.num_clients
+        served: list[ServedRequest] = []
+        demand_mints = 0
+        refill_seconds = 0.0
+        while pending:
+            c, j = pending.pop(0)
+            request = self.serve_one(
+                c, inputs[c][j], request_index=j, queue_depth=len(pending)
+            )
+            served.append(request)
+            remaining[c] -= 1
+            if not request.hit:
+                demand_mints += 1
+            if self.refill and remaining[c] > 0:
+                # Background-worker analogue: replace the drained entry
+                # while this client still has demand.
+                refill_seconds += self.mint_one(c)
+        return ServingReport(
+            num_clients=self.num_clients,
+            requests=served,
+            minted=sum(self.minted) - minted_before,
+            demand_mints=demand_mints,
+            evictions=self.store.evictions - evictions_before,
+            prefill_seconds=prefill_seconds,
+            refill_seconds=refill_seconds,
+            occupancy=list(self._occupancy[occupancy_before:]),
+        )
+
+    def draw_inputs(
+        self, requests_per_client: int, input_seed: int = 1
+    ) -> list[list[list[int]]]:
+        """Deterministic per-client input vectors (field elements)."""
+        from repro.crypto.rng import SecureRandom
+
+        size = self.network.input_shape.elements
+        inputs = []
+        for c in range(self.num_clients):
+            rng = SecureRandom(derive_worker_seed(input_seed, c))
+            inputs.append(
+                [
+                    rng.field_vector(size, self.params.t)
+                    for _ in range(requests_per_client)
+                ]
+            )
+        return inputs
+
+
+def demo(
+    num_clients: int = 4,
+    requests_per_client: int = 1,
+    workers: int | None = None,
+    budget_mb: float = 8.0,
+    store_dir: str | None = None,
+    summary_path: str | None = None,
+) -> ServingReport:
+    """Self-contained serving run on a tiny network.
+
+    Drives the whole mint → admit → drain lifecycle, checks every served
+    logit vector against the plaintext oracle (eviction pressure must
+    never surface a stale result), and optionally writes the queue-depth
+    summary JSON. Both ``python -m repro --serve N`` and
+    ``examples/multi_client_serving.py`` are thin wrappers over this.
+    ``budget_mb=0`` means unbounded.
+    """
+    import json
+    import tempfile
+
+    import numpy as np
+
+    from repro.core.protocol import HybridProtocol
+    from repro.he.params import fast_params
+    from repro.nn.datasets import tiny_dataset
+    from repro.nn.models import tiny_mlp
+    from repro.runtime.pool import PrecomputePool
+
+    params = fast_params(n=256)
+    network = tiny_mlp(tiny_dataset(size=4, channels=1, classes=3), hidden=8)
+    network.randomize_weights(params.t, np.random.default_rng(0))
+    root = store_dir or tempfile.mkdtemp(prefix="repro-serving-")
+    store = PrecomputeStore(root, byte_budget=int(budget_mb * 1e6) or None)
+    with PrecomputePool(workers=workers) as pool:
+        print(
+            f"serving {num_clients} clients x {requests_per_client} requests "
+            f"({pool.workers} worker(s), budget {budget_mb:g} MB, store {root})"
+        )
+        loop = ServingLoop(
+            network, params, num_clients, store, pool=pool, garbler="client"
+        )
+        inputs = loop.draw_inputs(requests_per_client)
+        report = loop.run(requests_per_client, inputs=inputs)
+
+    verifier = HybridProtocol(network, params, garbler="client", seed=0)
+    for request in report.requests:
+        c = int(request.client[len("client"):])
+        assert request.logits == verifier.plaintext_reference(
+            inputs[c][request.index]
+        )
+    print(f"all {len(report.requests)} results match the plaintext reference")
+    print(
+        f"  hit rate {report.hit_rate:.2f}  demand mints "
+        f"{report.demand_mints}  evictions {report.evictions}  "
+        f"max queue depth {report.max_queue_depth}"
+    )
+    print(
+        f"  mint {report.total_mint_seconds:.2f}s total, online "
+        f"{report.mean_online_seconds * 1e3:.0f} ms mean"
+    )
+    if summary_path:
+        summary = report.summary()
+        summary["store_dir"] = root
+        with open(summary_path, "w") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+        print(f"  queue-depth summary written to {summary_path}")
+    return report

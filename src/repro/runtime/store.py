@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import struct
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -103,18 +105,82 @@ class PrecomputeStore:
         self.evictions = 0
         self._index: dict = {"seq": 0, "entries": {}}
         index_path = self.root / INDEX_NAME
+        # A leftover .tmp means a crash interrupted _save_index before its
+        # atomic rename; the published index is still the previous
+        # consistent one, so the partial file is plain garbage.
+        try:
+            (self.root / (INDEX_NAME + ".tmp")).unlink()
+        except OSError:
+            pass
+        corruption: Exception | None = None
         if index_path.exists():
             try:
-                self._index = json.loads(index_path.read_text())
-            except (OSError, ValueError):
-                self._index = {"seq": 0, "entries": {}}
+                loaded = json.loads(index_path.read_text())
+                if (
+                    not isinstance(loaded, dict)
+                    or not isinstance(loaded.get("entries"), dict)
+                    or not isinstance(loaded.get("seq"), int)
+                ):
+                    raise ValueError("index has unexpected structure")
+                self._index = loaded
+            except (OSError, ValueError) as exc:
+                # Resetting the index orphans every payload file: invisible
+                # to lookups but still occupying disk the byte budget no
+                # longer accounts for.
+                corruption = exc
+        # Unindexed payloads occupy disk the byte budget doesn't account
+        # for; sweep them on every open — they appear when the index is
+        # reset, but also when a crash lands between a payload write and
+        # its index update. Say so either way: silent data loss is how a
+        # serving fleet ends up minting against a full disk.
+        swept = self._sweep_orphans()
+        if corruption is not None:
+            warnings.warn(
+                f"precompute store index {index_path} was unreadable "
+                f"({corruption}); reset to empty and deleted {swept} "
+                "orphaned payload file(s)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._save_index()
+        elif swept:
+            warnings.warn(
+                f"precompute store {self.root} held {swept} payload file(s) "
+                "not present in the index (crash between payload write and "
+                "index update?); deleted",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     # -- bookkeeping --------------------------------------------------------
 
     def _save_index(self) -> None:
-        (self.root / INDEX_NAME).write_text(
-            json.dumps(self._index, indent=1, sort_keys=True) + "\n"
-        )
+        # Write-fsync-rename so a crash mid-write can never tear index.json:
+        # readers see either the old index or the new one, both valid. The
+        # fsync matters — without it a power loss can commit the rename
+        # before the temp file's data blocks, publishing garbage that the
+        # corrupt-index recovery would then "fix" by sweeping every payload.
+        path = self.root / INDEX_NAME
+        tmp = self.root / (INDEX_NAME + ".tmp")
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(self._index, indent=1, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    def _sweep_orphans(self) -> int:
+        """Delete payload files the index does not know about; returns count."""
+        indexed = {(self.root / rel).resolve() for rel in self._index["entries"]}
+        swept = 0
+        for path in self.root.rglob("*.bin"):
+            if path.resolve() in indexed:
+                continue
+            try:
+                path.unlink()
+                swept += 1
+            except OSError:
+                pass
+        return swept
 
     def _next_seq(self) -> int:
         self._index["seq"] += 1

@@ -1,0 +1,210 @@
+"""Multi-client serving loop + pooled online OT.
+
+Enforces the subsystem's two invariants end to end:
+
+* Serving N interleaved clients from one shared pool and per-client store
+  namespaces produces logits byte-identical to per-client sequential
+  runs — including under a byte budget tight enough that admissions evict
+  other clients' precomputes (a miss demand-mints; it must never surface
+  a stale or mismatched precompute).
+* Threading a pool through ``run_online``'s label OT changes no channel
+  byte in either garbler role.
+"""
+
+import numpy as np
+import pytest
+
+from repro import HybridProtocol, tiny_dataset, tiny_mlp
+from repro.core.multiclient import MultiClientConfig, MultiClientSimulator
+from repro.core.system import SystemConfig
+from repro.he.params import fast_params
+from repro.network.channel import Channel
+from repro.profiling.model_costs import Protocol, profile_network
+from repro.runtime import PrecomputePool, PrecomputeStore, ServingLoop
+
+PARAMS = fast_params(n=256)
+
+
+def _network(hidden=8):
+    network = tiny_mlp(tiny_dataset(size=4, channels=1, classes=3), hidden=hidden)
+    network.randomize_weights(PARAMS.t, np.random.default_rng(0))
+    return network
+
+
+# -- serving loop ---------------------------------------------------------------
+
+
+def test_serving_loop_matches_per_client_sequential_runs(tmp_path):
+    """4 interleaved clients, one shared pool: logits byte-identical to
+    each client running its own mint-then-serve sequence alone."""
+    network = _network()
+    store = PrecomputeStore(tmp_path)
+    with PrecomputePool(workers=2, min_shard=4) as pool:
+        loop = ServingLoop(
+            network, PARAMS, 4, store, pool=pool, garbler="client"
+        )
+        inputs = loop.draw_inputs(1)
+        report = loop.run(1, inputs=inputs)
+
+    assert len(report.requests) == 4
+    assert report.hit_rate == 1.0  # ample budget: every request buffered
+    assert report.demand_mints == 0
+    for request in report.requests:
+        c = int(request.client[len("client"):])
+        sequential = HybridProtocol(
+            network, PARAMS, garbler="client", seed=loop.mint_seed(c, 0)
+        )
+        sequential.run_offline()
+        assert request.logits == sequential.run_online(inputs[c][0])
+
+
+def test_serving_loop_eviction_never_serves_stale(tmp_path):
+    """Budget fits ~2 of 4 clients' precomputes: admissions evict, misses
+    demand-mint, and every result still matches the plaintext oracle."""
+    network = _network()
+    store = PrecomputeStore(tmp_path, byte_budget=200_000)
+    loop = ServingLoop(network, PARAMS, 4, store, garbler="client")
+    inputs = loop.draw_inputs(2)
+    report = loop.run(2, inputs=inputs)
+
+    assert report.evictions > 0
+    assert report.demand_mints > 0
+    assert store.total_bytes <= 200_000
+    oracle = HybridProtocol(network, PARAMS, garbler="client", seed=0)
+    for request in report.requests:
+        c = int(request.client[len("client"):])
+        assert request.logits == oracle.plaintext_reference(
+            inputs[c][request.index]
+        )
+    # Queue depths drain monotonically under the round-robin schedule.
+    assert [r.queue_depth for r in report.requests] == list(range(7, -1, -1))
+
+
+def test_serving_loop_without_prefill_demand_mints_everything(tmp_path):
+    network = _network()
+    store = PrecomputeStore(tmp_path)
+    loop = ServingLoop(
+        network, PARAMS, 2, store, garbler="client", prefill=0, refill=False
+    )
+    report = loop.run(1)
+    assert report.hit_rate == 0.0
+    assert report.demand_mints == 2
+    assert report.minted == 2
+
+
+def test_serving_loop_rejects_budget_below_one_precompute(tmp_path):
+    network = _network()
+    store = PrecomputeStore(tmp_path, byte_budget=10_000)  # < one entry
+    loop = ServingLoop(network, PARAMS, 1, store, garbler="client")
+    with pytest.raises(ValueError, match="budget"):
+        loop.run(1)
+
+
+def test_serving_report_summary_is_json_serializable(tmp_path):
+    import json
+
+    network = _network()
+    loop = ServingLoop(
+        network, PARAMS, 2, PrecomputeStore(tmp_path), garbler="server",
+        refill=False,
+    )
+    report = loop.run(1)
+    summary = json.loads(json.dumps(report.summary()))
+    assert summary["clients"] == 2
+    assert summary["requests"] == 2
+    assert summary["max_queue_depth"] == report.max_queue_depth
+    assert len(summary["occupancy"]) == report.minted + len(report.requests)
+    # A reused loop reports only the second run's activity (deltas/slices).
+    second = loop.run(1)
+    assert second.minted == 2
+    assert len(second.occupancy) == second.minted + len(second.requests)
+
+
+def test_multiclient_simulator_run_functional(tmp_path):
+    """The analytic simulator's deployment executes for real: measured
+    wall-clock/queue/occupancy results to validate the model against."""
+    network = _network()
+    profile = profile_network(network)
+    base = SystemConfig(profile=profile, protocol=Protocol.CLIENT_GARBLER)
+    config = MultiClientConfig(base=base, num_clients=4)
+    simulator = MultiClientSimulator(config)
+    store = base.functional_store(tmp_path, byte_budget=0)  # unbounded
+    report = simulator.run_functional(network, store, workers=1, seed=7)
+    assert report.num_clients == 4
+    assert report.hit_rate == 1.0  # prefilled buffer, like the simulator's
+    assert report.max_queue_depth == 3
+    assert report.total_mint_seconds > 0
+    assert all(r.online_seconds > 0 for r in report.requests)
+
+
+# -- pooled online OT parity ----------------------------------------------------
+
+
+class RecordingChannel(Channel):
+    """Channel that logs every online-phase message for byte comparison."""
+
+    def __init__(self, field_bytes: int = 6):
+        super().__init__(field_bytes=field_bytes)
+        self.online_log: list[tuple] = []
+
+    @staticmethod
+    def _freeze(payload):
+        if isinstance(payload, (list, tuple)):
+            return tuple(RecordingChannel._freeze(item) for item in payload)
+        return payload
+
+    def send(self, sender, payload, nbytes=None):
+        size = super().send(sender, payload, nbytes)
+        if self.phase == "online":
+            self.online_log.append((sender, self._freeze(payload), size))
+        return size
+
+
+def _online_transcript(garbler, pool):
+    network = _network()
+    protocol = HybridProtocol(network, PARAMS, garbler=garbler, seed=99)
+    protocol.run_offline()
+    protocol.channel = RecordingChannel(field_bytes=(protocol.bits + 7) // 8)
+    x = np.random.default_rng(5).integers(0, PARAMS.t, size=16).tolist()
+    logits = protocol.run_online(x, pool=pool)
+    assert logits == protocol.plaintext_reference(x)
+    return logits, protocol.channel.online_log, protocol.channel.summary()
+
+
+@pytest.mark.parametrize("garbler", ["server", "client"])
+def test_online_pool_path_is_byte_identical(garbler):
+    """run_online(pool=...) changes no channel byte in either role.
+
+    The Client-Garbler role routes its per-layer label OTs through the
+    pool; the Server-Garbler role has no online OT — in both, logits and
+    every online message must match the sequential run bit for bit.
+    """
+    logits_seq, log_seq, summary_seq = _online_transcript(garbler, pool=None)
+    with PrecomputePool(workers=2, min_shard=4) as pool:
+        logits_pool, log_pool, summary_pool = _online_transcript(garbler, pool)
+    assert logits_pool == logits_seq
+    assert log_pool == log_seq
+    assert summary_pool == summary_seq
+
+
+def test_constructor_pool_serves_run_online():
+    """A pool passed at construction is picked up by run_online too."""
+    network = _network()
+    sequential = HybridProtocol(network, PARAMS, garbler="client", seed=4)
+    sequential.run_offline()
+    with PrecomputePool(workers=2, min_shard=4) as pool:
+        pooled = HybridProtocol(
+            network, PARAMS, garbler="client", seed=4, pool=pool
+        )
+        pooled.run_offline()
+        x = np.random.default_rng(6).integers(0, PARAMS.t, size=16).tolist()
+        assert pooled.run_online(x) == sequential.run_online(x)
+        assert pooled._active_pool is None  # cleared after the phase
+    assert (
+        pooled.channel.summary()["online_up"]
+        == sequential.channel.summary()["online_up"]
+    )
+    assert (
+        pooled.channel.summary()["online_down"]
+        == sequential.channel.summary()["online_down"]
+    )

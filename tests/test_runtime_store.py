@@ -104,6 +104,94 @@ def test_params_fingerprint_distinguishes_parameter_sets():
     )
 
 
+# -- index durability ------------------------------------------------------------
+
+
+def test_save_index_survives_crash_mid_write(tmp_path, monkeypatch):
+    """Torn-write regression: index.json is written via temp + os.replace,
+    so a crash during the write leaves the previous index intact."""
+    import repro.runtime.store as store_module
+
+    store = PrecomputeStore(tmp_path)
+    store.put(KEY, KIND_RELU, b"safe", name="a")
+
+    real_replace = store_module.os.replace
+
+    def crashing_replace(src, dst):
+        raise OSError("simulated crash before rename")
+
+    monkeypatch.setattr(store_module.os, "replace", crashing_replace)
+    with pytest.raises(OSError):
+        store.put(KEY, KIND_RELU, b"lost", name="b")
+    monkeypatch.setattr(store_module.os, "replace", real_replace)
+
+    # The published index is the last complete one: valid JSON, entry "a"
+    # present, and nothing torn — the old in-place write would have left
+    # a truncated file here. "b"'s already-written payload is unindexed,
+    # so reopening sweeps it (with a warning) to keep accounting true.
+    with pytest.warns(RuntimeWarning, match="not present in the index"):
+        reopened = PrecomputeStore(tmp_path)
+    assert reopened.get(KEY, KIND_RELU, "a") == b"safe"
+    assert "b" not in reopened.names(KEY, KIND_RELU)
+    assert not list(tmp_path.rglob("relu-b.bin"))
+
+
+def test_unindexed_payload_is_swept_on_open(tmp_path):
+    """A crash between a payload write and its index update leaves a .bin
+    the (valid) index doesn't know about; opening the store deletes it."""
+    store = PrecomputeStore(tmp_path)
+    store.put(KEY, KIND_RELU, b"indexed", name="a")
+    orphan = tmp_path / "m" / "p" / "c0" / "relu-ghost.bin"
+    orphan.write_bytes(b"x" * 50)
+    with pytest.warns(RuntimeWarning, match="not present in the index"):
+        reopened = PrecomputeStore(tmp_path)
+    assert not orphan.exists()
+    assert reopened.get(KEY, KIND_RELU, "a") == b"indexed"
+    assert reopened.total_bytes == len(b"indexed")
+
+
+def test_leftover_tmp_index_is_discarded_on_open(tmp_path):
+    store = PrecomputeStore(tmp_path)
+    store.put(KEY, KIND_RELU, b"payload", name="a")
+    tmp = tmp_path / "index.json.tmp"
+    tmp.write_text('{"seq": 99, "entr')  # torn write of a dead process
+    reopened = PrecomputeStore(tmp_path)
+    assert not tmp.exists()
+    assert reopened.get(KEY, KIND_RELU, "a") == b"payload"
+
+
+@pytest.mark.parametrize(
+    "corruption",
+    [b"{torn json", b"[1, 2, 3]", b'{"seq": "x", "entries": []}'],
+    ids=["torn", "not-a-dict", "wrong-types"],
+)
+def test_corrupt_index_warns_and_sweeps_orphans(tmp_path, corruption):
+    """A reset index must not silently leak payload bytes: every now-
+    unindexed .bin file is deleted so byte-budget accounting stays true."""
+    store = PrecomputeStore(tmp_path)
+    store.put(KEY, KIND_RELU, b"x" * 100, name="a")
+    store.put(KEY, KIND_RELU, b"y" * 100, name="b")
+    (tmp_path / "index.json").write_bytes(corruption)
+
+    with pytest.warns(RuntimeWarning, match="orphaned payload"):
+        reopened = PrecomputeStore(tmp_path, byte_budget=150)
+    assert reopened.entry_count == 0
+    assert reopened.total_bytes == 0
+    assert list(tmp_path.rglob("*.bin")) == []
+    # The store is immediately usable again under its budget.
+    reopened.put(KEY, KIND_RELU, b"z" * 100, name="c")
+    assert reopened.get(KEY, KIND_RELU, "c") == b"z" * 100
+
+
+def test_missing_index_does_not_warn(tmp_path):
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        store = PrecomputeStore(tmp_path / "fresh")
+    assert store.entry_count == 0
+
+
 # -- offline-then-online through the store --------------------------------------
 
 
