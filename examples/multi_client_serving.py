@@ -11,13 +11,112 @@ of the buffer dynamics the analytic simulator models.
 Run:  python examples/multi_client_serving.py --clients 4 --requests 2 \
           --budget-mb 4
 
+Add --pipelined to interleave the background refill mints with online
+serving (the serving loop steps every session message by message, so the
+overlap is a scheduling decision — compare throughput_rps between modes).
+
+Add --transport socket to (a) run every in-process session pair over
+loopback TCP instead of the in-memory transport, and (b) run the
+two-process demo: a forked server process hosts ServerSessions behind a
+listening socket while this process drives ClientSessions against it —
+the client and server genuinely share nothing but serialized wire
+messages.
+
 Add --analytic to also run the paper-scale analytic MultiClientSimulator
 (resnet18 profile, 16 GB clients) next to the measured tiny-network run.
 """
 
 import argparse
+import multiprocessing
 
-from repro.runtime.serving import ServingReport, demo
+import numpy as np
+
+from repro.runtime.serving import ServingReport, demo, demo_network_and_params
+
+
+def _socket_server_main(port_queue, num_sessions: int, garbler: str) -> None:
+    """Server process: accept one connection per inference and serve it.
+
+    Owns the weights; everything it exchanges with the client process is
+    a serialized wire message over TCP.
+    """
+    from repro.core.session import ServerSession
+    from repro.network.transport import SocketListener
+
+    network, params = demo_network_and_params()
+    with SocketListener() as listener:
+        port_queue.put(listener.port)
+        for index in range(num_sessions):
+            transport = listener.accept(timeout=60.0)
+            session = ServerSession(
+                network, params=params, garbler=garbler,
+                seed=1000 + index, transport=transport,
+            )
+            session.run_offline()
+            session.run_online()
+            session.close()
+
+
+def two_process_demo(clients: int, requests: int, garbler: str = "client") -> None:
+    """Full protocol runs across two OS processes over loopback TCP."""
+    from repro.core.lowering import lower_network, plaintext_reference
+    from repro.core.session import ClientSession
+    from repro.network.transport import SocketTransport
+
+    network, params = demo_network_and_params()
+    lowered = lower_network(network, params.t)  # this demo's oracle
+    total = clients * requests
+    port_queue = multiprocessing.Queue()
+    server = multiprocessing.Process(
+        target=_socket_server_main, args=(port_queue, total, garbler)
+    )
+    server.start()
+    clean = False
+    try:
+        port = port_queue.get(timeout=30)
+        print(
+            f"\ntwo-process loopback demo: server pid {server.pid} on "
+            f"127.0.0.1:{port}, {clients} client(s) x {requests} request(s)"
+        )
+        rng = np.random.default_rng(42)
+        index = 0
+        for c in range(clients):
+            for j in range(requests):
+                x = rng.integers(0, params.t, size=16).tolist()
+                transport = SocketTransport.connect("127.0.0.1", port)
+                # ClientSession lowers shape-only: it reads the layer
+                # widths and ReLU placement, never the weights.
+                session = ClientSession(
+                    network, params=params, garbler=garbler,
+                    seed=index, transport=transport,
+                )
+                session.run_offline()
+                logits = session.run_online(x)
+                session.close()
+                assert logits == plaintext_reference(lowered, x)
+                summary = session.channel.summary()
+                print(
+                    f"  client{c} request {j}: logits match the plaintext "
+                    f"reference (offline {summary['offline_up'] + summary['offline_down']} B, "
+                    f"online {summary['online_up'] + summary['online_down']} B over TCP)"
+                )
+                index += 1
+        clean = True
+    finally:
+        if not clean:
+            # A client-side failure leaves the server blocked in accept();
+            # kill it immediately so the real error surfaces without a
+            # long join timeout in front of it.
+            server.terminate()
+        server.join(timeout=60)
+        if server.is_alive():
+            server.terminate()
+            server.join()
+    print(
+        "two-process demo complete: the parties shared no Python state — "
+        "only serialized wire messages (functional fidelity: OT rounds are "
+        "simulated, see ARCHITECTURE.md 'Session & transport layering')"
+    )
 
 
 def functional_run(args) -> ServingReport:
@@ -31,6 +130,8 @@ def functional_run(args) -> ServingReport:
         budget_mb=args.budget_mb,
         store_dir=args.store,
         summary_path=args.summary,
+        pipelined=args.pipelined,
+        transport=args.transport,
     )
 
 
@@ -86,6 +187,16 @@ def main() -> None:
         help="shared pool size (default: REPRO_WORKERS, then all cores)",
     )
     parser.add_argument(
+        "--pipelined", action="store_true",
+        help="interleave refill mints with online serving (steady-state "
+        "throughput mode)",
+    )
+    parser.add_argument(
+        "--transport", choices=("memory", "socket"), default=None,
+        help="session transport for the serving loop; 'socket' also runs "
+        "the two-process loopback demo",
+    )
+    parser.add_argument(
         "--store", default=None,
         help="store directory (default: a temporary directory)",
     )
@@ -99,6 +210,8 @@ def main() -> None:
     )
     args = parser.parse_args()
     functional_run(args)
+    if args.transport == "socket":
+        two_process_demo(min(args.clients, 2), max(1, min(args.requests, 2)))
     if args.analytic:
         analytic_run()
 

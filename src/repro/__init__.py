@@ -25,9 +25,11 @@ from repro.backend import (
     set_backend,
 )
 from repro.core import (
+    ClientSession,
     HybridProtocol,
     OfflineParallelism,
     PiSystemSimulator,
+    ServerSession,
     SpeedupKnobs,
     SystemConfig,
     estimate,
@@ -67,6 +69,8 @@ __all__ = [
     "BfvContext",
     "BfvParams",
     "CIFAR100",
+    "ClientSession",
+    "ServerSession",
     "DeviceProfile",
     "EPYC",
     "HybridProtocol",

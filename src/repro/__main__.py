@@ -58,6 +58,15 @@ def main(argv: list[str] | None = None) -> int:
         "pooling)",
     )
     parser.add_argument(
+        "--transport",
+        choices=("memory", "socket"),
+        default=None,
+        help="session transport for functional protocol runs (overrides "
+        "the REPRO_TRANSPORT environment variable; 'memory' pairs the "
+        "client/server sessions in-process, 'socket' runs every session "
+        "pair over loopback TCP)",
+    )
+    parser.add_argument(
         "--serve",
         type=int,
         default=None,
@@ -65,6 +74,13 @@ def main(argv: list[str] | None = None) -> int:
         help="instead of experiments, run the functional multi-client "
         "serving loop with N clients (one shared precompute pool, "
         "per-client store namespaces under --serve-budget-mb)",
+    )
+    parser.add_argument(
+        "--serve-pipelined",
+        action="store_true",
+        help="with --serve: interleave background refill mints with "
+        "online serving instead of serializing them (steady-state "
+        "throughput lands in the report)",
     )
     parser.add_argument(
         "--serve-requests",
@@ -93,6 +109,8 @@ def main(argv: list[str] | None = None) -> int:
             requests_per_client=max(1, args.serve_requests),
             workers=args.workers,
             budget_mb=args.serve_budget_mb,
+            pipelined=args.serve_pipelined,
+            transport=args.transport,
         )
         return 0
 
@@ -123,6 +141,8 @@ def main(argv: list[str] | None = None) -> int:
         scoped["REPRO_REPRESENTATION"] = args.representation
     if args.workers is not None:
         scoped["REPRO_WORKERS"] = str(max(1, args.workers))
+    if args.transport is not None:
+        scoped["REPRO_TRANSPORT"] = args.transport
     saved = {name: os.environ.get(name) for name in scoped}
     os.environ.update(scoped)
     try:

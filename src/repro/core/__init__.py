@@ -14,6 +14,7 @@ from repro.core.estimator import (
 from repro.core.future import FUTURE_STEPS, WaterfallStep, waterfall
 from repro.core.multiclient import MultiClientConfig, MultiClientSimulator
 from repro.core.protocol import HybridProtocol, LoweredNetwork, lower_network
+from repro.core.session import ClientSession, ServerSession
 from repro.core.validation import predict_comm, validate_protocol_comm
 from repro.core.system import (
     OfflineParallelism,
@@ -32,8 +33,10 @@ from repro.core.wsa import (
 )
 
 __all__ = [
+    "ClientSession",
     "FUTURE_STEPS",
     "HybridProtocol",
+    "ServerSession",
     "LoweredNetwork",
     "MultiClientConfig",
     "MultiClientSimulator",

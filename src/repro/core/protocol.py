@@ -20,153 +20,80 @@ The protocol invariant through the network is DELPHI's: before linear
 layer i the server holds x_i - r_i and the client holds r_i; after it the
 server holds W(x_i - r_i) + s_i and the client's offline share is
 W r_i - s_i, so their sum is the true activation.
+
+Since the session redesign, :class:`HybridProtocol` is a thin façade: it
+wires a :class:`~repro.core.session.ClientSession` and a
+:class:`~repro.core.session.ServerSession` over a
+:class:`~repro.network.transport.Transport` pair (in-memory by default,
+loopback TCP with ``transport="socket"``) and drives them message by
+message. The two state machines exchange only serialized wire messages;
+the façade merely schedules them and preserves the original one-object
+API (``run_offline`` / ``run_online`` / ``channel`` / ``counters`` /
+``export_offline`` / ``import_offline``) for callers, experiments, and
+the parity suites. The pre-redesign monolith survives, frozen, in
+:mod:`repro.core._monolith` as the transcript-parity reference.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+import time
 
-import numpy as np
-
-from repro.backend import ComputeBackend, backend_for
-from repro.crypto.modmath import matvec_mod, mod_add_vec, mod_sub_vec
-from repro.crypto.rng import SecureRandom
-from repro.gc.circuit import Circuit, int_to_bits, words_to_int
-from repro.gc.evaluate import Evaluator
-from repro.gc.garble import GarbledCircuit, Garbler, InputEncoding
-from repro.gc.relu import ReluCircuitSpec, build_relu_circuit
-from repro.he.bfv import BfvContext
-from repro.he.encoder import BatchEncoder
-from repro.he.linear import HomomorphicLinearEvaluator
+# Re-exported for compatibility: lowering and the shared protocol
+# dataclasses historically lived in this module.
+from repro.core.lowering import (  # noqa: F401
+    LoweredLinear,
+    LoweredNetwork,
+    lower_network,
+    next_linear_index,
+    plaintext_reference,
+)
+from repro.core.session import (  # noqa: F401
+    DONE,
+    WAITING,
+    ClientSession,
+    ProtocolCounters,
+    ReluBundle,
+    ServerSession,
+    resolve_protocol_params,
+    role_seed,
+)
 from repro.he.params import BfvParams, toy_params
-from repro.network.channel import CLIENT, SERVER, Channel
-from repro.nn.layers import Conv2d, Flatten, Linear, ReLU
-from repro.nn.network import Network
-from repro.ot.extension import iknp_transfer
+from repro.network.channel import CLIENT, SERVER, Channel  # noqa: F401
+from repro.network.transport import InMemoryTransport, SocketTransport
+
+_DEADLOCK_SPINS = 50  # idle scheduler rounds before declaring deadlock
 
 
-@dataclass
-class LoweredLinear:
-    """A linear layer lowered to an explicit field matrix.
+def make_transport_pair(kind: str | None = None):
+    """A connected (client, server) transport pair of the requested kind.
 
-    ``matrix`` is backend-native: a ``uint64`` ndarray under the numpy
-    backend (so HE diagonal extraction and the online matvec are
-    vectorized gathers/matmuls) or a list of row lists under python.
+    ``kind`` resolves explicit > ``REPRO_TRANSPORT`` > ``"memory"``.
+    ``"memory"`` is the zero-copy in-process pair; ``"socket"`` runs the
+    same protocol over loopback TCP (real kernel sockets, one process).
     """
-
-    name: str
-    matrix: "np.ndarray | list[list[int]]"
-
-    @property
-    def n_in(self) -> int:
-        return len(self.matrix[0])
-
-    @property
-    def n_out(self) -> int:
-        return len(self.matrix)
-
-
-@dataclass
-class LoweredNetwork:
-    """Alternating linear/ReLU program extracted from a Network.
-
-    ``steps`` is a list of ("linear", index) / ("relu", index) tags;
-    shape-only layers (Flatten) vanish during lowering.
-    """
-
-    linears: list[LoweredLinear]
-    steps: list[tuple[str, int]]
-    modulus: int
-    input_size: int
-    output_size: int
-
-
-def lower_network(
-    network: Network, modulus: int, backend: str | None = None
-) -> LoweredNetwork:
-    """Lower a stride-1 conv/FC/ReLU/Flatten network to field matrices.
-
-    Matrices are stored in the representation native to the compute
-    backend resolved for ``modulus`` (see :class:`LoweredLinear`).
-    """
-    from repro.nn.shapes import TensorShape
-
-    be = backend_for(modulus, prefer=backend)
-    linears: list[LoweredLinear] = []
-    steps: list[tuple[str, int]] = []
-    shape = network.input_shape
-    for layer in network.layers:
-        if isinstance(layer, Conv2d):
-            if layer.stride != 1:
-                raise ValueError("functional runner supports stride-1 convs only")
-            matrix = HomomorphicLinearEvaluator.conv_as_matrix(
-                np.asarray(layer.weights), (shape.channels, shape.height, shape.width),
-                layer.padding, modulus,
-            )
-            steps.append(("linear", len(linears)))
-            linears.append(LoweredLinear(layer.name, be.asmatrix(matrix, modulus)))
-        elif isinstance(layer, Linear):
-            matrix = [
-                [int(w) % modulus for w in row] for row in np.asarray(layer.weights)
-            ]
-            steps.append(("linear", len(linears)))
-            linears.append(LoweredLinear(layer.name, be.asmatrix(matrix, modulus)))
-        elif isinstance(layer, ReLU):
-            if not steps or steps[-1][0] != "linear":
-                raise ValueError("ReLU must follow a linear layer")
-            steps.append(("relu", steps[-1][1]))
-        elif isinstance(layer, Flatten):
-            pass  # pure reshape; the flattened ordering matches lowering
-        else:
-            raise ValueError(
-                f"functional runner cannot lower layer {type(layer).__name__}"
-            )
-        shape = layer.output_shape(shape)
-    if steps[-1][0] != "linear":
-        raise ValueError("network must end with a linear layer")
-    return LoweredNetwork(
-        linears=linears,
-        steps=steps,
-        modulus=modulus,
-        input_size=network.input_shape.elements,
-        output_size=network.output_shape.elements,
-    )
-
-
-@dataclass
-class ReluBundle:
-    """Everything stored for one garbled ReLU layer."""
-
-    circuits: list[GarbledCircuit]
-    encodings: list[InputEncoding] | None  # garbler side only
-    evaluator_labels: list[dict[int, bytes]] | None  # evaluator side only
-    mask_index: int  # which linear layer's r masks this ReLU's output
-
-
-@dataclass
-class ProtocolCounters:
-    """Operation counters accumulated during a run."""
-
-    he_encryptions: int = 0
-    he_decryptions: int = 0
-    he_rotations: int = 0
-    he_plain_mults: int = 0
-    gc_circuits_garbled: int = 0
-    gc_circuits_evaluated: int = 0
-    ots_performed: int = 0
+    kind = kind or os.environ.get("REPRO_TRANSPORT", "").strip() or "memory"
+    if kind == "memory":
+        return InMemoryTransport.pair()
+    if kind == "socket":
+        return SocketTransport.loopback_pair()
+    raise ValueError(f"unknown transport {kind!r} (expected 'memory' or 'socket')")
 
 
 class HybridProtocol:
-    """Runs one private inference between an in-process client and server.
+    """Runs one private inference between a client and a server session.
 
     The ``garbler`` argument selects Server-Garbler ("server") or
     Client-Garbler ("client"). Weights live on the server; the input vector
-    is the client's secret.
+    is the client's secret. The two sessions are exposed as ``.client``
+    and ``.server`` — drivers that want to interleave several protocols
+    (the serving loop) use ``start_offline()`` / ``step()`` /
+    ``start_online(x)`` directly instead of the blocking ``run_*`` calls.
     """
 
     def __init__(
         self,
-        network: Network,
+        network,
         params: BfvParams | None = None,
         garbler: str = "server",
         seed: int | None = None,
@@ -175,47 +102,23 @@ class HybridProtocol:
         representation: str | None = None,
         workers: int | None = None,
         pool=None,
+        transport: str | tuple | None = None,
     ):
-        if garbler not in ("server", "client"):
-            raise ValueError("garbler must be 'server' or 'client'")
-        self.params = params or toy_params(n=256)
-        if backend is not None or representation is not None:
-            from dataclasses import replace
-
-            overrides = {}
-            if backend is not None:
-                overrides["backend"] = backend
-            if representation is not None:
-                # 'bigint' forces the one-vector oracle ring; 'rns' forces
-                # CRT residues (params must carry a chain); 'auto' re-opens
-                # the per-params heuristic.
-                overrides["representation"] = representation
-            self.params = replace(self.params, **overrides)
+        self.params = resolve_protocol_params(params, backend, representation)
         self.garbler_role = garbler
-        self.modulus = self.params.t
-        self.bits = self.modulus.bit_length()
         self.truncate_bits = truncate_bits
-        self.lowered = lower_network(
-            network, self.modulus, backend=self.params.backend
-        )
-        # Resolved once: share arithmetic and GC batching follow the same
-        # per-protocol preference the HE layer uses, not just the global.
-        self._backend_pref = self.params.backend
-        self._vectorize_gc = (
-            backend_for(self.modulus, prefer=self._backend_pref).name == "numpy"
-        )
-        self.rng = SecureRandom(seed)
-        self.channel = Channel(field_bytes=(self.bits + 7) // 8)
-        self.counters = ProtocolCounters()
-        self._offline_done = False
+        if isinstance(transport, (tuple, list)):
+            client_end, server_end = transport
+        else:
+            client_end, server_end = make_transport_pair(transport)
         # Precompute parallelism: an explicit pool wins; otherwise `workers`
-        # (explicit > REPRO_WORKERS > 1) makes run_offline create its own
-        # PrecomputePool for the duration of the offline phase. A
+        # (explicit > REPRO_WORKERS > 1) makes run_offline create ONE pool
+        # shared by both sessions for the duration of the offline phase. A
         # constructor-provided pool also serves run_online's label OT
         # (Client-Garbler); `workers` alone stays offline-only, so the
         # short-lived online phase never pays a pool's fork cost unasked.
         # Pooled and sequential phases are transcript-identical under the
-        # same seed (all randomness stays on this side of the pool).
+        # same seed (all randomness stays parent-side of the pool).
         from repro.runtime.pool import resolve_workers
 
         self._shared_pool = pool
@@ -223,20 +126,173 @@ class HybridProtocol:
             pool.workers if pool is not None else resolve_workers(workers, default=1)
         )
         self._active_pool = None
-        self._relu_circuit_cache: Circuit | None = None
-        self._validate_packing()
+        self._own_pool = None
+        # Sessions get workers=1: pool lifecycle is owned here so the two
+        # halves share one set of worker processes.
+        self.client = ClientSession(
+            network,
+            params=self.params,
+            garbler=garbler,
+            seed=role_seed(seed, CLIENT),
+            truncate_bits=truncate_bits,
+            transport=client_end,
+            workers=1,
+        )
+        # The client lowers shape-only (cheap, no weights); only the
+        # server pays the full matrix expansion — per-protocol setup cost
+        # stays at the monolith's one lowering.
+        self.server = ServerSession(
+            network,
+            params=self.params,
+            garbler=garbler,
+            seed=role_seed(seed, SERVER),
+            truncate_bits=truncate_bits,
+            transport=server_end,
+            workers=1,
+        )
+        self.modulus = self.client.modulus
+        self.bits = self.client.bits
+        self.lowered = self.server.lowered  # the weight-bearing program
+        self._backend_pref = self.client._backend_pref
+        self._vectorize_gc = self.client._vectorize_gc
 
-    def _validate_packing(self) -> None:
-        row = self.params.row_size
-        for lin in self.lowered.linears:
-            if row % lin.n_in != 0:
-                raise ValueError(
-                    f"{lin.name}: width {lin.n_in} must divide row size {row}"
-                )
-            if lin.n_out > row:
-                raise ValueError(f"{lin.name}: height {lin.n_out} exceeds row size")
+    # -- compatibility surface -------------------------------------------------
 
-    # -- offline phase ---------------------------------------------------------
+    @property
+    def channel(self) -> Channel:
+        """Byte-accounting view of the protocol (the client session's).
+
+        Both sessions charge identical per-phase stats; exposing the
+        client's keeps the monolith-era reading (`protocol.channel`)
+        working, including replacing it with a recording subclass.
+        """
+        return self.client.channel
+
+    @channel.setter
+    def channel(self, value: Channel) -> None:
+        self.client.channel = value
+
+    @property
+    def counters(self) -> ProtocolCounters:
+        """Merged operation counters across both sessions."""
+        return self.client.counters.merged_with(self.server.counters)
+
+    @property
+    def client_r(self) -> list[list[int]]:
+        return self.client.client_r
+
+    @property
+    def server_s(self) -> list[list[int]]:
+        return self.server.server_s
+
+    @property
+    def client_linear_share(self) -> list[list[int]]:
+        return self.client.client_linear_share
+
+    @property
+    def _offline_done(self) -> bool:
+        return self.client.offline_done and self.server.offline_done
+
+    def plaintext_reference(self, x: list[int]) -> list[int]:
+        """Field-exact plaintext evaluation of the lowered program."""
+        return plaintext_reference(
+            self.lowered, x, self.truncate_bits, prefer=self.params.backend
+        )
+
+    def close(self) -> None:
+        """Release both sessions' transports (sockets in particular)."""
+        self.client.close()
+        self.server.close()
+
+    def shutdown(self) -> None:
+        """Abort any active phase (closing an owned pool) and close.
+
+        The public cleanup surface for external schedulers: safe to call
+        on success (phase teardown is idempotent) and on error paths
+        where a phase died mid-flight.
+        """
+        self._end_phase()
+        self.close()
+
+    # -- phase scheduling ------------------------------------------------------
+
+    def _phase_pool(self, create_own: bool):
+        pool = self._shared_pool
+        if pool is None and create_own and self._workers > 1:
+            from repro.core.session import make_phase_pool
+
+            pool = self._own_pool = make_phase_pool(
+                self.params.backend, self.params, self._workers
+            )
+        return pool
+
+    def start_offline(self) -> None:
+        """Arm the offline phase on both sessions (one shared pool)."""
+        pool = self._phase_pool(create_own=True)
+        self._active_pool = pool
+        self.client.start_offline(pool=pool)
+        self.server.start_offline(pool=pool)
+
+    def start_online(self, x: list[int], pool=None) -> None:
+        """Arm one inference on both sessions."""
+        active = pool if pool is not None else self._shared_pool
+        self._active_pool = active
+        self.client.start_online(x, pool=active)
+        self.server.start_online(pool=active)
+
+    def step(self) -> bool:
+        """One scheduling round over both sessions; True when phase done."""
+        c = self.client.step()
+        s = self.server.step()
+        if c == DONE and s == DONE:
+            self._end_phase()
+            return True
+        return False
+
+    def _end_phase(self) -> None:
+        self._active_pool = None
+        if self._own_pool is not None:
+            self._own_pool.close()
+            self._own_pool = None
+
+    def _stalled(self) -> bool:
+        return not (
+            self.client.transport.pending or self.server.transport.pending
+        )
+
+    def drive_steps(self):
+        """Generator stepping the active phase with the stall policy.
+
+        Yields after every non-final scheduling round, so external
+        schedulers (the serving loop) interleave protocols while keeping
+        the same deadlock detection the blocking ``run_*`` calls get: an
+        idle in-memory pair raises immediately; sockets get a bounded
+        spin with a short sleep for in-flight bytes to land.
+        """
+        idle = 0
+        while not self.step():
+            if self._stalled():
+                idle += 1
+                if isinstance(self.client.transport, InMemoryTransport):
+                    raise RuntimeError(
+                        "protocol deadlock: both sessions are waiting and no "
+                        "message is in flight"
+                    )
+                if idle > _DEADLOCK_SPINS:
+                    raise RuntimeError(
+                        "protocol deadlock: no transport progress"
+                    )
+                time.sleep(0.001)  # sockets: let in-flight bytes land
+            else:
+                idle = 0
+            yield
+
+    def _drive(self) -> None:
+        """Step both sessions until the active phase completes."""
+        for _ in self.drive_steps():
+            pass
+
+    # -- blocking phase API (the monolith-era surface) -------------------------
 
     def run_offline(self) -> None:
         """Execute the full offline phase (HE correlations + garbling + OT).
@@ -246,220 +302,31 @@ class HybridProtocol:
         :class:`~repro.runtime.pool.PrecomputePool`; every transcript
         byte matches the sequential run under the same seed.
         """
-        own_pool = None
-        self._active_pool = self._shared_pool
-        if self._active_pool is None and self._workers > 1:
-            from repro.backend import active_backend_name
-            from repro.runtime.pool import PrecomputePool
-
-            # Forward the *effective* selections: a worker's initializer
-            # re-reads its environment (dropping the parent's programmatic
-            # set_backend / a params-level override), so an explicit
-            # backend or representation choice must travel with the pool.
-            backend = self._backend_pref
-            if not backend or backend == "auto":
-                backend = active_backend_name()
-            own_pool = PrecomputePool(
-                workers=self._workers,
-                backend=backend,
-                representation=self.params.resolve_representation(),
-            )
-            self._active_pool = own_pool
+        self.start_offline()
         try:
-            self._run_offline_phase()
+            self._drive()
         finally:
-            self._active_pool = None
-            if own_pool is not None:
-                own_pool.close()
+            self._end_phase()
 
-    def _run_offline_phase(self) -> None:
-        self.channel.set_phase("offline")
-        ctx = BfvContext(self.params, self.rng.spawn())
-        encoder = BatchEncoder(self.params)
-        sk, pk = ctx.keygen()
-        gk = ctx.galois_keygen(
-            sk, [encoder.galois_element_for_rotation(1)], pool=self._active_pool
-        )
-        self.channel.send(CLIENT, pk)
-        self.channel.send(CLIENT, gk)
-        self.channel.recv(SERVER)
-        self.channel.recv(SERVER)
-        self._ctx, self._encoder, self._sk = ctx, encoder, sk
-        evaluator = HomomorphicLinearEvaluator(ctx, encoder, gk)
+    def run_online(self, x: list[int], pool=None) -> list[int]:
+        """Run one inference on the client input ``x``; returns the logits.
 
-        p = self.modulus
-        # Client randomness r_i per linear layer input; server randomness s_i
-        # per linear layer output.
-        self.client_r = [
-            self.rng.field_vector(lin.n_in, p) for lin in self.lowered.linears
-        ]
-        self.server_s = [
-            self.rng.field_vector(lin.n_out, p) for lin in self.lowered.linears
-        ]
-        # HE pass: client sends Enc(r_i); server returns Enc(W r_i - s_i).
-        self.client_linear_share = []
-        for lin, r, s in zip(self.lowered.linears, self.client_r, self.server_s):
-            packed = evaluator.pack_vector(r)
-            ct = ctx.encrypt(pk, encoder.encode(packed))
-            self.counters.he_encryptions += 1
-            self.channel.send(CLIENT, ct)
-            ct = self.channel.recv(SERVER)
-            ct_y = evaluator.matvec(ct, lin.matrix)
-            row = self.params.row_size
-            s_row = list(s) + [0] * (row - lin.n_out)
-            ct_out = ctx.sub_plain(ct_y, encoder.encode(s_row + s_row))
-            self.channel.send(SERVER, ct_out)
-            ct_out = self.channel.recv(CLIENT)
-            share = encoder.decode(ctx.decrypt(sk, ct_out))[: lin.n_out]
-            self.counters.he_decryptions += 1
-            self.client_linear_share.append(share)
-        self.counters.he_rotations = evaluator.rotations_performed
-        self.counters.he_plain_mults = evaluator.plain_mults_performed
-
-        # GC pass: garble one circuit per ReLU activation. All layers'
-        # batches are garbled up front — sequentially per layer, or, with
-        # a pool, through one skew-aware garble_layers() plan so a wide
-        # layer's shards interleave with narrow layers' instead of
-        # straggling — then each layer's channel exchange runs in order.
-        # Each layer draws from its own spawned RNG, so the bytes are
-        # identical between the two branches.
-        self._relu_bundles: dict[int, ReluBundle] = {}
-        relu_steps = [
-            (pos, lin_idx)
-            for pos, (kind, lin_idx) in enumerate(self.lowered.steps)
-            if kind == "relu"
-        ]
-        circuit = self._relu_circuit()
-        layer_plan = []
-        for pos, lin_idx in relu_steps:
-            mask_index = self._next_linear_index(pos)
-            n = self.lowered.linears[lin_idx].n_out
-            if len(self.client_r[mask_index]) != n:
-                raise ValueError("mask length mismatch (unsupported layer between)")
-            layer_plan.append((pos, lin_idx, mask_index, n, self.rng.spawn()))
-        if self._active_pool is not None:
-            batches = self._active_pool.garble_layers(
-                [(circuit, n, rng) for _, _, _, n, rng in layer_plan],
-                vectorize=self._vectorize_gc,
-            )
-        else:
-            batches = [
-                Garbler(rng).garble_batch(circuit, n, vectorize=self._vectorize_gc)
-                for _, _, _, n, rng in layer_plan
-            ]
-        for (pos, lin_idx, mask_index, n, _), batch in zip(layer_plan, batches):
-            self._offline_relu_layer(pos, lin_idx, mask_index, batch)
-        self._offline_done = True
-
-    def _next_linear_index(self, relu_pos: int) -> int:
-        for kind, idx in self.lowered.steps[relu_pos + 1 :]:
-            if kind == "linear":
-                return idx
-        raise ValueError("ReLU with no following linear layer")
-
-    def _relu_circuit(self) -> Circuit:
-        """The (shared) ReLU circuit topology for this protocol's layers.
-
-        Every ReLU layer garbles the same public topology — only the
-        labels differ — so it is built once and shared, which also lets
-        :meth:`import_offline` rebind stored bundles without re-lowering.
+        ``pool`` (default: the pool passed to the constructor, if any)
+        runs the Client-Garbler online label OT's extension stages on a
+        :class:`~repro.runtime.pool.PrecomputePool`, cutting online
+        latency on multi-core hosts; the channel transcript is
+        byte-identical to the sequential path under the same seed.
         """
-        if self._relu_circuit_cache is None:
-            mask_owner = "evaluator" if self.garbler_role == "server" else "garbler"
-            spec = ReluCircuitSpec(
-                bits=self.bits,
-                modulus=self.modulus,
-                mask_owner=mask_owner,
-                truncate_bits=self.truncate_bits,
-            )
-            self._relu_circuit_cache = build_relu_circuit(spec)
-        return self._relu_circuit_cache
+        if not self._offline_done:
+            raise RuntimeError("offline phase must run before online phase")
+        self.start_online(x, pool=pool)
+        try:
+            self._drive()
+        finally:
+            self._end_phase()
+        return self.client.finish()
 
-    def _offline_relu_layer(
-        self, pos: int, lin_idx: int, mask_index: int, garbled_batch
-    ) -> None:
-        """Channel exchange for one ReLU layer's pre-garbled batch."""
-        n = self.lowered.linears[lin_idx].n_out
-        circuit = self._relu_circuit()
-        circuits = [garbled for garbled, _ in garbled_batch]
-        encodings = [encoding for _, encoding in garbled_batch]
-        self.counters.gc_circuits_garbled += n
-
-        if self.garbler_role == "server":
-            # Server -> client: circuits with decode bits stripped (the
-            # evaluator must not learn outputs), then client label OT.
-            wire_circuits = [
-                GarbledCircuit(c.circuit, c.tables, []) for c in circuits
-            ]
-            self.channel.send(SERVER, wire_circuits)
-            self.channel.recv(CLIENT)
-            evaluator_labels = self._client_labels_via_ot(
-                circuit, circuits, encodings, lin_idx, mask_index, sender=SERVER
-            )
-            self._relu_bundles[pos] = ReluBundle(
-                circuits=wire_circuits,
-                encodings=encodings,
-                evaluator_labels=evaluator_labels,
-                mask_index=mask_index,
-            )
-        else:
-            # Client garbles: ships circuits (with decode bits — the server
-            # may learn x - r) plus the labels of its own inputs.
-            self.channel.send(CLIENT, circuits)
-            self.channel.recv(SERVER)
-            garbler_labels = []
-            for j, (garbled, encoding) in enumerate(zip(circuits, encodings)):
-                share_bits = int_to_bits(self.client_linear_share[lin_idx][j], self.bits)
-                mask_bits = int_to_bits(self.client_r[mask_index][j], self.bits)
-                labels = Garbler.encode_inputs(
-                    encoding, garbled.circuit, share_bits + mask_bits
-                )
-                garbler_labels.append(labels)
-            self.channel.send(
-                CLIENT, [list(lbls.values()) for lbls in garbler_labels]
-            )
-            self.channel.recv(SERVER)
-            self._relu_bundles[pos] = ReluBundle(
-                circuits=circuits,
-                encodings=encodings,
-                evaluator_labels=garbler_labels,
-                mask_index=mask_index,
-            )
-
-    def _client_labels_via_ot(
-        self, circuit: Circuit, circuits, encodings, lin_idx, mask_index, sender
-    ) -> list[dict[int, bytes]]:
-        """Offline OT delivering the client's input labels (Server-Garbler)."""
-        pairs, choices = [], []
-        for j, encoding in enumerate(encodings):
-            share_bits = int_to_bits(self.client_linear_share[lin_idx][j], self.bits)
-            mask_bits = int_to_bits(self.client_r[mask_index][j], self.bits)
-            for wire, bit in zip(circuit.evaluator_inputs, share_bits + mask_bits):
-                pairs.append((encoding.label_for(wire, 0), encoding.label_for(wire, 1)))
-                choices.append(bit)
-        received, transcript = iknp_transfer(
-            pairs, choices, self.rng.spawn(), pool=self._active_pool
-        )
-        self.counters.ots_performed += len(pairs)
-        receiver = CLIENT if sender == SERVER else SERVER
-        self.channel.send(receiver, None, nbytes=transcript.column_bytes)
-        self.channel.recv(sender)
-        self.channel.send(
-            sender, None, nbytes=transcript.base_ot_bytes + transcript.ciphertext_bytes
-        )
-        self.channel.recv(receiver)
-
-        labels: list[dict[int, bytes]] = []
-        per = len(circuit.evaluator_inputs)
-        for j, (garbled, encoding) in enumerate(zip(circuits, encodings)):
-            chunk = received[j * per : (j + 1) * per]
-            label_map = dict(zip(circuit.evaluator_inputs, chunk))
-            label_map[Circuit.CONST_ZERO] = encoding.label_for(Circuit.CONST_ZERO, 0)
-            label_map[Circuit.CONST_ONE] = encoding.label_for(Circuit.CONST_ONE, 1)
-            labels.append(label_map)
-        return labels
-
-    # -- precompute store integration --------------------------------------------
+    # -- precompute store integration ------------------------------------------
 
     def export_offline(
         self, store, model_id: str, client_id: str = "client0",
@@ -471,7 +338,8 @@ class HybridProtocol:
         and the garbled ReLU bundles — is packed into one ``offline``
         entry under (model, params, client), so precomputes minted now
         (possibly by a many-worker pool) can serve inferences later, the
-        buffering the paper's streaming system is built around.
+        buffering the paper's streaming system is built around. The entry
+        is the union of both sessions' state; import splits it back.
         """
         if not self._offline_done:
             raise RuntimeError("offline phase must run before export")
@@ -481,15 +349,17 @@ class HybridProtocol:
             serialize_offline_transcript,
         )
 
-        bundles = {
-            pos: (b.mask_index, b.circuits, b.encodings, b.evaluator_labels)
-            for pos, b in self._relu_bundles.items()
-        }
+        bundles = {}
+        evaluator = self.client if self.garbler_role == "server" else self.server
+        garbler = self.server if self.garbler_role == "server" else self.client
+        for pos, eb in evaluator._relu_bundles.items():
+            gb = garbler._relu_bundles[pos]
+            bundles[pos] = (eb.mask_index, eb.circuits, gb.encodings, eb.evaluator_labels)
         blob = serialize_offline_transcript(
             self.modulus,
-            self.client_r,
-            self.server_s,
-            self.client_linear_share,
+            self.client.client_r,
+            self.server.server_s,
+            self.client.client_linear_share,
             bundles,
             garbler_role=self.garbler_role,
             truncate_bits=self.truncate_bits,
@@ -520,7 +390,10 @@ class HybridProtocol:
         blob = store.get(key, KIND_OFFLINE, lookup) if lookup else None
         if blob is None:
             return False
-        circuit = self._relu_circuit()
+        # Bind stored circuits to the topology of the session that will
+        # evaluate them (the client under Server-Garbler, else the server).
+        evaluator = self.client if self.garbler_role == "server" else self.server
+        circuit = evaluator.relu_circuit()
         client_r, server_s, shares, bundles = deserialize_offline_transcript(
             blob,
             defaultdict(lambda: circuit),
@@ -537,7 +410,7 @@ class HybridProtocol:
         # per-layer activation counts, and mask bindings must all match,
         # or the online phase would crash after the entry was consumed.
         expected = {
-            pos: (self._next_linear_index(pos), self.lowered.linears[lin_idx].n_out)
+            pos: (next_linear_index(self.lowered, pos), self.lowered.linears[lin_idx].n_out)
             for pos, (kind, lin_idx) in enumerate(self.lowered.steps)
             if kind == "relu"
         }
@@ -553,167 +426,24 @@ class HybridProtocol:
             # Only after validation: a rejected transcript stays buffered
             # (it may belong to a differently-configured protocol).
             store.delete(key, KIND_OFFLINE, lookup)
-        self.client_r = client_r
-        self.server_s = server_s
-        self.client_linear_share = shares
-        self._relu_bundles = {
-            pos: ReluBundle(
+        evaluator_bundles, garbler_bundles = {}, {}
+        for pos, (mask_index, circuits, encodings, labels) in bundles.items():
+            evaluator_bundles[pos] = ReluBundle(
                 circuits=circuits,
-                encodings=encodings,
+                encodings=None,
                 evaluator_labels=labels,
                 mask_index=mask_index,
             )
-            for pos, (mask_index, circuits, encodings, labels) in bundles.items()
-        }
-        self._offline_done = True
-        return True
-
-    # -- online phase ------------------------------------------------------------
-
-    def run_online(self, x: list[int], pool=None) -> list[int]:
-        """Run one inference on the client input ``x``; returns the logits.
-
-        ``pool`` (default: the pool passed to the constructor, if any)
-        runs the Client-Garbler online label OT's extension stages on a
-        :class:`~repro.runtime.pool.PrecomputePool`, cutting online
-        latency on multi-core hosts; the channel transcript is
-        byte-identical to the sequential path under the same seed.
-        """
-        if not self._offline_done:
-            raise RuntimeError("offline phase must run before online phase")
-        if len(x) != self.lowered.input_size:
-            raise ValueError("input size mismatch")
-        self._active_pool = pool if pool is not None else self._shared_pool
-        try:
-            return self._run_online_phase(x)
-        finally:
-            self._active_pool = None
-
-    def _run_online_phase(self, x: list[int]) -> list[int]:
-        self.channel.set_phase("online")
-        p = self.modulus
-        masked = mod_sub_vec(x, self.client_r[0], p, prefer=self._backend_pref)
-        self.channel.send(CLIENT, masked)
-        server_vec = self.channel.recv(SERVER)
-
-        evaluator = Evaluator()
-        for pos, (kind, lin_idx) in enumerate(self.lowered.steps):
-            if kind == "linear":
-                lin = self.lowered.linears[lin_idx]
-                s = self.server_s[lin_idx]
-                server_vec = mod_add_vec(
-                    matvec_mod(lin.matrix, server_vec, p, prefer=self._backend_pref),
-                    s,
-                    p,
-                    prefer=self._backend_pref,
-                )
-            else:
-                server_vec = self._online_relu(pos, lin_idx, server_vec, evaluator)
-
-        # Final reconstruction: server sends its output share to the client.
-        self.channel.send(SERVER, server_vec)
-        final_server_share = self.channel.recv(CLIENT)
-        final_client_share = self.client_linear_share[
-            self.lowered.steps[-1][1]
-        ]
-        return mod_add_vec(
-            final_server_share, final_client_share, p, prefer=self._backend_pref
-        )
-
-    def _online_relu(self, pos, lin_idx, server_share, evaluator) -> list[int]:
-        bundle = self._relu_bundles[pos]
-        p = self.modulus
+            garbler_bundles[pos] = ReluBundle(
+                circuits=None,
+                encodings=encodings,
+                evaluator_labels=None,
+                mask_index=mask_index,
+            )
         if self.garbler_role == "server":
-            # Server sends the labels of its own share; client evaluates and
-            # returns output labels; server decodes.
-            out = []
-            all_labels = []
-            for j, value in enumerate(server_share):
-                encoding = bundle.encodings[j]
-                circuit = bundle.circuits[j].circuit
-                bits = int_to_bits(value, self.bits)
-                all_labels.append(
-                    [encoding.label_for(w, b) for w, b in zip(circuit.garbler_inputs, bits)]
-                )
-            self.channel.send(SERVER, all_labels)
-            all_labels = self.channel.recv(CLIENT)
-            labels_batch = []
-            for j, garbler_labels in enumerate(all_labels):
-                circuit = bundle.circuits[j].circuit
-                labels = dict(bundle.evaluator_labels[j])
-                labels.update(zip(circuit.garbler_inputs, garbler_labels))
-                labels_batch.append(labels)
-            output_label_batch = evaluator.evaluate_batch(
-                bundle.circuits, labels_batch, vectorize=self._vectorize_gc
-            )
-            self.counters.gc_circuits_evaluated += len(labels_batch)
-            self.channel.send(CLIENT, output_label_batch)
-            output_label_batch = self.channel.recv(SERVER)
-            for j, out_labels in enumerate(output_label_batch):
-                bits = Garbler.decode_output_labels(
-                    bundle.encodings[j], bundle.circuits[j].circuit, out_labels
-                )
-                out.append(words_to_int(bits))
-            return out
-
-        # Client-Garbler: the server fetches labels for its share via online
-        # OT, evaluates, and decodes locally (decode bits shipped offline).
-        pairs, choices = [], []
-        for j, value in enumerate(server_share):
-            encoding = bundle.encodings[j]
-            circuit = bundle.circuits[j].circuit
-            bits = int_to_bits(value, self.bits)
-            for wire, bit in zip(circuit.evaluator_inputs, bits):
-                pairs.append((encoding.label_for(wire, 0), encoding.label_for(wire, 1)))
-                choices.append(bit)
-        received, transcript = iknp_transfer(
-            pairs, choices, self.rng.spawn(), pool=self._active_pool
-        )
-        self.counters.ots_performed += len(pairs)
-        self.channel.send(SERVER, None, nbytes=transcript.column_bytes)
-        self.channel.recv(CLIENT)
-        self.channel.send(
-            CLIENT, None, nbytes=transcript.base_ot_bytes + transcript.ciphertext_bytes
-        )
-        self.channel.recv(SERVER)
-
-        per = self.bits
-        labels_batch = []
-        for j in range(len(server_share)):
-            circuit = bundle.circuits[j].circuit
-            # The garbler's label dict preserves insertion order:
-            # [CONST_ZERO, CONST_ONE] then its own input wires.
-            labels = dict(
-                zip(
-                    [Circuit.CONST_ZERO, Circuit.CONST_ONE] + circuit.garbler_inputs,
-                    bundle.evaluator_labels[j].values(),
-                )
-            )
-            chunk = received[j * per : (j + 1) * per]
-            labels.update(zip(circuit.evaluator_inputs, chunk))
-            labels_batch.append(labels)
-        output_label_batch = evaluator.evaluate_batch(
-            bundle.circuits, labels_batch, vectorize=self._vectorize_gc
-        )
-        self.counters.gc_circuits_evaluated += len(labels_batch)
-        return [
-            words_to_int(evaluator.decode(garbled, out_labels))
-            for garbled, out_labels in zip(bundle.circuits, output_label_batch)
-        ]
-
-    # -- reference ---------------------------------------------------------------
-
-    def plaintext_reference(self, x: list[int]) -> list[int]:
-        """Field-exact plaintext evaluation of the lowered program."""
-        p = self.modulus
-        vec = [v % p for v in x]
-        threshold = (p + 1) // 2
-        for kind, lin_idx in self.lowered.steps:
-            lin = self.lowered.linears[lin_idx]
-            if kind == "linear":
-                vec = matvec_mod(lin.matrix, vec, p, prefer=self._backend_pref)
-            else:
-                vec = [
-                    (v >> self.truncate_bits) if v < threshold else 0 for v in vec
-                ]
-        return vec
+            self.client.load_offline_state(client_r, shares, evaluator_bundles)
+            self.server.load_offline_state(server_s, garbler_bundles)
+        else:
+            self.client.load_offline_state(client_r, shares, garbler_bundles)
+            self.server.load_offline_state(server_s, evaluator_bundles)
+        return True

@@ -1,0 +1,872 @@
+"""Role-separated protocol sessions: independent client/server state machines.
+
+The pre-redesign :class:`HybridProtocol` simulated both parties inside one
+Python object over an in-memory queue, which made a two-process (let alone
+two-host) deployment structurally impossible and forced the serving loop
+to treat a whole protocol phase as one indivisible call. This module
+splits the DELPHI hybrid protocol into two independent state machines —
+:class:`ClientSession` and :class:`ServerSession` — that communicate
+*only* through serialized wire messages (:mod:`repro.network.serialize`)
+over a pluggable :class:`~repro.network.transport.Transport`:
+
+* each session exposes explicit phase methods — ``start_offline()`` /
+  ``step()`` / ``start_online(x)`` / ``finish()`` — so a driver can
+  interleave many sessions message-by-message (the serving loop overlaps
+  refill mints with online drains exactly this way);
+* ``step()`` advances the session until it blocks on the transport or the
+  phase completes, so the same state machine runs under a single-threaded
+  scheduler (``InMemoryTransport``, loopback sockets) or a blocking
+  two-process deployment (``SocketTransport``);
+* every message a session sends or receives is charged to its own
+  :class:`~repro.network.channel.Channel` with the same analytic sizes
+  the monolith charged, so per-phase byte accounting is *identical* to
+  the pre-redesign transcripts (enforced by the parity suite in
+  ``tests/test_session_transport.py``).
+
+Fidelity notes. This is a functional reproduction of the paper's system
+characterization, not a hardened deployment: the IKNP extension is
+executed by the label-holding party after the chooser ships its choice
+bits over the wire (the monolith computed it jointly in one call and put
+nothing on the wire — the *charged* byte volumes are the real
+extension's, from :func:`repro.ot.extension.iknp_wire_bytes`, but the
+exchanged bits would leak the chooser's shares to a real adversary, so
+the socket deployments demonstrate the system shape and byte volumes,
+not a security property). The client session's lowering is *shape-only*:
+layer widths and ReLU placement are public, and no weight matrix ever
+materializes client-side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.backend import backend_for
+from repro.core.lowering import (
+    LoweredNetwork,
+    lower_network,
+    next_linear_index,
+    validate_packing,
+)
+from repro.crypto.modmath import matvec_mod, mod_add_vec, mod_sub_vec
+from repro.crypto.rng import SecureRandom
+from repro.gc.circuit import Circuit, int_to_bits, words_to_int
+from repro.gc.evaluate import Evaluator
+from repro.gc.garble import GarbledCircuit, Garbler, InputEncoding
+from repro.gc.relu import ReluCircuitSpec, build_relu_circuit
+from repro.he.bfv import BfvContext
+from repro.he.encoder import BatchEncoder
+from repro.he.linear import HomomorphicLinearEvaluator
+from repro.he.params import BfvParams, toy_params
+from repro.network.channel import CLIENT, SERVER, Channel
+from repro.network.serialize import (
+    deserialize_bit_vector,
+    deserialize_ciphertext,
+    deserialize_circuit_batch,
+    deserialize_field_vector,
+    deserialize_galois_keys,
+    deserialize_label_lists,
+    deserialize_labels,
+    deserialize_public_key,
+    serialize_bit_vector,
+    serialize_ciphertext,
+    serialize_circuit_batch,
+    serialize_field_vector,
+    serialize_galois_keys,
+    serialize_label_lists,
+    serialize_labels,
+    serialize_public_key,
+)
+from repro.ot.extension import iknp_transfer, iknp_wire_bytes
+
+# step() results
+DONE = "done"
+WAITING = "waiting"
+
+
+@dataclass
+class ReluBundle:
+    """Everything one party stores for one garbled ReLU layer.
+
+    Each session holds only its role's slice: the garbler keeps
+    ``encodings``; the evaluator keeps ``circuits`` plus the label
+    material it received (``evaluator_labels``). Unused fields are None.
+    """
+
+    circuits: list[GarbledCircuit] | None
+    encodings: list[InputEncoding] | None
+    evaluator_labels: list[dict[int, bytes]] | None
+    mask_index: int  # which linear layer's r masks this ReLU's output
+
+
+@dataclass
+class ProtocolCounters:
+    """Operation counters accumulated during a run."""
+
+    he_encryptions: int = 0
+    he_decryptions: int = 0
+    he_rotations: int = 0
+    he_plain_mults: int = 0
+    gc_circuits_garbled: int = 0
+    gc_circuits_evaluated: int = 0
+    ots_performed: int = 0
+
+    def merged_with(self, other: "ProtocolCounters") -> "ProtocolCounters":
+        out = ProtocolCounters()
+        for f in fields(ProtocolCounters):
+            setattr(out, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return out
+
+
+def resolve_protocol_params(
+    params: BfvParams | None,
+    backend: str | None = None,
+    representation: str | None = None,
+) -> BfvParams:
+    """The parameter set a protocol actually runs, overrides applied.
+
+    'bigint' forces the one-vector oracle ring; 'rns' forces CRT residues
+    (params must carry a chain); 'auto' re-opens the per-params heuristic.
+    """
+    params = params or toy_params(n=256)
+    if backend is None and representation is None:
+        return params
+    from dataclasses import replace
+
+    overrides = {}
+    if backend is not None:
+        overrides["backend"] = backend
+    if representation is not None:
+        overrides["representation"] = representation
+    return replace(params, **overrides)
+
+
+def make_phase_pool(backend_pref: str | None, params: BfvParams, workers: int):
+    """A PrecomputePool carrying the protocol's *effective* selections.
+
+    A worker's initializer re-reads its environment (dropping the
+    parent's programmatic set_backend / a params-level override), so an
+    explicit backend or representation choice must travel with the pool.
+    One definition shared by the façade and standalone sessions.
+    """
+    from repro.backend import active_backend_name
+    from repro.runtime.pool import PrecomputePool
+
+    backend = backend_pref
+    if not backend or backend == "auto":
+        backend = active_backend_name()
+    return PrecomputePool(
+        workers=workers,
+        backend=backend,
+        representation=params.resolve_representation(),
+    )
+
+
+def role_seed(seed: int | None, role: str) -> int | None:
+    """Derive one role's RNG seed from a protocol-level seed.
+
+    Hash-derived per role so the two sessions of one protocol never share
+    (or structurally correlate) a stream; None stays None (OS entropy).
+    """
+    if seed is None:
+        return None
+    from repro.runtime.state import derive_worker_seed
+
+    return derive_worker_seed(seed, 0 if role == CLIENT else 1)
+
+
+class ProtocolSession:
+    """Common machinery of the two role sessions (state, stepping, accounting).
+
+    A session is a resumable state machine: ``start_offline()`` /
+    ``start_online(...)`` arm a phase, ``step()`` advances it until the
+    session either needs a frame the transport has not delivered yet
+    (returns :data:`WAITING`) or the phase completes (returns
+    :data:`DONE`), and ``finish()`` collects the phase result. The
+    blocking convenience wrappers ``run_offline()`` / ``run_online()``
+    drive a phase to completion on transports that can block (sockets).
+    """
+
+    role: str  # CLIENT or SERVER, set by the subclass
+    # Whether this role's lowering materializes the weight matrices. The
+    # client's view is shape-only: widths and ReLU placement are public,
+    # the weights never leave the server.
+    needs_weights = True
+
+    def __init__(
+        self,
+        network,
+        params: BfvParams | None = None,
+        garbler: str = "server",
+        seed: int | None = None,
+        truncate_bits: int = 0,
+        backend: str | None = None,
+        representation: str | None = None,
+        transport=None,
+        channel: Channel | None = None,
+        workers: int | None = None,
+        pool=None,
+        lowered: LoweredNetwork | None = None,
+    ):
+        if garbler not in ("server", "client"):
+            raise ValueError("garbler must be 'server' or 'client'")
+        self.params = resolve_protocol_params(params, backend, representation)
+        self.garbler_role = garbler
+        self.modulus = self.params.t
+        self.bits = self.modulus.bit_length()
+        self.truncate_bits = truncate_bits
+        # ``lowered`` lets a caller that already holds a lowering reuse it;
+        # otherwise the client lowers shape-only (no weight matrices ever
+        # materialize on its side) while the server pays the full
+        # conv-as-matrix expansion it needs for the homomorphic matvec.
+        self.lowered: LoweredNetwork = (
+            lowered
+            if lowered is not None
+            else lower_network(
+                network,
+                self.modulus,
+                backend=self.params.backend,
+                shape_only=not self.needs_weights,
+            )
+        )
+        # Resolved once: share arithmetic and GC batching follow the same
+        # per-protocol preference the HE layer uses, not just the global.
+        self._backend_pref = self.params.backend
+        self._vectorize_gc = (
+            backend_for(self.modulus, prefer=self._backend_pref).name == "numpy"
+        )
+        self.rng = SecureRandom(seed)
+        self.transport = transport
+        self.channel = channel or Channel(field_bytes=(self.bits + 7) // 8)
+        self.counters = ProtocolCounters()
+        # Precompute parallelism mirrors the façade's rules: an explicit
+        # pool wins; otherwise `workers` (explicit > REPRO_WORKERS > 1)
+        # makes start_offline create a pool for the phase's duration.
+        from repro.runtime.pool import resolve_workers
+
+        self._shared_pool = pool
+        self._workers = (
+            pool.workers if pool is not None else resolve_workers(workers, default=1)
+        )
+        self._active_pool = None
+        self._own_pool = None
+        self._relu_circuit_cache: Circuit | None = None
+        self._relu_bundles: dict[int, ReluBundle] = {}
+        self._offline_done = False
+        self._gen = None
+        self._phase: str | None = None
+        self._primed = False
+        self._result = None
+        validate_packing(self.lowered, self.params.row_size)
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def peer(self) -> str:
+        return SERVER if self.role == CLIENT else CLIENT
+
+    @property
+    def offline_done(self) -> bool:
+        return self._offline_done
+
+    def relu_circuit(self) -> Circuit:
+        """The (shared, public) ReLU circuit topology for this protocol.
+
+        Every ReLU layer garbles the same public topology — only the
+        labels differ — so it is built once and shared, which also lets
+        stored bundles rebind without re-lowering.
+        """
+        if self._relu_circuit_cache is None:
+            mask_owner = "evaluator" if self.garbler_role == "server" else "garbler"
+            spec = ReluCircuitSpec(
+                bits=self.bits,
+                modulus=self.modulus,
+                mask_owner=mask_owner,
+                truncate_bits=self.truncate_bits,
+            )
+            self._relu_circuit_cache = build_relu_circuit(spec)
+        return self._relu_circuit_cache
+
+    def _relu_plan(self) -> list[tuple[int, int, int, int]]:
+        """(step position, linear index, mask index, width) per ReLU layer."""
+        plan = []
+        for pos, (kind, lin_idx) in enumerate(self.lowered.steps):
+            if kind != "relu":
+                continue
+            mask_index = next_linear_index(self.lowered, pos)
+            n = self.lowered.linears[lin_idx].n_out
+            if self.lowered.linears[mask_index].n_in != n:
+                raise ValueError("mask length mismatch (unsupported layer between)")
+            plan.append((pos, lin_idx, mask_index, n))
+        return plan
+
+    @property
+    def _last_linear_index(self) -> int:
+        return self.lowered.steps[-1][1]
+
+    # -- transport + byte accounting -----------------------------------------
+
+    def _send(self, frame: bytes, payload=None, nbytes: int | None = None) -> None:
+        """Ship a frame and charge it to this session's channel stats.
+
+        ``payload``/``nbytes`` reproduce exactly what the monolith charged
+        for the same message (analytic wire sizes, not serialized sizes),
+        so a session's per-phase summary is comparable to — and tested
+        byte-identical with — the pre-redesign transcripts.
+        """
+        self.transport.send(frame)
+        self.channel.send(self.role, payload, nbytes)
+        self.channel.recv(self.peer)  # stats only: drain the mirror queue
+
+    def _note_recv(self, payload=None, nbytes: int | None = None) -> None:
+        """Charge an inbound message (the peer's send) to the channel stats."""
+        self.channel.send(self.peer, payload, nbytes)
+        self.channel.recv(self.role)
+
+    # -- phase control --------------------------------------------------------
+
+    def _begin_phase(self, phase: str, gen, pool, allow_own_pool: bool) -> None:
+        if self._gen is not None:
+            raise RuntimeError(f"a {self._phase} phase is already in progress")
+        if self.transport is None:
+            raise RuntimeError("no transport attached to this session")
+        active = pool if pool is not None else self._shared_pool
+        if active is None and allow_own_pool and self._workers > 1:
+            active = self._own_pool = make_phase_pool(
+                self._backend_pref, self.params, self._workers
+            )
+        self._active_pool = active
+        self._phase = phase
+        self._gen = gen
+        self._primed = False
+
+    def start_offline(self, pool=None) -> None:
+        """Arm the offline phase (HE correlations + garbling + OT)."""
+        if self._offline_done:
+            raise RuntimeError("offline phase already complete")
+        self._begin_phase("offline", self._offline_gen(), pool, allow_own_pool=True)
+
+    def step(self, wait: bool = False) -> str:
+        """Advance the active phase as far as the transport allows.
+
+        Feeds every available inbound frame to the state machine; sends
+        happen eagerly along the way. Returns :data:`WAITING` when the
+        next frame has not arrived (``wait=False``) or :data:`DONE` when
+        the phase completes. ``wait=True`` blocks on the transport — only
+        valid for transports that can block (sockets).
+        """
+        if self._gen is None:
+            return DONE
+        try:
+            if not self._primed:
+                self._primed = True
+                next(self._gen)
+            while True:
+                frame = self.transport.recv(wait=wait)
+                if frame is None:
+                    return WAITING
+                self._gen.send(frame)
+        except StopIteration:
+            self._finish_phase(completed=True)
+            return DONE
+        except BaseException:
+            # A failed phase must not look finished: drop the dead
+            # generator so a later step() cannot mistake its StopIteration
+            # for completion and mark a half-run offline phase done.
+            self._finish_phase(completed=False)
+            raise
+
+    def _finish_phase(self, completed: bool) -> None:
+        self._gen = None
+        self._active_pool = None
+        if self._own_pool is not None:
+            self._own_pool.close()
+            self._own_pool = None
+        if completed and self._phase == "offline":
+            self._offline_done = True
+        self._phase = None
+
+    def finish(self):
+        """Result of the last completed phase (client online: the logits)."""
+        if self._gen is not None:
+            raise RuntimeError("phase still in progress — keep stepping")
+        return self._result
+
+    def run_offline(self) -> None:
+        """Blocking convenience: drive the offline phase to completion."""
+        self.start_offline()
+        while self.step(wait=True) != DONE:
+            pass  # pragma: no cover - step(wait=True) only returns on DONE
+
+    def close(self) -> None:
+        if self.transport is not None:
+            self.transport.close()
+
+    def _garble_all_layers(self, circuit: Circuit, plan):
+        """Garble every ReLU layer's batch up front (both garbler roles).
+
+        All layers' RNGs spawn first, in plan order, then garbling runs
+        sequentially per layer or through one skew-aware
+        ``garble_layers()`` pool plan — the draw ordering is
+        transcript-critical and shared by both roles, so it lives here
+        exactly once. Pooled and sequential outputs are byte-identical
+        under the same rng.
+        """
+        layer_rngs = [self.rng.spawn() for _ in plan]
+        if self._active_pool is not None:
+            return self._active_pool.garble_layers(
+                [(circuit, n, rng) for (_, _, _, n), rng in zip(plan, layer_rngs)],
+                vectorize=self._vectorize_gc,
+            )
+        return [
+            Garbler(rng).garble_batch(circuit, n, vectorize=self._vectorize_gc)
+            for (_, _, _, n), rng in zip(plan, layer_rngs)
+        ]
+
+    # -- offline state transplant (precompute store integration) --------------
+
+    def load_offline_bundles(self, bundles: dict[int, ReluBundle]) -> None:
+        self._relu_bundles = bundles
+        self._offline_done = True
+
+
+class ClientSession(ProtocolSession):
+    """The client's half of the protocol: inputs, HE keys, mask vectors.
+
+    Owns the BFV secret key, the per-layer masks ``r_i``, and the offline
+    shares ``W r_i - s_i``; under Server-Garbler it additionally stores
+    and later evaluates the garbled ReLUs, under Client-Garbler it
+    garbles them. Lowers the network *shape-only*: layer widths and ReLU
+    placement are public, and no weight matrix is ever materialized on
+    this side (the ``network`` argument's weights, if any, are ignored).
+    """
+
+    role = CLIENT
+    needs_weights = False
+
+    def start_online(self, x: list[int], pool=None) -> None:
+        """Arm one inference on the client input ``x``."""
+        if not self._offline_done:
+            raise RuntimeError("offline phase must run before online phase")
+        if len(x) != self.lowered.input_size:
+            raise ValueError("input size mismatch")
+        self._begin_phase("online", self._online_gen(list(x)), pool, allow_own_pool=False)
+
+    def run_online(self, x: list[int], pool=None) -> list[int]:
+        """Blocking convenience: one inference, returns the logits."""
+        self.start_online(x, pool=pool)
+        while self.step(wait=True) != DONE:
+            pass  # pragma: no cover - step(wait=True) only returns on DONE
+        return self.finish()
+
+    def load_offline_state(
+        self,
+        client_r: list[list[int]],
+        client_linear_share: list[list[int]],
+        bundles: dict[int, ReluBundle],
+    ) -> None:
+        """Adopt a stored offline phase instead of running one."""
+        self.client_r = client_r
+        self.client_linear_share = client_linear_share
+        self.load_offline_bundles(bundles)
+
+    # -- offline ---------------------------------------------------------------
+
+    def _offline_gen(self):
+        self.channel.set_phase("offline")
+        p = self.modulus
+        params = self.params
+        ctx = BfvContext(params, self.rng.spawn())
+        encoder = BatchEncoder(params)
+        sk, pk = ctx.keygen()
+        gk = ctx.galois_keygen(
+            sk, [encoder.galois_element_for_rotation(1)], pool=self._active_pool
+        )
+        self._send(serialize_public_key(pk), payload=pk)
+        self._send(serialize_galois_keys(gk), payload=gk)
+        self._ctx, self._encoder, self._sk = ctx, encoder, sk
+        # The evaluator object is used purely for its packing layout here;
+        # the homomorphic matvec runs on the server.
+        packer = HomomorphicLinearEvaluator(ctx, encoder, gk)
+
+        self.client_r = [
+            self.rng.field_vector(lin.n_in, p) for lin in self.lowered.linears
+        ]
+        self.client_linear_share = []
+        # HE pass: send Enc(r_i); the server returns Enc(W r_i - s_i).
+        for lin, r in zip(self.lowered.linears, self.client_r):
+            ct = ctx.encrypt(pk, encoder.encode(packer.pack_vector(r)))
+            self.counters.he_encryptions += 1
+            self._send(serialize_ciphertext(ct), payload=ct)
+            frame = yield
+            ct_out = deserialize_ciphertext(frame, params)
+            self._note_recv(ct_out)
+            share = encoder.decode(ctx.decrypt(sk, ct_out))[: lin.n_out]
+            self.counters.he_decryptions += 1
+            self.client_linear_share.append(share)
+
+        if self.garbler_role == "server":
+            yield from self._offline_receive_garbled()
+        else:
+            self._offline_garble()
+
+    def _offline_receive_garbled(self):
+        """Server-Garbler: receive circuits, fetch input labels via OT."""
+        circuit = self.relu_circuit()
+        per = len(circuit.evaluator_inputs)
+        for pos, lin_idx, mask_index, n in self._relu_plan():
+            frame = yield
+            wire_circuits = deserialize_circuit_batch(frame, circuit)
+            self._note_recv(wire_circuits)
+            if len(wire_circuits) != n:
+                raise ValueError("garbled batch width does not match the layer")
+            choices: list[int] = []
+            for j in range(n):
+                choices += int_to_bits(self.client_linear_share[lin_idx][j], self.bits)
+                choices += int_to_bits(self.client_r[mask_index][j], self.bits)
+            column_bytes, reply_bytes = iknp_wire_bytes(n * per)
+            # The chooser's half of the extension: charged as the T-matrix
+            # columns the real IKNP receiver would ship.
+            self._send(serialize_bit_vector(choices), nbytes=column_bytes)
+            frame = yield
+            label_lists = deserialize_label_lists(frame)
+            self._note_recv(nbytes=reply_bytes)
+            if len(label_lists) != n:
+                raise ValueError("label batch width does not match the layer")
+            evaluator_labels = []
+            for labels in label_lists:
+                label_map = dict(zip(circuit.evaluator_inputs, labels[2:]))
+                label_map[Circuit.CONST_ZERO] = labels[0]
+                label_map[Circuit.CONST_ONE] = labels[1]
+                evaluator_labels.append(label_map)
+            self._relu_bundles[pos] = ReluBundle(
+                circuits=wire_circuits,
+                encodings=None,
+                evaluator_labels=evaluator_labels,
+                mask_index=mask_index,
+            )
+
+    def _offline_garble(self) -> None:
+        """Client-Garbler: garble every layer, ship circuits + own labels."""
+        circuit = self.relu_circuit()
+        plan = self._relu_plan()
+        batches = self._garble_all_layers(circuit, plan)
+        for (pos, lin_idx, mask_index, n), batch in zip(plan, batches):
+            circuits = [garbled for garbled, _ in batch]
+            encodings = [encoding for _, encoding in batch]
+            self.counters.gc_circuits_garbled += n
+            # Decode bits ship with the circuits: the server may learn
+            # x - r, so Client-Garbler lets it decode locally.
+            self._send(serialize_circuit_batch(circuits), payload=circuits)
+            garbler_labels = []
+            for j, (garbled, encoding) in enumerate(zip(circuits, encodings)):
+                share_bits = int_to_bits(self.client_linear_share[lin_idx][j], self.bits)
+                mask_bits = int_to_bits(self.client_r[mask_index][j], self.bits)
+                garbler_labels.append(
+                    Garbler.encode_inputs(
+                        encoding, garbled.circuit, share_bits + mask_bits
+                    )
+                )
+            label_lists = [list(lbls.values()) for lbls in garbler_labels]
+            self._send(serialize_label_lists(label_lists), payload=label_lists)
+            self._relu_bundles[pos] = ReluBundle(
+                circuits=None,
+                encodings=encodings,
+                evaluator_labels=None,
+                mask_index=mask_index,
+            )
+
+    # -- online ----------------------------------------------------------------
+
+    def _online_gen(self, x: list[int]):
+        self.channel.set_phase("online")
+        p = self.modulus
+        masked = mod_sub_vec(x, self.client_r[0], p, prefer=self._backend_pref)
+        self._send(serialize_field_vector(masked, p), payload=masked)
+
+        circuit = self.relu_circuit()
+        evaluator = Evaluator()
+        if self.garbler_role == "server":
+            # Evaluate each layer's circuits on the server's share labels.
+            for pos, _, _, n in self._relu_plan():
+                bundle = self._relu_bundles[pos]
+                frame = yield
+                all_labels = deserialize_label_lists(frame)
+                self._note_recv(all_labels)
+                labels_batch = []
+                for j, garbler_labels in enumerate(all_labels):
+                    labels = dict(bundle.evaluator_labels[j])
+                    labels.update(zip(circuit.garbler_inputs, garbler_labels))
+                    labels_batch.append(labels)
+                output_label_batch = evaluator.evaluate_batch(
+                    bundle.circuits, labels_batch, vectorize=self._vectorize_gc
+                )
+                self.counters.gc_circuits_evaluated += len(labels_batch)
+                self._send(
+                    serialize_label_lists(output_label_batch),
+                    payload=output_label_batch,
+                )
+        else:
+            # Serve the server's online label OT from this side's encodings.
+            per = len(circuit.evaluator_inputs)
+            for pos, _, _, n in self._relu_plan():
+                bundle = self._relu_bundles[pos]
+                frame = yield
+                choices = deserialize_bit_vector(frame)
+                if len(choices) != n * per:
+                    raise ValueError("OT choice count does not match the layer")
+                column_bytes, _ = iknp_wire_bytes(len(choices))
+                self._note_recv(nbytes=column_bytes)
+                pairs = []
+                for encoding in bundle.encodings:
+                    for wire in circuit.evaluator_inputs:
+                        pairs.append(
+                            (encoding.label_for(wire, 0), encoding.label_for(wire, 1))
+                        )
+                received, transcript = iknp_transfer(
+                    pairs, choices, self.rng.spawn(), pool=self._active_pool
+                )
+                self.counters.ots_performed += len(pairs)
+                self._send(
+                    serialize_labels(received),
+                    nbytes=transcript.base_ot_bytes + transcript.ciphertext_bytes,
+                )
+
+        frame = yield
+        final_server_share = deserialize_field_vector(frame)
+        self._note_recv(final_server_share)
+        final_client_share = self.client_linear_share[self._last_linear_index]
+        self._result = mod_add_vec(
+            final_server_share, final_client_share, p, prefer=self._backend_pref
+        )
+
+
+class ServerSession(ProtocolSession):
+    """The server's half of the protocol: weights, HE evaluation, shares.
+
+    Owns the model weights and the per-layer output shares ``s_i``;
+    evaluates the homomorphic matvecs offline and the masked linear
+    layers online. Under Server-Garbler it garbles the ReLUs; under
+    Client-Garbler it stores and evaluates them (fetching its input
+    labels by online OT), which is exactly the storage/latency trade the
+    paper's §5.1 proposes.
+    """
+
+    role = SERVER
+
+    def start_online(self, pool=None) -> None:
+        """Arm the serving side of one inference."""
+        if not self._offline_done:
+            raise RuntimeError("offline phase must run before online phase")
+        self._begin_phase("online", self._online_gen(), pool, allow_own_pool=False)
+
+    def run_online(self, pool=None) -> None:
+        """Blocking convenience: serve one inference to completion."""
+        self.start_online(pool=pool)
+        while self.step(wait=True) != DONE:
+            pass  # pragma: no cover - step(wait=True) only returns on DONE
+        return self.finish()
+
+    def load_offline_state(
+        self, server_s: list[list[int]], bundles: dict[int, ReluBundle]
+    ) -> None:
+        """Adopt a stored offline phase instead of running one."""
+        self.server_s = server_s
+        self.load_offline_bundles(bundles)
+
+    # -- offline ---------------------------------------------------------------
+
+    def _offline_gen(self):
+        self.channel.set_phase("offline")
+        p = self.modulus
+        params = self.params
+        ctx = BfvContext(params)
+        encoder = BatchEncoder(params)
+        frame = yield
+        pk = deserialize_public_key(frame, params)
+        self._note_recv(pk)
+        frame = yield
+        gk = deserialize_galois_keys(frame, params)
+        self._note_recv(gk)
+        evaluator = HomomorphicLinearEvaluator(ctx, encoder, gk)
+
+        self.server_s = [
+            self.rng.field_vector(lin.n_out, p) for lin in self.lowered.linears
+        ]
+        row = params.row_size
+        # HE pass: homomorphic W r_i - s_i on each received Enc(r_i).
+        for lin, s in zip(self.lowered.linears, self.server_s):
+            frame = yield
+            ct = deserialize_ciphertext(frame, params)
+            self._note_recv(ct)
+            ct_y = evaluator.matvec(ct, lin.matrix)
+            s_row = list(s) + [0] * (row - lin.n_out)
+            ct_out = ctx.sub_plain(ct_y, encoder.encode(s_row + s_row))
+            self._send(serialize_ciphertext(ct_out), payload=ct_out)
+        self.counters.he_rotations = evaluator.rotations_performed
+        self.counters.he_plain_mults = evaluator.plain_mults_performed
+
+        if self.garbler_role == "server":
+            yield from self._offline_garble()
+        else:
+            yield from self._offline_receive_garbled()
+
+    def _offline_garble(self):
+        """Server-Garbler: garble every layer, serve the client's label OT."""
+        circuit = self.relu_circuit()
+        plan = self._relu_plan()
+        per = len(circuit.evaluator_inputs)
+        batches = self._garble_all_layers(circuit, plan)
+        for (pos, _, mask_index, n), batch in zip(plan, batches):
+            circuits = [garbled for garbled, _ in batch]
+            encodings = [encoding for _, encoding in batch]
+            self.counters.gc_circuits_garbled += n
+            # Decode bits stripped: the evaluating client must not learn
+            # the cleartext ReLU outputs.
+            wire_circuits = [
+                GarbledCircuit(c.circuit, c.tables, []) for c in circuits
+            ]
+            self._send(serialize_circuit_batch(wire_circuits), payload=wire_circuits)
+            frame = yield
+            choices = deserialize_bit_vector(frame)
+            if len(choices) != n * per:
+                raise ValueError("OT choice count does not match the layer")
+            column_bytes, _ = iknp_wire_bytes(len(choices))
+            self._note_recv(nbytes=column_bytes)
+            pairs = []
+            for encoding in encodings:
+                for wire in circuit.evaluator_inputs:
+                    pairs.append(
+                        (encoding.label_for(wire, 0), encoding.label_for(wire, 1))
+                    )
+            received, transcript = iknp_transfer(
+                pairs, choices, self.rng.spawn(), pool=self._active_pool
+            )
+            self.counters.ots_performed += len(pairs)
+            # Chosen labels plus each instance's constant-wire labels (the
+            # monolith handed constants over directly; on the wire they
+            # ride the same message the masked OT pairs are charged as).
+            label_lists = [
+                [
+                    encodings[j].label_for(Circuit.CONST_ZERO, 0),
+                    encodings[j].label_for(Circuit.CONST_ONE, 1),
+                ]
+                + received[j * per : (j + 1) * per]
+                for j in range(n)
+            ]
+            self._send(
+                serialize_label_lists(label_lists),
+                nbytes=transcript.base_ot_bytes + transcript.ciphertext_bytes,
+            )
+            self._relu_bundles[pos] = ReluBundle(
+                circuits=None,
+                encodings=encodings,
+                evaluator_labels=None,
+                mask_index=mask_index,
+            )
+
+    def _offline_receive_garbled(self):
+        """Client-Garbler: store circuits (decode bits intact) + labels."""
+        circuit = self.relu_circuit()
+        garbler_wire_order = [
+            Circuit.CONST_ZERO,
+            Circuit.CONST_ONE,
+        ] + circuit.garbler_inputs
+        for pos, _, mask_index, n in self._relu_plan():
+            frame = yield
+            circuits = deserialize_circuit_batch(frame, circuit)
+            self._note_recv(circuits)
+            frame = yield
+            label_lists = deserialize_label_lists(frame)
+            self._note_recv(label_lists)
+            if len(circuits) != n or len(label_lists) != n:
+                raise ValueError("garbled batch width does not match the layer")
+            # Rebuild the garbler's label dicts in their insertion order
+            # ([consts, garbler inputs]) — the online phase relies on it.
+            evaluator_labels = [
+                dict(zip(garbler_wire_order, labels)) for labels in label_lists
+            ]
+            self._relu_bundles[pos] = ReluBundle(
+                circuits=circuits,
+                encodings=None,
+                evaluator_labels=evaluator_labels,
+                mask_index=mask_index,
+            )
+
+    # -- online ----------------------------------------------------------------
+
+    def _online_gen(self):
+        self.channel.set_phase("online")
+        p = self.modulus
+        frame = yield
+        server_vec = deserialize_field_vector(frame)
+        self._note_recv(server_vec)
+        if len(server_vec) != self.lowered.input_size:
+            raise ValueError("masked input size mismatch")
+
+        circuit = self.relu_circuit()
+        evaluator = Evaluator()
+        for pos, (kind, lin_idx) in enumerate(self.lowered.steps):
+            if kind == "linear":
+                lin = self.lowered.linears[lin_idx]
+                server_vec = mod_add_vec(
+                    matvec_mod(lin.matrix, server_vec, p, prefer=self._backend_pref),
+                    self.server_s[lin_idx],
+                    p,
+                    prefer=self._backend_pref,
+                )
+                continue
+            bundle = self._relu_bundles[pos]
+            if self.garbler_role == "server":
+                # Ship the labels of this side's share; the client
+                # evaluates and returns output labels; decode here.
+                all_labels = []
+                for j, value in enumerate(server_vec):
+                    encoding = bundle.encodings[j]
+                    bits = int_to_bits(value, self.bits)
+                    all_labels.append(
+                        [
+                            encoding.label_for(w, b)
+                            for w, b in zip(circuit.garbler_inputs, bits)
+                        ]
+                    )
+                self._send(serialize_label_lists(all_labels), payload=all_labels)
+                frame = yield
+                output_label_batch = deserialize_label_lists(frame)
+                self._note_recv(output_label_batch)
+                out = []
+                for j, out_labels in enumerate(output_label_batch):
+                    bits = Garbler.decode_output_labels(
+                        bundle.encodings[j], circuit, out_labels
+                    )
+                    out.append(words_to_int(bits))
+                server_vec = out
+            else:
+                # Fetch labels for this side's share via online OT, then
+                # evaluate and decode locally (decode bits shipped offline).
+                choices: list[int] = []
+                for value in server_vec:
+                    choices += int_to_bits(value, self.bits)
+                column_bytes, reply_bytes = iknp_wire_bytes(len(choices))
+                self._send(serialize_bit_vector(choices), nbytes=column_bytes)
+                frame = yield
+                received = deserialize_labels(frame)
+                self._note_recv(nbytes=reply_bytes)
+                per = self.bits
+                labels_batch = []
+                for j in range(len(server_vec)):
+                    labels = dict(bundle.evaluator_labels[j])
+                    chunk = received[j * per : (j + 1) * per]
+                    labels.update(zip(circuit.evaluator_inputs, chunk))
+                    labels_batch.append(labels)
+                output_label_batch = evaluator.evaluate_batch(
+                    bundle.circuits, labels_batch, vectorize=self._vectorize_gc
+                )
+                self.counters.gc_circuits_evaluated += len(labels_batch)
+                server_vec = [
+                    words_to_int(evaluator.decode(garbled, out_labels))
+                    for garbled, out_labels in zip(bundle.circuits, output_label_batch)
+                ]
+
+        # Final reconstruction: ship this side's output share.
+        self._send(serialize_field_vector(server_vec, p), payload=server_vec)
+        self._result = None

@@ -41,12 +41,14 @@ class CommValidation:
 
 
 def _iknp_bytes(n_ots: int) -> tuple[float, float]:
-    """(receiver->sender, sender->receiver) bytes of one IKNP batch."""
-    column_bytes = KAPPA * ((n_ots + 7) // 8)
-    base_and_pairs = (
-        KAPPA * 2 * ((n_ots + 7) // 8) + KAPPA * 32 + 32 + 2 * n_ots * LABEL_BYTES
-    )
-    return column_bytes, base_and_pairs
+    """(receiver->sender, sender->receiver) bytes of one IKNP batch.
+
+    Delegates to the extension's own formula so the predictor can never
+    drift from what the protocol actually charges.
+    """
+    from repro.ot.extension import iknp_wire_bytes
+
+    return iknp_wire_bytes(n_ots, LABEL_BYTES)
 
 
 def predict_comm(protocol: HybridProtocol) -> dict[str, float]:

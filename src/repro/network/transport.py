@@ -1,0 +1,290 @@
+"""Pluggable message transports for the role-separated protocol sessions.
+
+A :class:`Transport` moves opaque byte frames between exactly two peers.
+The sessions in :mod:`repro.core.session` are written against this
+interface only, so the same state machines run
+
+* in one process over an :class:`InMemoryTransport` pair (tests, the
+  :class:`~repro.core.protocol.HybridProtocol` façade, benches),
+* in one process over a loopback TCP pair (``SocketTransport.loopback_pair``,
+  exercising real kernel sockets while a single driver steps both ends), or
+* across two processes/hosts over a :class:`SocketTransport` connection —
+  the deployment shape the paper's client/server characterization assumes.
+
+Frames on a socket are length-prefixed (4-byte little-endian length); the
+frame payloads themselves carry :mod:`repro.network.serialize`'s magic +
+version header, so a mismatched peer fails with a clear version error on
+the first message rather than desynchronizing mid-protocol.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import struct
+import time
+from collections import deque
+
+_LENGTH_BYTES = 4
+_MAX_FRAME = 1 << 31  # sanity bound: a torn length prefix fails loudly
+_SOCKET_BUF = 1 << 20
+
+
+class TransportError(RuntimeError):
+    """A transport-level failure (peer gone, malformed frame, misuse)."""
+
+
+class TransportClosed(TransportError):
+    """The peer closed the connection (or this endpoint was closed)."""
+
+
+class Transport:
+    """Ordered, reliable delivery of byte frames between two peers."""
+
+    def send(self, frame: bytes) -> None:
+        raise NotImplementedError
+
+    def recv(self, wait: bool = True) -> bytes | None:
+        """Next inbound frame.
+
+        ``wait=False`` polls: returns ``None`` when no complete frame is
+        available yet. ``wait=True`` blocks until a frame arrives (and
+        raises :class:`TransportError` on transports that cannot block,
+        like the in-memory pair driven by a single thread).
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    # Sessions poll this to detect deadlock vs. genuine waiting.
+    @property
+    def pending(self) -> bool:
+        """Whether a complete frame is already available locally."""
+        return False
+
+
+class InMemoryTransport(Transport):
+    """One endpoint of an in-process transport pair (deque-backed).
+
+    Create connected endpoints with :meth:`pair`; what one endpoint sends,
+    the other receives in FIFO order. ``recv(wait=True)`` raises instead
+    of blocking — a single-threaded driver that would block on its own
+    queue is a deadlock, not a wait.
+    """
+
+    def __init__(self, inbox: deque, outbox: deque):
+        self._inbox = inbox
+        self._outbox = outbox
+        self._closed = False
+
+    @classmethod
+    def pair(cls) -> tuple["InMemoryTransport", "InMemoryTransport"]:
+        a, b = deque(), deque()
+        return cls(a, b), cls(b, a)
+
+    def send(self, frame: bytes) -> None:
+        if self._closed:
+            raise TransportClosed("transport is closed")
+        self._outbox.append(bytes(frame))
+
+    def recv(self, wait: bool = True) -> bytes | None:
+        if self._inbox:
+            return self._inbox.popleft()
+        if self._closed:
+            raise TransportClosed("transport is closed")
+        if wait:
+            raise TransportError(
+                "in-memory transport cannot block: the peer runs on this "
+                "thread — step the peer session instead"
+            )
+        return None
+
+    @property
+    def pending(self) -> bool:
+        return bool(self._inbox)
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class SocketTransport(Transport):
+    """Length-prefixed frames over a connected TCP socket.
+
+    Sends are buffered in a userspace outbox and flushed opportunistically
+    (on every send/recv/pending call, and fully on close). This is what
+    makes the single-threaded loopback driver safe: a burst of frames
+    larger than the kernel socket buffers parks in the outbox instead of
+    blocking inside ``sendall`` against a peer that runs on this very
+    thread and could never drain it.
+    """
+
+    def __init__(self, sock: socket.socket):
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        for opt in (socket.SO_SNDBUF, socket.SO_RCVBUF):
+            try:
+                sock.setsockopt(socket.SOL_SOCKET, opt, _SOCKET_BUF)
+            except OSError:  # pragma: no cover - platform-limited buffers
+                pass
+        sock.setblocking(True)
+        self._sock = sock
+        self._buf = bytearray()
+        self._outbox = bytearray()
+        self._closed = False
+
+    @classmethod
+    def connect(
+        cls, host: str, port: int, retries: int = 40, delay: float = 0.25
+    ) -> "SocketTransport":
+        """Connect to a listening peer, retrying while it comes up."""
+        last: Exception | None = None
+        for _ in range(max(1, retries)):
+            try:
+                return cls(socket.create_connection((host, port)))
+            except OSError as exc:
+                last = exc
+                time.sleep(delay)
+        raise TransportError(f"could not connect to {host}:{port}: {last}")
+
+    def send(self, frame: bytes) -> None:
+        if self._closed:
+            raise TransportClosed("transport is closed")
+        self._outbox += struct.pack("<I", len(frame)) + frame
+        self._flush(block=False)
+
+    def _flush(self, block: bool) -> None:
+        """Push outbox bytes into the socket without ever blocking.
+
+        The socket stays in blocking mode, but writes go out in bounded
+        chunks only while select reports writability — a blocking
+        ``send`` with buffer space available transmits what fits and
+        returns, so no call here can wedge. ``block=True`` waits for
+        writability between chunks (used only on close, when the peer is
+        a separate live process draining the connection).
+        """
+        while self._outbox:
+            timeout = None if block else 0
+            try:
+                _, writable, _ = select.select([], [self._sock], [], timeout)
+            except OSError as exc:  # pragma: no cover - racing close
+                raise TransportClosed(f"peer connection lost: {exc}") from exc
+            if not writable:
+                return
+            try:
+                sent = self._sock.send(self._outbox[:65536])
+            except OSError as exc:
+                raise TransportClosed(f"peer connection lost: {exc}") from exc
+            del self._outbox[:sent]
+
+    def _frame_ready(self) -> bool:
+        if len(self._buf) < _LENGTH_BYTES:
+            return False
+        (length,) = struct.unpack_from("<I", self._buf, 0)
+        if length > _MAX_FRAME:
+            raise TransportError(f"oversized frame ({length} bytes)")
+        return len(self._buf) >= _LENGTH_BYTES + length
+
+    def _pop_frame(self) -> bytes:
+        (length,) = struct.unpack_from("<I", self._buf, 0)
+        frame = bytes(self._buf[_LENGTH_BYTES : _LENGTH_BYTES + length])
+        del self._buf[: _LENGTH_BYTES + length]
+        return frame
+
+    def recv(self, wait: bool = True) -> bytes | None:
+        if self._closed:
+            raise TransportClosed("transport is closed")
+        while not self._frame_ready():
+            self._flush(block=False)
+            if wait:
+                # Wait until readable — or writable while our own outbox
+                # still holds bytes, so a blocked conversation where the
+                # peer needs our data before replying keeps progressing.
+                writers = [self._sock] if self._outbox else []
+                select.select([self._sock], writers, [])
+            ready, _, _ = select.select([self._sock], [], [], 0)
+            if not ready:
+                if not wait:
+                    return None
+                continue
+            try:
+                chunk = self._sock.recv(65536)
+            except OSError as exc:
+                raise TransportClosed(f"peer connection lost: {exc}") from exc
+            if not chunk:
+                raise TransportClosed("peer closed the connection")
+            self._buf += chunk
+        return self._pop_frame()
+
+    @property
+    def pending(self) -> bool:
+        if self._closed:
+            return self._frame_ready()
+        self._flush(block=False)  # keep the conversation moving
+        if self._frame_ready():
+            return True
+        # Bytes sitting in the kernel receive queue count as progress too
+        # (the deadlock detector must not fire while data is in flight).
+        ready, _, _ = select.select([self._sock], [], [], 0)
+        return bool(ready) or bool(self._outbox)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._flush(block=True)
+            except TransportError:  # pragma: no cover - peer already gone
+                pass
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    @classmethod
+    def loopback_pair(
+        cls, host: str = "127.0.0.1"
+    ) -> tuple["SocketTransport", "SocketTransport"]:
+        """A connected (client, server) pair over loopback TCP.
+
+        Both endpoints live in this process — real kernel sockets under a
+        single-threaded driver. The large socket buffers keep one party's
+        longest send burst (a garbled-circuit batch) from blocking against
+        an un-stepped peer.
+        """
+        with SocketListener(host=host) as listener:
+            client = cls.connect(host, listener.port, retries=1)
+            server = listener.accept()
+        return client, server
+
+
+class SocketListener:
+    """Accept loop helper for the server side of a socket deployment."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, backlog: int = 8):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(backlog)
+        self.host = host
+        self.port = self._sock.getsockname()[1]
+
+    def accept(self, timeout: float | None = None) -> SocketTransport:
+        self._sock.settimeout(timeout)
+        try:
+            conn, _ = self._sock.accept()
+        except socket.timeout as exc:  # pragma: no cover - timing-dependent
+            raise TransportError("accept timed out") from exc
+        finally:
+            self._sock.settimeout(None)
+        return SocketTransport(conn)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    def __enter__(self) -> "SocketListener":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -233,12 +233,30 @@ def iknp_transfer(
         ],
     )
 
-    transcript = ExtensionTranscript(
-        base_ot_bytes=KAPPA * (2 * ((m + 7) // 8)) + KAPPA * 32 + 32,
-        column_bytes=KAPPA * ((m + 7) // 8),
-        ciphertext_bytes=2 * m * msg_len,
+    return chosen, iknp_transcript(m, msg_len)
+
+
+def iknp_transcript(n_ots: int, msg_len: int = LABEL_BYTES) -> ExtensionTranscript:
+    """Byte volumes of one IKNP batch — the ONE definition of the formula.
+
+    :func:`iknp_transfer` returns exactly this (the volumes are a pure
+    function of the batch size), and every other accounting surface —
+    the sessions' channel charges via :func:`iknp_wire_bytes`, the
+    analytic predictor in :mod:`repro.core.validation` — derives from it,
+    so the copies cannot drift apart.
+    """
+    nbytes = (n_ots + 7) // 8
+    return ExtensionTranscript(
+        base_ot_bytes=KAPPA * 2 * nbytes + KAPPA * 32 + 32,
+        column_bytes=KAPPA * nbytes,
+        ciphertext_bytes=2 * n_ots * msg_len,
     )
-    return chosen, transcript
+
+
+def iknp_wire_bytes(n_ots: int, msg_len: int = LABEL_BYTES) -> tuple[int, int]:
+    """(chooser -> sender, sender -> chooser) bytes of one IKNP batch."""
+    t = iknp_transcript(n_ots, msg_len)
+    return t.column_bytes, t.base_ot_bytes + t.ciphertext_bytes
 
 
 def ot_extension_online_bytes(n_ots: int, msg_len: int = LABEL_BYTES) -> int:

@@ -23,6 +23,17 @@ it for real:
   fresh one on the spot — a *miss*, the measured counterpart of the
   simulator's un-buffered request path.
 
+Since the session redesign the loop drives each request's
+:class:`~repro.core.session.ClientSession`/:class:`~repro.core.session.
+ServerSession` pair *message by message* through the
+:class:`~repro.core.protocol.HybridProtocol` façade's ``start_*``/
+``step()`` API. That turns "overlap the refill mints with online serving"
+from a rewrite into a scheduling decision: with ``pipelined=True`` the
+round-robin scheduler interleaves one client's background refill steps
+with every other client's online steps (each client's own requests stay
+ordered behind its refill, preserving per-buffer FIFO semantics), and
+:class:`ServingReport` records the resulting steady-state throughput.
+
 Every request's logits are byte-identical to a per-client sequential run
 (mint seeds are derived per (client, mint-index), and the protocol's
 output is seed-independent anyway), so the loop doubles as an end-to-end
@@ -34,6 +45,7 @@ validated against.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.runtime.state import derive_worker_seed
@@ -71,6 +83,8 @@ class ServingReport:
     evictions: int  # store evictions during the run
     prefill_seconds: float
     refill_seconds: float = 0.0  # background-refill mints (off critical path)
+    serve_seconds: float = 0.0  # wall-clock of the whole drain window
+    pipelined: bool = False  # refills interleaved with online serving
     occupancy: list[dict] = field(default_factory=list)
 
     @property
@@ -103,6 +117,19 @@ class ServingReport:
             + sum(r.mint_seconds for r in self.requests)
         )
 
+    @property
+    def throughput_rps(self) -> float:
+        """Steady-state requests/second over the drain window.
+
+        The drain window covers online serving plus whatever minting the
+        schedule put inside it — serialized in the default mode,
+        overlapped under ``pipelined=True`` — so this is the number the
+        two modes are compared on.
+        """
+        if not self.requests or self.serve_seconds <= 0:
+            return 0.0
+        return len(self.requests) / self.serve_seconds
+
     def client_requests(self, client: str) -> list[ServedRequest]:
         return [r for r in self.requests if r.client == client]
 
@@ -120,6 +147,9 @@ class ServingReport:
             "mean_online_seconds": round(self.mean_online_seconds, 6),
             "prefill_seconds": round(self.prefill_seconds, 6),
             "refill_seconds": round(self.refill_seconds, 6),
+            "serve_seconds": round(self.serve_seconds, 6),
+            "throughput_rps": round(self.throughput_rps, 3),
+            "pipelined": self.pipelined,
             "total_mint_seconds": round(self.total_mint_seconds, 6),
             "queue_depths": [r.queue_depth for r in self.requests],
             "occupancy": self.occupancy,
@@ -141,7 +171,15 @@ class ServingLoop:
     admission analogue of a fair partition split); with ``refill`` each
     consumed precompute is re-minted after the request completes while
     that client still has demand, modelling the simulator's background
-    refill worker in a single-threaded, deterministic way.
+    refill worker. ``pipelined=False`` keeps mint and serve strictly
+    serialized (deterministic admission order); ``pipelined=True`` steps
+    refill mints and online sessions in one round-robin scheduler, so a
+    refill occupies only the gaps between other clients' messages — the
+    ROADMAP's "overlap the refill mints with online serving", measured.
+
+    ``transport`` selects the session transport for every minted/served
+    protocol ("memory" default; "socket" runs each one over a loopback
+    TCP pair).
     """
 
     def __init__(
@@ -154,8 +192,10 @@ class ServingLoop:
         garbler: str = "client",
         prefill: int = 1,
         refill: bool = True,
+        pipelined: bool = False,
         base_seed: int = 0,
         model_id: str = "serving",
+        transport: str | None = None,
     ):
         if num_clients < 1:
             raise ValueError("need at least one client")
@@ -169,8 +209,10 @@ class ServingLoop:
         self.garbler = garbler
         self.prefill = prefill
         self.refill = refill
+        self.pipelined = pipelined
         self.base_seed = base_seed
         self.model_id = model_id
+        self.transport = transport
         self.minted = [0] * num_clients  # per-client mint counter (monotonic)
         self._occupancy: list[dict] = []
 
@@ -198,6 +240,7 @@ class ServingLoop:
             garbler=self.garbler,
             seed=seed,
             pool=self.pool,
+            transport=self.transport,
         )
 
     def store_key(self, client_index: int) -> StoreKey:
@@ -217,20 +260,33 @@ class ServingLoop:
         the paper's ``buffer_capacity == 0`` regime, where serving from
         storage is impossible.
         """
-        seed = self.mint_seed(client_index, self.minted[client_index])
         start = time.perf_counter()
+        for _ in self._mint_steps(client_index):
+            pass
+        return time.perf_counter() - start
+
+    def _mint_steps(self, client_index: int):
+        """One mint as a stepwise task: yields between scheduler rounds.
+
+        Drives the minting protocol's client/server session pair message
+        by message, so a pipelined scheduler can interleave this mint
+        with other clients' online traffic at message granularity.
+        """
+        seed = self.mint_seed(client_index, self.minted[client_index])
         minter = self._protocol(seed)
-        minter.run_offline()
-        minter.export_offline(
-            self.store,
-            self.model_id,
-            client_id=self.client_id(client_index),
-            name=f"{self.minted[client_index]:08d}",
-        )
+        try:
+            minter.start_offline()
+            yield from minter.drive_steps()
+            minter.export_offline(
+                self.store,
+                self.model_id,
+                client_id=self.client_id(client_index),
+                name=f"{self.minted[client_index]:08d}",
+            )
+        finally:
+            minter.shutdown()
         self.minted[client_index] += 1
-        elapsed = time.perf_counter() - start
         self._sample("mint", client_index)
-        return elapsed
 
     def prefill_buffers(self) -> float:
         """Mint ``prefill`` precomputes per client, interleaved round-robin."""
@@ -252,29 +308,46 @@ class ServingLoop:
 
     # -- drain --------------------------------------------------------------
 
-    def serve_one(
+    def _serve_steps(
         self, client_index: int, x: list[int], request_index: int,
-        queue_depth: int = 0,
-    ) -> ServedRequest:
-        """Serve one online request, demand-minting on a buffer miss."""
+        queue_depth: int,
+    ):
+        """Serve one online request stepwise, demand-minting on a miss.
+
+        The import (and any demand mint) happens up front on the critical
+        path; the online phase is then driven one scheduler round at a
+        time — each resumption steps both sessions through every message
+        currently in flight. Returns the :class:`ServedRequest` as the
+        generator's return value (``yield from`` captures it).
+        """
         server = self._protocol(
             derive_worker_seed(self.base_seed + 0x5EED, request_index)
         )
         client = self.client_id(client_index)
-        hit = server.import_offline(self.store, self.model_id, client_id=client)
-        mint_seconds = 0.0
-        if not hit:
-            # Evicted (another client's admission) or never minted: mint on
-            # the request's critical path — the measured miss penalty.
-            mint_seconds = self.mint_one(client_index)
-            if not server.import_offline(self.store, self.model_id, client_id=client):
-                raise RuntimeError(
-                    f"{client}: freshly minted precompute immediately "
-                    "unavailable — store budget admits no entry"
-                )
-        start = time.perf_counter()
-        logits = server.run_online(x)
-        online_seconds = time.perf_counter() - start
+        try:
+            hit = server.import_offline(self.store, self.model_id, client_id=client)
+            mint_seconds = 0.0
+            if not hit:
+                # Evicted (another client's admission) or never minted: mint
+                # on the request's critical path — the measured miss penalty.
+                mint_seconds = self.mint_one(client_index)
+                if not server.import_offline(
+                    self.store, self.model_id, client_id=client
+                ):
+                    raise RuntimeError(
+                        f"{client}: freshly minted precompute immediately "
+                        "unavailable — store budget admits no entry"
+                    )
+            start = time.perf_counter()
+            server.start_online(x)
+            yield from server.drive_steps()
+            logits = server.client.finish()
+            # Measured before teardown (transport close flushes sockets);
+            # in pipelined mode this is still wall-clock over the window,
+            # including interleaved work — the report's stated basis.
+            online_seconds = time.perf_counter() - start
+        finally:
+            server.shutdown()
         self._sample("serve", client_index)
         return ServedRequest(
             client=client,
@@ -286,6 +359,18 @@ class ServingLoop:
             store_bytes=self.store.total_bytes,
             logits=logits,
         )
+
+    def serve_one(
+        self, client_index: int, x: list[int], request_index: int,
+        queue_depth: int = 0,
+    ) -> ServedRequest:
+        """Serve one online request to completion (non-interleaved)."""
+        steps = self._serve_steps(client_index, x, request_index, queue_depth)
+        while True:
+            try:
+                next(steps)
+            except StopIteration as stop:
+                return stop.value
 
     def run(
         self,
@@ -318,6 +403,31 @@ class ServingLoop:
         occupancy_before = len(self._occupancy)
         prefill_seconds = self.prefill_buffers()
 
+        serve_start = time.perf_counter()
+        if self.pipelined:
+            served, demand_mints, refill_seconds = self._drain_pipelined(
+                requests_per_client, inputs
+            )
+        else:
+            served, demand_mints, refill_seconds = self._drain_sequential(
+                requests_per_client, inputs
+            )
+        serve_seconds = time.perf_counter() - serve_start
+        return ServingReport(
+            num_clients=self.num_clients,
+            requests=served,
+            minted=sum(self.minted) - minted_before,
+            demand_mints=demand_mints,
+            evictions=self.store.evictions - evictions_before,
+            prefill_seconds=prefill_seconds,
+            refill_seconds=refill_seconds,
+            serve_seconds=serve_seconds,
+            pipelined=self.pipelined,
+            occupancy=list(self._occupancy[occupancy_before:]),
+        )
+
+    def _drain_sequential(self, requests_per_client: int, inputs):
+        """Serialized mint+serve drain (deterministic admission order)."""
         pending: list[tuple[int, int]] = [
             (c, j)
             for j in range(requests_per_client)
@@ -343,16 +453,56 @@ class ServingLoop:
                 # Background-worker analogue: replace the drained entry
                 # while this client still has demand.
                 refill_seconds += self.mint_one(c)
-        return ServingReport(
-            num_clients=self.num_clients,
-            requests=served,
-            minted=sum(self.minted) - minted_before,
-            demand_mints=demand_mints,
-            evictions=self.store.evictions - evictions_before,
-            prefill_seconds=prefill_seconds,
-            refill_seconds=refill_seconds,
-            occupancy=list(self._occupancy[occupancy_before:]),
-        )
+        return served, demand_mints, refill_seconds
+
+    def _drain_pipelined(self, requests_per_client: int, inputs):
+        """Round-robin scheduler: refill mints overlap online serving.
+
+        One task per client serves that client's requests in order; after
+        each drained request the client's refill mint runs *inside* the
+        same task, so it occupies only the scheduler rounds between other
+        clients' online messages. Per-client FIFO semantics (request j+1
+        waits for refill j) are preserved; cross-client, everything
+        overlaps — which is exactly what the analytic simulator's
+        background worker assumes and the sequential mode serializes.
+        """
+        served: list[ServedRequest] = []
+        state = {"outstanding": self.num_clients * requests_per_client}
+        refill_clock = [0.0]
+
+        def timed_refill(c):
+            steps = self._mint_steps(c)
+            while True:
+                t0 = time.perf_counter()
+                try:
+                    next(steps)
+                except StopIteration:
+                    refill_clock[0] += time.perf_counter() - t0
+                    return
+                refill_clock[0] += time.perf_counter() - t0
+                yield
+
+        def client_task(c):
+            for j in range(requests_per_client):
+                queue_depth = state["outstanding"] - 1
+                request = yield from self._serve_steps(
+                    c, inputs[c][j], j, queue_depth
+                )
+                served.append(request)
+                state["outstanding"] -= 1
+                if self.refill and j + 1 < requests_per_client:
+                    yield from timed_refill(c)
+
+        tasks = deque(client_task(c) for c in range(self.num_clients))
+        while tasks:
+            task = tasks.popleft()
+            try:
+                next(task)
+            except StopIteration:
+                continue
+            tasks.append(task)
+        demand_mints = sum(1 for r in served if not r.hit)
+        return served, demand_mints, refill_clock[0]
 
     def draw_inputs(
         self, requests_per_client: int, input_seed: int = 1
@@ -373,6 +523,24 @@ class ServingLoop:
         return inputs
 
 
+def demo_network_and_params():
+    """The tiny model every serving demo runs (shared with the examples).
+
+    One definition, so the in-process serving demo, the two-process
+    socket demo, and its server process all execute the same network.
+    """
+    import numpy as np
+
+    from repro.he.params import fast_params
+    from repro.nn.datasets import tiny_dataset
+    from repro.nn.models import tiny_mlp
+
+    params = fast_params(n=256)
+    network = tiny_mlp(tiny_dataset(size=4, channels=1, classes=3), hidden=8)
+    network.randomize_weights(params.t, np.random.default_rng(0))
+    return network, params
+
+
 def demo(
     num_clients: int = 4,
     requests_per_client: int = 1,
@@ -380,6 +548,8 @@ def demo(
     budget_mb: float = 8.0,
     store_dir: str | None = None,
     summary_path: str | None = None,
+    pipelined: bool = False,
+    transport: str | None = None,
 ) -> ServingReport:
     """Self-contained serving run on a tiny network.
 
@@ -388,40 +558,38 @@ def demo(
     never surface a stale result), and optionally writes the queue-depth
     summary JSON. Both ``python -m repro --serve N`` and
     ``examples/multi_client_serving.py`` are thin wrappers over this.
-    ``budget_mb=0`` means unbounded.
+    ``budget_mb=0`` means unbounded; ``pipelined`` overlaps refill mints
+    with online serving; ``transport="socket"`` runs every session pair
+    over loopback TCP.
     """
     import json
     import tempfile
 
-    import numpy as np
-
-    from repro.core.protocol import HybridProtocol
-    from repro.he.params import fast_params
-    from repro.nn.datasets import tiny_dataset
-    from repro.nn.models import tiny_mlp
+    from repro.core.lowering import lower_network, plaintext_reference
     from repro.runtime.pool import PrecomputePool
 
-    params = fast_params(n=256)
-    network = tiny_mlp(tiny_dataset(size=4, channels=1, classes=3), hidden=8)
-    network.randomize_weights(params.t, np.random.default_rng(0))
+    network, params = demo_network_and_params()
     root = store_dir or tempfile.mkdtemp(prefix="repro-serving-")
     store = PrecomputeStore(root, byte_budget=int(budget_mb * 1e6) or None)
     with PrecomputePool(workers=workers) as pool:
         print(
             f"serving {num_clients} clients x {requests_per_client} requests "
-            f"({pool.workers} worker(s), budget {budget_mb:g} MB, store {root})"
+            f"({pool.workers} worker(s), budget {budget_mb:g} MB, "
+            f"{transport or 'memory'} transport, "
+            f"{'pipelined' if pipelined else 'serialized'} refills, store {root})"
         )
         loop = ServingLoop(
-            network, params, num_clients, store, pool=pool, garbler="client"
+            network, params, num_clients, store, pool=pool, garbler="client",
+            pipelined=pipelined, transport=transport,
         )
         inputs = loop.draw_inputs(requests_per_client)
         report = loop.run(requests_per_client, inputs=inputs)
 
-    verifier = HybridProtocol(network, params, garbler="client", seed=0)
+    lowered = lower_network(network, params.t)
     for request in report.requests:
         c = int(request.client[len("client"):])
-        assert request.logits == verifier.plaintext_reference(
-            inputs[c][request.index]
+        assert request.logits == plaintext_reference(
+            lowered, inputs[c][request.index]
         )
     print(f"all {len(report.requests)} results match the plaintext reference")
     print(
@@ -431,7 +599,8 @@ def demo(
     )
     print(
         f"  mint {report.total_mint_seconds:.2f}s total, online "
-        f"{report.mean_online_seconds * 1e3:.0f} ms mean"
+        f"{report.mean_online_seconds * 1e3:.0f} ms mean, steady-state "
+        f"{report.throughput_rps:.2f} req/s"
     )
     if summary_path:
         summary = report.summary()

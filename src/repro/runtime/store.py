@@ -365,7 +365,11 @@ def serialize_offline_transcript(
     mis-binding stored labels to the wrong wires.
     """
     out = [
-        b"RPC1",
+        # Container magic "RPC2": bumped with the wire-format versioning of
+        # serialize.py (every embedded blob now carries a magic + version
+        # header), so a store minted by a pre-versioning build is rejected
+        # at the container level instead of crashing mid-parse.
+        b"RPC2",
         struct.pack(
             "<BI", _ROLES.index(garbler_role), truncate_bits
         ),
@@ -399,7 +403,12 @@ def deserialize_offline_transcript(
     those change the (public) circuit wire assignment, so the stored
     label maps would silently bind to the wrong wires.
     """
-    if data[:4] != b"RPC1":
+    if data[:4] == b"RPC1":
+        raise ValueError(
+            "offline transcript was minted by a pre-wire-versioning build "
+            "(container RPC1); re-mint the precompute store"
+        )
+    if data[:4] != b"RPC2":
         raise ValueError("not an offline transcript blob")
     reader = _Reader(data)
     reader.offset = 4

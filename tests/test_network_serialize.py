@@ -12,19 +12,54 @@ from repro.he.bfv import BfvContext
 from repro.he.encoder import BatchEncoder
 from repro.he.params import toy_params
 from repro.network.serialize import (
+    WIRE_MAGIC,
+    WIRE_VERSION,
     ciphertext_wire_bytes,
+    deserialize_bit_vector,
     deserialize_ciphertext,
     deserialize_field_vector,
+    deserialize_galois_keys,
     deserialize_garbled_circuit,
+    deserialize_label_lists,
     deserialize_labels,
+    deserialize_public_key,
     garbled_circuit_wire_bytes,
+    serialize_bit_vector,
     serialize_ciphertext,
     serialize_field_vector,
+    serialize_galois_keys,
     serialize_garbled_circuit,
+    serialize_label_lists,
     serialize_labels,
+    serialize_public_key,
 )
 
 PARAMS = toy_params(n=128)
+
+
+class TestWireHeader:
+    """Every format opens with magic + version; skew fails loudly."""
+
+    def test_all_formats_carry_the_header(self):
+        blob = serialize_field_vector([1], PARAMS.t)
+        assert blob[:2] == WIRE_MAGIC
+        assert blob[2] == WIRE_VERSION
+
+    def test_version_mismatch_rejected(self):
+        blob = serialize_field_vector([1, 2], PARAMS.t)
+        skewed = blob[:2] + bytes([WIRE_VERSION + 1]) + blob[3:]
+        with pytest.raises(ValueError, match="version"):
+            deserialize_field_vector(skewed)
+
+    def test_bad_magic_rejected(self):
+        blob = serialize_labels([b"x" * 16])
+        with pytest.raises(ValueError, match="magic"):
+            deserialize_labels(b"ZZ" + blob[2:])
+
+    def test_cross_format_confusion_rejected(self):
+        blob = serialize_bit_vector([1, 0, 1])
+        with pytest.raises(ValueError, match="format"):
+            deserialize_labels(blob)
 
 
 class TestFieldVector:
@@ -75,6 +110,59 @@ class TestCiphertext:
         other = toy_params(n=256)
         with pytest.raises(ValueError):
             deserialize_ciphertext(wire, other)
+
+
+class TestKeys:
+    def test_public_key_roundtrip_encrypts(self):
+        ctx = BfvContext(PARAMS, SecureRandom(21))
+        encoder = BatchEncoder(PARAMS)
+        sk, pk = ctx.keygen()
+        restored = deserialize_public_key(serialize_public_key(pk), PARAMS)
+        ct = ctx.encrypt(restored, encoder.encode([9, 8]))
+        assert encoder.decode(ctx.decrypt(sk, ct))[:2] == [9, 8]
+
+    def test_galois_keys_roundtrip_rotate(self):
+        from repro.he.linear import HomomorphicLinearEvaluator
+
+        ctx = BfvContext(PARAMS, SecureRandom(22))
+        encoder = BatchEncoder(PARAMS)
+        sk, pk = ctx.keygen()
+        g = encoder.galois_element_for_rotation(1)
+        gk = ctx.galois_keygen(sk, [g])
+        restored = deserialize_galois_keys(serialize_galois_keys(gk), PARAMS)
+        values = list(range(8))
+        row = encoder.row_size
+        packed = values + [0] * (row - len(values))
+        ct = ctx.encrypt(pk, encoder.encode(packed + packed))
+        rotated = ctx.rotate(ct, g, restored)
+        decoded = encoder.decode(ctx.decrypt(sk, rotated))
+        assert decoded[:7] == values[1:]
+        # Wire sizes match the analytic accounting used by the channel.
+        assert restored.byte_size == gk.byte_size
+
+
+class TestBitVector:
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=70))
+    @settings(max_examples=30)
+    def test_roundtrip(self, bits):
+        assert deserialize_bit_vector(serialize_bit_vector(bits)) == bits
+
+    def test_truncated_rejected(self):
+        blob = serialize_bit_vector([1] * 9)
+        with pytest.raises(ValueError):
+            deserialize_bit_vector(blob[:-1])
+
+
+class TestLabelLists:
+    def test_roundtrip(self):
+        rng = SecureRandom(31)
+        lists = [[rng.bytes(16) for _ in range(n)] for n in (0, 3, 1)]
+        assert deserialize_label_lists(serialize_label_lists(lists)) == lists
+
+    def test_trailing_bytes_rejected(self):
+        blob = serialize_label_lists([[b"y" * 16]])
+        with pytest.raises(ValueError):
+            deserialize_label_lists(blob + b"\x00")
 
 
 class TestLabels:
