@@ -22,8 +22,11 @@ the numpy backend the RNS ciphertext multiply at n=2048 is expected to be
 """
 
 import dataclasses
+import json
 import os
+import pathlib
 import random
+import time
 
 import numpy as np
 import pytest
@@ -34,10 +37,12 @@ from repro.gc.circuit import int_to_bits
 from repro.gc.evaluate import Evaluator
 from repro.gc.garble import Garbler
 from repro.gc.relu import ReluCircuitSpec, build_relu_circuit
+from repro.he import polynomial
 from repro.he.bfv import BfvContext
 from repro.he.encoder import BatchEncoder
 from repro.he.ntt import NegacyclicNtt
 from repro.he.params import delphi_params, fast_params, toy_params
+from repro.he.polynomial import key_switch_inner
 from repro.ot.extension import iknp_transfer
 from repro.runtime import PrecomputePool
 
@@ -127,8 +132,90 @@ def test_bench_ct_mul_delphi_rns(benchmark):
     _mul_plain_bench(benchmark, delphi_params(), "rns", rounds=5)
 
 
+def _best_ms(fn, rounds=5):
+    """Best-of-N wall time in ms (phase probes, not benchmark rows)."""
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return round(min(times) * 1000, 3)
+
+
+def _rotation_phase_breakdown(ctx, ct, g, gk):
+    """Where one delphi-RNS rotation spends its time, phase by phase.
+
+    Three probes: the digit decomposition (the vectorized exact base
+    conversion), the full eval-domain key inner product, and the pure
+    transform share of that product (the stacked digit forwards plus the
+    two-vector inverse each residue ring pays). Recorded as extra_info so
+    the JSON diff shows *where* a regression landed, not just that one
+    happened.
+    """
+    p = ctx.params
+    rotated = ct.c1.automorphism(g)
+    digits = rotated.decompose(p.decomp_bits, p.num_decomp_digits)
+    pairs = gk.eval_keys(g)
+    rns = digits[0].ctx
+    plans = [
+        polynomial._context(p.n, prime, be)._ntt._plan
+        for prime, be in zip(rns.primes, rns.backends)
+    ]
+
+    def transforms_only():
+        for i, plan in enumerate(plans):
+            fwd = plan.forward_many([d.residues[i] for d in digits])
+            plan.inverse_unscaled_many(fwd[:2])
+
+    return {
+        "phase_decompose_ms": _best_ms(
+            lambda: rotated.decompose(p.decomp_bits, p.num_decomp_digits)
+        ),
+        "phase_key_product_ms": _best_ms(
+            lambda: key_switch_inner(digits, pairs)
+        ),
+        "phase_ntt_ms": _best_ms(transforms_only),
+    }
+
+
+def _guard_against_committed_baseline(benchmark, name, threshold):
+    """REPRO_BENCH_STRICT: fail if this run regressed vs the checked-in
+    BENCH_primitives.json row (conftest merges *after* the session, so
+    reading it here still sees the committed baseline)."""
+    from repro.backend import get_backend
+
+    path = pathlib.Path(__file__).resolve().parent.parent / "BENCH_primitives.json"
+    try:
+        committed = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return  # no baseline yet: first recording cannot regress
+    baseline = (
+        committed.get("backends", {})
+        .get(get_backend().name, {})
+        .get("results", {})
+        .get(name, {})
+        .get("mean_s")
+    )
+    if not baseline:
+        return
+    stats = getattr(benchmark, "stats", None)
+    mean = getattr(getattr(stats, "stats", stats), "mean", None)
+    if mean is None:
+        return  # stats API shifted; the guard must not mask the bench
+    assert mean <= baseline * threshold, (
+        f"{name} regressed: fresh mean {mean * 1000:.2f} ms vs committed "
+        f"baseline {baseline * 1000:.2f} ms (> {threshold}x)"
+    )
+
+
 def test_bench_bfv_rotation_delphi_rns(benchmark):
-    """Key-switched rotation at delphi scale on the RNS chain."""
+    """Key-switched rotation at delphi scale on the RNS chain.
+
+    The headline hot-path row: eval-domain Galois keys + the vectorized
+    exact base conversion. ``extra_info`` carries the phase breakdown,
+    and under ``REPRO_BENCH_STRICT=1`` (CI bench-smoke) the fresh mean
+    must stay within 1.3x of the committed baseline.
+    """
     params = dataclasses.replace(delphi_params(), representation="rns")
     ctx = BfvContext(params, SecureRandom(13))
     encoder = BatchEncoder(params)
@@ -138,6 +225,33 @@ def test_bench_bfv_rotation_delphi_rns(benchmark):
     ct = ctx.encrypt(pk, encoder.encode(list(range(100))))
     benchmark.pedantic(
         lambda: ctx.rotate(ct, g, gk), rounds=3, iterations=1, warmup_rounds=1
+    )
+    benchmark.extra_info.update(_rotation_phase_breakdown(ctx, ct, g, gk))
+    if os.environ.get("REPRO_BENCH_STRICT"):
+        _guard_against_committed_baseline(
+            benchmark, "test_bench_bfv_rotation_delphi_rns", threshold=1.3
+        )
+
+
+def test_bench_rns_decompose_delphi(benchmark):
+    """The key-switch digit decomposition alone at delphi scale.
+
+    This is the operation the exact fast base conversion replaced — it
+    used to reconstruct every ~180-bit coefficient through bigint CRT.
+    Isolated so the decompose share of a rotation regression is visible
+    without untangling the fused key product.
+    """
+    params = dataclasses.replace(delphi_params(), representation="rns")
+    ctx = BfvContext(params, SecureRandom(17))
+    encoder = BatchEncoder(params)
+    sk, pk = ctx.keygen()
+    ct = ctx.encrypt(pk, encoder.encode(list(range(100))))
+    rotated = ct.c1.automorphism(
+        encoder.galois_element_for_rotation(1)
+    )
+    benchmark.pedantic(
+        lambda: rotated.decompose(params.decomp_bits, params.num_decomp_digits),
+        rounds=5, iterations=1, warmup_rounds=1,
     )
 
 

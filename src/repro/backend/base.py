@@ -147,6 +147,36 @@ class ComputeBackend(abc.ABC):
     ) -> list[Vec]:
         """Digit decomposition: vec = sum_j digits[j] << (j * base_bits)."""
 
+    # -- RNS base conversion -----------------------------------------------
+
+    def make_rns_digit_plan(self, primes: Sequence[int], q: int, base_bits: int):
+        """Precomputed constants for :meth:`rns_digit_split`, or ``None``.
+
+        ``None`` means this backend has no exact fast kernel for the given
+        chain/digit-width shape; the caller (:class:`repro.backend.rns
+        .RnsContext`) then falls back to arbitrary-precision CRT
+        reconstruction. The returned plan is opaque and backend-specific —
+        it is only ever handed back to the same backend's
+        :meth:`rns_digit_split`.
+        """
+        return None
+
+    def rns_digit_split(self, ys: Sequence[Vec], plan, num_digits: int) -> list[Vec]:
+        """Base-2^w digits of the CRT representative, without bigints.
+
+        ``ys[i]`` holds y_i = x_i * (Q/q_i)^{-1} mod q_i for every
+        coefficient (the per-prime halves of the CRT reconstruction, all
+        on this backend). The integer representative is
+        x = sum_i y_i*(Q/q_i) - alpha*Q for some alpha < k, and the
+        output is its digit decomposition
+        ``[x & mask, (x >> w) & mask, ...]`` — REQUIRED to be
+        bit-identical to reconstructing x exactly and splitting, for any
+        input. Digit vectors hold values < 2^base_bits.
+        """
+        raise NotImplementedError(
+            f"{self.name} backend returned no rns digit plan"
+        )
+
     # -- transforms --------------------------------------------------------
 
     @abc.abstractmethod

@@ -99,6 +99,67 @@ def _scalar_shoup(scalar: int, q: int):
     return np.uint64(scalar), np.uint64(sh >> 32), np.uint64(sh & 0xFFFFFFFF)
 
 
+class _NumpyRnsDigitPlan:
+    """Precomputed limb tables for the vectorized exact base conversion.
+
+    Reconstructs the integer representative x of a coefficient from its
+    CRT halves y_i (= x_i * (Q/q_i)^{-1} mod q_i) entirely in uint64/int64
+    lanes, BEHZ-style, but *exactly*:
+
+        sum_i y_i * (Q/q_i) = x + alpha*Q,   alpha = floor(sum_i y_i/q_i)
+
+    * ``m_limbs`` holds every Q/q_i in base-2^w limbs (w = the key-switch
+      digit width), so the sum accumulates as an (n, L) uint64 matrix of
+      lazy limbs — small-int multiply-adds only.
+    * alpha is first *estimated* from below with the fixed-point
+      reciprocals ``recips`` = floor(2^s / q_i): the estimate
+      beta = floor(sum_i y_i*recips / 2^s) provably lies in
+      {alpha-1, alpha} (lower bound with total error < k*q_max/2^s << 1).
+    * subtracting beta*Q in limbs and carry-propagating yields
+      x' = x or x + Q; one exact multi-limb conditional subtract of Q
+      (the correction term) lands on x itself, so the resulting digits
+      are bit-identical to bigint reconstruction for ANY input.
+
+    Built by :meth:`_NumpyBackendImpl.make_rns_digit_plan`, which returns
+    ``None`` when the (chain, digit width) shape could overflow a lane —
+    the caller then uses the exact arbitrary-precision fallback.
+    """
+
+    __slots__ = (
+        "base_bits", "mask", "limbs", "m_limbs", "q_limbs",
+        "recips", "recip_shift", "num_primes",
+    )
+
+    def __init__(self, primes, q: int, base_bits: int):
+        k = len(primes)
+        w = base_bits
+        mask = (1 << w) - 1
+        # One spare limb so x + Q (the pre-correction candidate, < 2Q)
+        # always fits, even when q.bit_length() is a multiple of w.
+        limbs = -(-q.bit_length() // w) + 1
+        self.base_bits = w
+        self.mask = np.int64(mask)
+        self.limbs = limbs
+        self.num_primes = k
+        self.m_limbs = np.asarray(
+            [
+                [((q // p) >> (j * w)) & mask for j in range(limbs)]
+                for p in primes
+            ],
+            dtype=np.uint64,
+        )
+        self.q_limbs = np.asarray(
+            [(q >> (j * w)) & mask for j in range(limbs)], dtype=np.int64
+        )
+        # Lower-bound reciprocals: shift chosen so sum_i y_i*recips[i]
+        # stays under 2^63 (y_i < q_i and recips[i] <= 2^s/q_i).
+        shift = 63 - k.bit_length()
+        self.recip_shift = np.uint64(shift)
+        self.recips = np.asarray(
+            [(1 << shift) // p for p in primes], dtype=np.uint64
+        )
+
+
 class _NumpyNttPlan(NttPlan):
     """Precomputed bit-reversal permutation plus per-stage twiddle tables.
 
@@ -368,6 +429,54 @@ class _NumpyBackendImpl(ComputeBackend):
         for _ in range(num_digits):
             digits.append(work & mask)
             work = work >> shift
+        return digits
+
+    # -- RNS base conversion -----------------------------------------------
+
+    def make_rns_digit_plan(self, primes, q, base_bits):
+        k = len(primes)
+        if any(p >= _DIRECT_LIMIT for p in primes):
+            return None  # y_i must fit 31 bits for lane-safe accumulation
+        # Limb accumulator bound: k products of y_i (< 2^31) by a 2^w limb
+        # must stay under 2^62 so the int64 carry sweep cannot overflow.
+        if 31 + base_bits + max(1, (k - 1).bit_length()) > 62:
+            return None
+        return _NumpyRnsDigitPlan(primes, q, base_bits)
+
+    def rns_digit_split(self, ys, plan, num_digits):
+        w = plan.base_bits
+        mask = plan.mask
+        y = np.stack(ys)  # (k, n) uint64, each row reduced mod its prime
+        # beta = alpha or alpha - 1, never more (lower-bound fixed point).
+        beta = (
+            (y * plan.recips[:, None]).sum(axis=0) >> plan.recip_shift
+        ).astype(np.int64)
+        # Lazy limbs of sum_i y_i * (Q/q_i): (n, k) @ (k, L), lane-exact.
+        acc = (y.T @ plan.m_limbs).astype(np.int64)
+        n = acc.shape[0]
+        # x' = sum - beta*Q via one signed carry sweep; x' = x or x + Q.
+        carry = np.zeros(n, dtype=np.int64)
+        cand = []
+        for j in range(plan.limbs):
+            t = carry + acc[:, j] - beta * plan.q_limbs[j]
+            cand.append(t & mask)
+            carry = t >> np.int64(w)
+        # Exact correction: subtract Q once more iff x' >= Q (no borrow).
+        borrow = np.zeros(n, dtype=np.int64)
+        corrected = []
+        for j in range(plan.limbs):
+            t = cand[j] - plan.q_limbs[j] + borrow
+            corrected.append(t & mask)
+            borrow = t >> np.int64(w)
+        overshoot = borrow == 0
+        digits = []
+        for j in range(num_digits):
+            if j < plan.limbs:
+                digits.append(
+                    np.where(overshoot, corrected[j], cand[j]).astype(np.uint64)
+                )
+            else:  # x < Q < 2^(limbs*w): everything above is zero
+                digits.append(np.zeros(n, dtype=np.uint64))
         return digits
 
     # -- transforms --------------------------------------------------------

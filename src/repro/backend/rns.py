@@ -12,9 +12,14 @@ scalar lift) commutes with the CRT isomorphism
 
 so the whole chain runs on the vectorized backend. Only the
 noise-sensitive steps that need the *integer representative* of a
-coefficient — decryption rounding and key-switch digit decomposition —
-reconstruct through the CRT, and the digits they produce are small
-enough to convert straight back into every residue base.
+coefficient reconstruct through the CRT: decryption rounding still does,
+but key-switch digit decomposition now goes through
+:meth:`RnsContext.decompose_digits`, an exact fast base conversion that
+produces the digits of the representative directly from the residues on
+small-int vectorized kernels (bit-identical to reconstruction, see
+:meth:`repro.backend.base.ComputeBackend.rns_digit_split`) — the digits
+it produces are small enough to convert straight back into every
+residue base.
 
 :class:`RnsContext` owns the chain: the primes, the per-prime compute
 backends, and the precomputed CRT garbage (Q/q_i and its inverse mod
@@ -42,7 +47,7 @@ class RnsContext:
     limit (same policy as the NTT-context cache).
     """
 
-    __slots__ = ("primes", "q", "backends", "_m", "_m_inv")
+    __slots__ = ("primes", "q", "backends", "_m", "_m_inv", "_digit_plans")
 
     _cache: OrderedDict[tuple, "RnsContext"] = OrderedDict()
     _cache_max = 16
@@ -65,6 +70,7 @@ class RnsContext:
         self._m_inv = tuple(
             mod_inverse(m % p, p) for m, p in zip(self._m, primes)
         )
+        self._digit_plans: dict[int, object] = {}
         # Note: the composite q's factorization is registered with the
         # root finder by BfvParams.__post_init__, not here — RNS itself
         # never transforms at the composite modulus (only per prime), so
@@ -134,3 +140,33 @@ class RnsContext:
             sum(part[j] * m for part, m in zip(parts, big)) % q
             for j in range(len(parts[0]))
         ]
+
+    def decompose_digits(
+        self, residues: Sequence, base_bits: int, num_digits: int
+    ) -> list | None:
+        """Base-2^w digits of the integer representative, backend-native.
+
+        The key-switch hot path: equivalent to ``from_rns(residues)``
+        followed by a mask/shift split, but runs entirely on the
+        backend's small-int kernels when all residues share one backend
+        with a fast :meth:`rns_digit_split`. Returns ``None`` when no
+        exact fast kernel applies (mixed backends or a chain/width shape
+        the backend declined); callers then take the reconstruction
+        path. Each returned digit is a native vector of values
+        < 2^base_bits, suitable for :meth:`to_rns`, and is REQUIRED (and
+        tested) to be bit-identical to the reconstruction path.
+        """
+        be = self.backends[0]
+        if any(other is not be for other in self.backends):
+            return None  # ys must live on one backend to stack
+        plan = self._digit_plans.get(base_bits)
+        if plan is None:
+            plan = be.make_rns_digit_plan(self.primes, self.q, base_bits)
+            self._digit_plans[base_bits] = False if plan is None else plan
+        if not plan:
+            return None  # backend declined this shape (refusal is cached)
+        ys = [
+            be.scalar_mul(r, inv, p)
+            for r, inv, p in zip(residues, self._m_inv, self.primes)
+        ]
+        return be.rns_digit_split(ys, plan, num_digits)

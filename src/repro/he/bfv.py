@@ -16,12 +16,17 @@ construction helpers is representation-agnostic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.backend import RnsContext, backend_for
 from repro.crypto.rng import SecureRandom
 from repro.he.params import BfvParams
-from repro.he.polynomial import RingPoly, RnsPoly, multiply_shared
+from repro.he.polynomial import (
+    RingPoly,
+    RnsPoly,
+    key_switch_inner,
+    multiply_shared,
+)
 
 
 @dataclass
@@ -43,15 +48,43 @@ class PublicKey:
 
 @dataclass
 class GaloisKeys:
-    """Key-switching keys for a set of Galois elements."""
+    """Key-switching keys for a set of Galois elements.
+
+    ``keys`` holds the coefficient-domain components — the canonical,
+    serialized form (``network/serialize.py`` reads exactly this, so
+    wire formats are independent of any cached transform state). The
+    evaluation-domain form every rotation actually multiplies against
+    lives in ``_eval``: a derived cache (never serialized, excluded from
+    equality) built once per Galois element via :meth:`eval_keys` —
+    eagerly at keygen, lazily after deserialization.
+    """
 
     params: BfvParams
     keys: dict[int, list[tuple["RingPoly | RnsPoly", "RingPoly | RnsPoly"]]]
+    _eval: dict[int, list[tuple]] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     @property
     def byte_size(self) -> int:
         per_digit = self.params.ciphertext_bytes
         return sum(len(digits) * per_digit for digits in self.keys.values())
+
+    def eval_keys(self, galois_element: int) -> list[tuple]:
+        """NTT-domain (k0, k1) pairs for one element (built once).
+
+        The forward transforms here are the ones ``rotate`` no longer
+        pays per invocation; the cached vectors survive `_NTT_CACHE`
+        eviction because they are stored here, not in the NTT context.
+        """
+        pairs = self._eval.get(galois_element)
+        if pairs is None:
+            pairs = [
+                (k0.to_eval(), k1.to_eval())
+                for k0, k1 in self.keys[galois_element]
+            ]
+            self._eval[galois_element] = pairs
+        return pairs
 
 
 class Ciphertext:
@@ -90,6 +123,28 @@ def make_ring_element(coeffs, params: BfvParams):
         return RnsPoly.from_coeffs(ctx, coeffs)
     return RingPoly(
         coeffs, params.q, backend=backend_for(params.q, prefer=params.backend)
+    )
+
+
+def _same_representation(digit, key0) -> bool:
+    """Whether the eval-domain key-switch fast path applies.
+
+    The fused inner product multiplies digit and key vectors on one
+    backend per ring, so the decomposed digits and the stored key
+    components must agree on representation — same RNS chain and
+    backends, or same bigint ring and backend instance. Anything else
+    (a cross-representation ciphertext) takes the coercing fallback.
+    """
+    if isinstance(digit, RnsPoly):
+        return (
+            isinstance(key0, RnsPoly)
+            and key0.ctx.primes == digit.ctx.primes
+            and key0.ctx.backends == digit.ctx.backends
+        )
+    return (
+        isinstance(key0, RingPoly)
+        and key0.q == digit.q
+        and key0.backend is digit.backend
     )
 
 
@@ -212,7 +267,10 @@ class BfvContext:
                 k0 = _galois_digit_product(p, sk.s, rotated_s, a_j, e_j, j)
                 digits.append((k0, a_j))
             keys[g] = digits
-        return GaloisKeys(p, keys)
+        gk = GaloisKeys(p, keys)
+        for g in elements:
+            gk.eval_keys(g)  # pay the key-side forward NTTs once, here
+        return gk
 
     def _galois_keygen_pooled(
         self, sk: SecretKey, elements: list[int], pool
@@ -245,7 +303,10 @@ class BfvContext:
                     self._ring_poly(k0_coeffs),
                     self._ring_poly(uniform_draws[g, j]),
                 )
-        return GaloisKeys(p, keys)
+        gk = GaloisKeys(p, keys)
+        for g in elements:
+            gk.eval_keys(g)  # same eager transform as the sequential path
+        return gk
 
     # -- encryption / decryption -------------------------------------------
 
@@ -313,20 +374,34 @@ class BfvContext:
         return Ciphertext(p, c0, c1)
 
     def rotate(self, ct: Ciphertext, galois_element: int, gk: GaloisKeys) -> Ciphertext:
-        """Apply the automorphism X -> X^g and switch back to the original key."""
+        """Apply the automorphism X -> X^g and switch back to the original key.
+
+        Hot path: the key-switch inner product runs against the stored
+        eval-domain key components (:meth:`GaloisKeys.eval_keys`) — one
+        stacked forward pass over all digits and a single two-vector
+        inverse per ring, no key-side transforms and no accumulator
+        allocations. Falls back to the per-digit coefficient-domain loop
+        only when the ciphertext and keys disagree on representation
+        (e.g. a deserialized bigint ciphertext under RNS keys); both
+        paths are bit-identical.
+        """
         p = self.params
         if galois_element not in gk.keys:
             raise KeyError(f"no Galois key for element {galois_element}")
         rotated_c0 = ct.c0.automorphism(galois_element)
         rotated_c1 = ct.c1.automorphism(galois_element)
         digits = rotated_c1.decompose(p.decomp_bits, p.num_decomp_digits)
+        key_pairs = gk.keys[galois_element]
+        if _same_representation(digits[0], key_pairs[0][0]):
+            m0, m1 = key_switch_inner(digits, gk.eval_keys(galois_element))
+            return Ciphertext(p, rotated_c0 + m0, m1)
         new_c0 = rotated_c0
-        new_c1 = self._zero_poly()
-        for d_j, (k0, k1) in zip(digits, gk.keys[galois_element]):
+        new_c1 = None
+        for d_j, (k0, k1) in zip(digits, key_pairs):
             # Each digit hits both key components: share its forward NTT.
             m0, m1 = multiply_shared(d_j, (k0, k1))
             new_c0 = new_c0 + m0
-            new_c1 = new_c1 + m1
+            new_c1 = m1 if new_c1 is None else new_c1 + m1
         return Ciphertext(p, new_c0, new_c1)
 
     # -- helpers --------------------------------------------------------------

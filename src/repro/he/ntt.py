@@ -148,6 +148,41 @@ class NegacyclicNtt:
         untwisted = self._ntt._plan.inverse_unscaled_many(products)
         return [be.mul(v, self._psi_inv_scaled, q) for v in untwisted]
 
+    def key_switch_inner_vec(self, digit_vecs, key0_evals, key1_evals):
+        """Fused key-switch inner product (Σ_j d_j·k0_j, Σ_j d_j·k1_j).
+
+        ``digit_vecs`` are coefficient-domain backend vectors; the key
+        components arrive already in the evaluation domain (stored eval
+        form, :meth:`forward_vec` output), so no key-side forward
+        transforms happen here. All D digit forwards run in one stacked
+        :meth:`~repro.backend.base.NttPlan.forward_many` pass, the D
+        pointwise products accumulate *in the eval domain*, and a single
+        two-vector unscaled inverse + untwist finishes both components:
+        D + 2 transform rows instead of the 5D (3 forward + 2 inverse
+        per digit) a per-digit multiply-accumulate loop costs.
+
+        Bit-identical to that loop: the backend's ``mul`` is exact mod q
+        for the unreduced ``forward_many`` outputs, modular addition is
+        associative, and the inverse transform is linear, so accumulating
+        before the inverse yields the same canonical residues as summing
+        per-digit inverses.
+        """
+        be = self.backend
+        q = self.q
+        twisted = [be.mul(v, self._psi_powers, q) for v in digit_vecs]
+        transformed = self._ntt._plan.forward_many(twisted)
+        acc0 = acc1 = None
+        for f, k0, k1 in zip(transformed, key0_evals, key1_evals):
+            p0 = be.mul(f, k0, q)
+            p1 = be.mul(f, k1, q)
+            acc0 = p0 if acc0 is None else be.add(acc0, p0, q)
+            acc1 = p1 if acc1 is None else be.add(acc1, p1, q)
+        untwisted = self._ntt._plan.inverse_unscaled_many([acc0, acc1])
+        return (
+            be.mul(untwisted[0], self._psi_inv_scaled, q),
+            be.mul(untwisted[1], self._psi_inv_scaled, q),
+        )
+
     # -- list API (reference semantics) ------------------------------------
 
     def forward(self, coeffs: list[int]) -> list[int]:

@@ -16,6 +16,14 @@ The ``coeffs`` property of either class materializes (and caches) a
 plain-int list for serialization, decryption and tests — for ``RnsPoly``
 that is the CRT reconstruction.
 
+Long-lived operands that are always *multiplied* — Galois key components
+in the key switch — additionally have an NTT-domain form
+(``EvalRingPoly`` / ``EvalRnsPoly``, built with ``to_eval()``): the
+psi-twisted forward transform is taken once at keygen, and
+:func:`key_switch_inner` consumes it directly so rotations never
+forward-transform key material again. Wire formats stay in the
+coefficient domain; the eval form is a local cache, never serialized.
+
 Ring multiplications share :class:`~repro.he.ntt.NegacyclicNtt` contexts
 through a bounded LRU cache keyed by (n, q, backend): parameter sweeps
 used to grow the old unbounded dict without limit. An RNS chain of k
@@ -181,6 +189,13 @@ class RingPoly:
             for digit in be.decompose(self._vec, base_bits, num_digits, self.q)
         ]
 
+    def to_eval(self) -> "EvalRingPoly":
+        """NTT-domain form (for key material that is only ever multiplied)."""
+        ctx = _context(self.n, self.q, self._backend)
+        return EvalRingPoly(
+            ctx.forward_vec(self._vec), self.q, self._backend
+        )
+
     # -- cross-modulus helpers (plaintext <-> ciphertext ring) --------------
 
     def lift(self, new_q: int, backend: ComputeBackend | None = None) -> "RingPoly":
@@ -229,6 +244,46 @@ class RingPoly:
     def __repr__(self) -> str:
         head = ", ".join(str(c) for c in self.coeffs[:4])
         return f"RingPoly(n={self.n}, q={self.q}, [{head}, ...])"
+
+
+class EvalRingPoly:
+    """Ring element held in the NTT (evaluation) domain.
+
+    The vector is the psi-twisted forward transform of a
+    :class:`RingPoly`, fully reduced. Deliberately *not* a ring element
+    API — eval-domain values only support the one thing the key switch
+    needs, being a pointwise-multiply operand inside
+    :func:`key_switch_inner` — so there is no way to accidentally mix
+    domains in ring arithmetic. ``to_coeff()`` round-trips back for
+    serialization and tests.
+    """
+
+    __slots__ = ("n", "q", "_backend", "_vec")
+
+    def __init__(self, vec, q: int, backend: ComputeBackend):
+        self._backend = backend
+        self._vec = vec
+        self.n = backend.veclen(vec)
+        self.q = q
+
+    @property
+    def backend(self) -> ComputeBackend:
+        return self._backend
+
+    @property
+    def vec(self):
+        """Backend-native eval-domain vector (treat as immutable)."""
+        return self._vec
+
+    def to_coeff(self) -> RingPoly:
+        """Inverse-transform back to a coefficient-domain RingPoly."""
+        ctx = _context(self.n, self.q, self._backend)
+        return RingPoly._from_vec(
+            ctx.inverse_vec(self._vec), self.q, self._backend
+        )
+
+    def __repr__(self) -> str:
+        return f"EvalRingPoly(n={self.n}, q={self.q})"
 
 
 class RnsPoly:
@@ -358,11 +413,28 @@ class RnsPoly:
 
     def decompose(self, base_bits: int, num_digits: int) -> list["RnsPoly"]:
         """Digit decomposition of the *integer representative* of each
-        coefficient: reconstructs once through the CRT, splits into
-        digits, and converts each (small) digit back into every residue
-        base — the exact base conversion the key switch needs to stay
-        bit-identical with the bigint path.
+        coefficient — the exact base conversion the key switch needs, in
+        one of two bit-identical flavours:
+
+        * fast path: :meth:`RnsContext.decompose_digits` produces the
+          digits straight from the residues on small-int vectorized
+          kernels (no bigint reconstruction at all);
+        * fallback (mixed backends, an already-reconstructed poly, or a
+          chain/width shape the backend declined): reconstruct once
+          through the CRT — reusing the cached ``coeffs`` if present —
+          then mask/shift.
+
+        Either way each (small) digit converts straight back into every
+        residue base.
         """
+        if self._coeffs is None:
+            split = self.ctx.decompose_digits(
+                self.residues, base_bits, num_digits
+            )
+            if split is not None:
+                return [
+                    RnsPoly.from_coeffs(self.ctx, digit) for digit in split
+                ]
         mask = (1 << base_bits) - 1
         work = self.coeffs
         digits = []
@@ -372,6 +444,18 @@ class RnsPoly:
             )
             work = [c >> base_bits for c in work]
         return digits
+
+    def to_eval(self) -> "EvalRnsPoly":
+        """NTT-domain form, residue-wise (see :class:`EvalRingPoly`)."""
+        return EvalRnsPoly(
+            self.ctx,
+            [
+                _context(self.n, p, be).forward_vec(r)
+                for r, p, be in zip(
+                    self.residues, self.ctx.primes, self.ctx.backends
+                )
+            ],
+        )
 
     def max_coeff(self) -> int:
         return max(self.coeffs)
@@ -393,6 +477,80 @@ class RnsPoly:
     def __repr__(self) -> str:
         bits = [p.bit_length() for p in self.ctx.primes]
         return f"RnsPoly(n={self.n}, chain={bits} bits)"
+
+
+class EvalRnsPoly:
+    """RNS ring element held in the NTT (evaluation) domain.
+
+    One eval-domain vector per residue ring (the per-prime analogue of
+    :class:`EvalRingPoly`); same deliberately narrow surface.
+    """
+
+    __slots__ = ("ctx", "evals", "n")
+
+    def __init__(self, ctx: RnsContext, evals: list):
+        self.ctx = ctx
+        self.evals = evals
+        self.n = ctx.backends[0].veclen(evals[0])
+
+    @property
+    def q(self) -> int:
+        return self.ctx.q
+
+    def to_coeff(self) -> RnsPoly:
+        """Inverse-transform back to a coefficient-domain RnsPoly."""
+        return RnsPoly(
+            self.ctx,
+            [
+                _context(self.n, p, be).inverse_vec(v)
+                for v, p, be in zip(
+                    self.evals, self.ctx.primes, self.ctx.backends
+                )
+            ],
+        )
+
+    def __repr__(self) -> str:
+        bits = [p.bit_length() for p in self.ctx.primes]
+        return f"EvalRnsPoly(n={self.n}, chain={bits} bits)"
+
+
+def key_switch_inner(digits, key_pairs):
+    """(Σ_j d_j·k0_j, Σ_j d_j·k1_j) with eval-domain key components.
+
+    ``digits`` are coefficient-domain ring elements (all the same
+    representation); ``key_pairs`` are matching ``(k0, k1)`` tuples of
+    :class:`EvalRingPoly` / :class:`EvalRnsPoly`. Dispatches to
+    :meth:`~repro.he.ntt.NegacyclicNtt.key_switch_inner_vec` (per
+    residue ring for RNS), so each ring pays one stacked digit forward
+    pass and one two-vector inverse — key material is never
+    forward-transformed here. Bit-identical to the per-digit
+    ``multiply_shared`` + accumulate loop it replaces.
+    """
+    first = digits[0]
+    if isinstance(first, RnsPoly):
+        ctx = first.ctx
+        out0, out1 = [], []
+        for i, (p, be) in enumerate(zip(ctx.primes, ctx.backends)):
+            ntt = _context(first.n, p, be)
+            r0, r1 = ntt.key_switch_inner_vec(
+                [d.residues[i] for d in digits],
+                [k0.evals[i] for k0, _ in key_pairs],
+                [k1.evals[i] for _, k1 in key_pairs],
+            )
+            out0.append(r0)
+            out1.append(r1)
+        return RnsPoly(ctx, out0), RnsPoly(ctx, out1)
+    be = first.backend
+    ntt = _context(first.n, first.q, be)
+    v0, v1 = ntt.key_switch_inner_vec(
+        [d.vec for d in digits],
+        [k0.vec for k0, _ in key_pairs],
+        [k1.vec for _, k1 in key_pairs],
+    )
+    return (
+        RingPoly._from_vec(v0, first.q, be),
+        RingPoly._from_vec(v1, first.q, be),
+    )
 
 
 def multiply_shared(shared, others):

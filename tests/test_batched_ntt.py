@@ -167,12 +167,30 @@ class TestPinnedOpCounts:
         _, counter = _counted_context(params.n, params.q, ctx._rq)
         ctx.rotate(ct, g, gk)
         digits = params.num_decomp_digits
-        # Each digit shares its forward NTT across both key components.
+        # Fused key switch: every digit forward lands in ONE stacked pass,
+        # the key components arrive pre-transformed (eval-domain storage,
+        # zero key-side forwards here), and the eval-domain accumulation
+        # needs just one two-vector inverse for (c0_delta, c1_delta).
         assert counter.calls == Counter(
-            {"forward_many": digits, "inverse_unscaled_many": digits}
+            {"forward_many": 1, "inverse_unscaled_many": 1}
         )
+        assert counter.vectors["forward_many"] == digits
+        assert counter.vectors["inverse_unscaled_many"] == 2
+
+    def test_rotate_skips_key_side_forward_transforms(self):
+        # The eval-domain cache is built at keygen; rotations afterwards
+        # never forward-transform key material, only the decomposed digits.
+        params = fast_params(n=64)
+        ctx, encoder, sk, ct = self._rig(params)
+        g = encoder.galois_element_for_rotation(1)
+        gk = ctx.galois_keygen(sk, [g])
+        assert g in gk._eval  # eager population at keygen
+        _, counter = _counted_context(params.n, params.q, ctx._rq)
+        for _ in range(3):
+            ctx.rotate(ct, g, gk)
+        digits = params.num_decomp_digits
         assert counter.vectors["forward_many"] == 3 * digits
-        assert counter.vectors["inverse_unscaled_many"] == 2 * digits
+        assert counter.calls["forward"] == 0  # no per-key transforms at all
 
     def test_rns_mul_plain_batches_every_residue_ring(self):
         params = dataclasses.replace(toy_params(n=64), representation="rns")

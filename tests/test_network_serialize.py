@@ -140,6 +140,38 @@ class TestKeys:
         # Wire sizes match the analytic accounting used by the channel.
         assert restored.byte_size == gk.byte_size
 
+    def test_galois_keys_eval_domain_roundtrip(self):
+        """Eval-domain key storage never leaks into the wire format.
+
+        Serialization reads the coefficient-domain ``keys`` only, so the
+        bytes are identical whether or not the eval cache is populated;
+        a deserialized key set rebuilds its eval form lazily, the
+        eval↔coefficient transform round-trips exactly, and rotations
+        under original and restored keys are byte-identical.
+        """
+        ctx = BfvContext(PARAMS, SecureRandom(23))
+        encoder = BatchEncoder(PARAMS)
+        sk, pk = ctx.keygen()
+        g = encoder.galois_element_for_rotation(1)
+        gk = ctx.galois_keygen(sk, [g])
+        assert g in gk._eval  # keygen populates the eval cache eagerly
+        wire = serialize_galois_keys(gk)
+        restored = deserialize_galois_keys(wire, PARAMS)
+        # Fresh deserialization carries no derived transform state, and
+        # the wire bytes do not depend on it.
+        assert restored._eval == {}
+        assert serialize_galois_keys(restored) == wire
+        # Eval form is an exact involution of the stored coefficients.
+        for (k0, k1), (e0, e1) in zip(gk.keys[g], gk.eval_keys(g)):
+            assert e0.to_coeff().coeffs == k0.coeffs
+            assert e1.to_coeff().coeffs == k1.coeffs
+        # Restored keys (lazily rebuilt eval form) rotate identically.
+        ct = ctx.encrypt(pk, encoder.encode(list(range(8))))
+        a = ctx.rotate(ct, g, gk)
+        b = ctx.rotate(ct, g, restored)
+        assert a.c0.coeffs == b.c0.coeffs and a.c1.coeffs == b.c1.coeffs
+        assert g in restored._eval  # first rotation filled the cache
+
 
 class TestBitVector:
     @given(st.lists(st.integers(min_value=0, max_value=1), max_size=70))
