@@ -22,6 +22,13 @@ listening socket while this process drives ClientSessions against it —
 the client and server genuinely share nothing but serialized wire
 messages.
 
+Add --concurrent to serve through the ServingGateway instead: the
+serving loop runs in-process with driver threads, then a second demo
+forks one OS process per client against a gateway hosted in this
+process — many live sockets multiplexed by one selector thread while
+refill mints run in background pool workers (compare throughput_rps
+and refill_overlap_seconds against the serialized run).
+
 Add --analytic to also run the paper-scale analytic MultiClientSimulator
 (resnet18 profile, 16 GB clients) next to the measured tiny-network run.
 """
@@ -119,6 +126,91 @@ def two_process_demo(clients: int, requests: int, garbler: str = "client") -> No
     )
 
 
+def _gateway_client_main(port: int, client_index: int, requests: int,
+                         garbler: str) -> None:
+    """Client process: one gateway request per inference, logits checked.
+
+    Reconstructs the demo network locally only to know the public layer
+    shapes and the plaintext oracle; every protocol byte crosses the
+    gateway's TCP socket.
+    """
+    from repro.core.lowering import lower_network, plaintext_reference
+    from repro.runtime.gateway import request_inference
+
+    network, params = demo_network_and_params()
+    oracle = lower_network(network, params.t)
+    shape = lower_network(network, params.t, shape_only=True)
+    rng = np.random.default_rng(4200 + client_index)
+    for j in range(requests):
+        x = rng.integers(0, params.t, size=16).tolist()
+        logits = request_inference(
+            "127.0.0.1", port, network, params, x, garbler=garbler,
+            client_id=f"client{client_index}", request_index=j, lowered=shape,
+        )
+        assert logits == plaintext_reference(oracle, x)
+
+
+def gateway_forked_demo(clients: int, requests: int, garbler: str = "client",
+                        workers: int | None = None,
+                        budget_mb: float = 8.0) -> None:
+    """One gateway in this process, one forked OS process per client."""
+    import shutil
+    import tempfile
+
+    from repro.runtime.gateway import ServingGateway
+    from repro.runtime.pool import PrecomputePool
+    from repro.runtime.store import PrecomputeStore
+
+    network, params = demo_network_and_params()
+    root = tempfile.mkdtemp(prefix="repro-gateway-")
+    store = PrecomputeStore(root, byte_budget=int(budget_mb * 1e6) or None)
+    procs = []
+    try:
+        with PrecomputePool(workers=workers) as pool:
+            gateway = ServingGateway(
+                network, params, clients, store, pool=pool, garbler=garbler,
+                expected_per_client=requests,
+            )
+            gateway.start()
+            print(
+                f"\nforked-client gateway demo: {clients} client process(es) "
+                f"x {requests} request(s) against 127.0.0.1:{gateway.port} "
+                f"({pool.workers} refill worker(s))"
+            )
+            procs = [
+                multiprocessing.Process(
+                    target=_gateway_client_main,
+                    args=(gateway.port, c, requests, garbler),
+                )
+                for c in range(clients)
+            ]
+            for p in procs:
+                p.start()
+            gateway.serve(clients * requests, timeout=600.0)
+            for p in procs:
+                p.join(timeout=60)
+            gateway.check_refills()
+            gateway.stop()
+            report = gateway.report()
+        assert all(p.exitcode == 0 for p in procs), [p.exitcode for p in procs]
+        print(
+            f"  all {len(report.requests)} logit vectors verified in the "
+            f"client processes (hit rate {report.hit_rate:.2f})"
+        )
+        print(
+            f"  peak {report.peak_live_sessions} live session(s), refill "
+            f"overlap {report.refill_overlap_seconds:.2f}s of "
+            f"{report.serve_seconds:.2f}s served, "
+            f"{report.throughput_rps:.2f} req/s"
+        )
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+                p.join()
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def functional_run(args) -> ServingReport:
     # demo() drives the whole mint -> admit -> drain lifecycle and checks
     # every served logit vector against the plaintext field evaluation —
@@ -131,6 +223,7 @@ def functional_run(args) -> ServingReport:
         store_dir=args.store,
         summary_path=args.summary,
         pipelined=args.pipelined,
+        concurrent=args.concurrent,
         transport=args.transport,
     )
 
@@ -192,6 +285,11 @@ def main() -> None:
         "throughput mode)",
     )
     parser.add_argument(
+        "--concurrent", action="store_true",
+        help="serve through the concurrent socket gateway (selector loop "
+        "+ background refill workers); also runs the forked-client demo",
+    )
+    parser.add_argument(
         "--transport", choices=("memory", "socket"), default=None,
         help="session transport for the serving loop; 'socket' also runs "
         "the two-process loopback demo",
@@ -210,6 +308,11 @@ def main() -> None:
     )
     args = parser.parse_args()
     functional_run(args)
+    if args.concurrent:
+        gateway_forked_demo(
+            min(args.clients, 4), max(1, min(args.requests, 2)),
+            workers=args.workers, budget_mb=args.budget_mb or 8.0,
+        )
     if args.transport == "socket":
         two_process_demo(min(args.clients, 2), max(1, min(args.requests, 2)))
     if args.analytic:

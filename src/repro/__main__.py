@@ -83,6 +83,14 @@ def main(argv: list[str] | None = None) -> int:
         "throughput lands in the report)",
     )
     parser.add_argument(
+        "--serve-concurrent",
+        action="store_true",
+        help="with --serve: serve through the concurrent socket gateway "
+        "(one selector thread multiplexing all client sockets, refill "
+        "mints in background pool workers) — the wall-clock-overlap "
+        "counterpart of --serve-pipelined's schedule-shape overlap",
+    )
+    parser.add_argument(
         "--serve-requests",
         type=int,
         default=1,
@@ -110,6 +118,7 @@ def main(argv: list[str] | None = None) -> int:
             workers=args.workers,
             budget_mb=args.serve_budget_mb,
             pipelined=args.serve_pipelined,
+            concurrent=args.serve_concurrent,
             transport=args.transport,
         )
         return 0

@@ -80,6 +80,77 @@ def make_transport_pair(kind: str | None = None):
     raise ValueError(f"unknown transport {kind!r} (expected 'memory' or 'socket')")
 
 
+def split_offline_state(
+    blob: bytes,
+    lowered,
+    circuit,
+    garbler_role: str,
+    truncate_bits: int = 0,
+):
+    """Validate a stored offline transcript and split it into role halves.
+
+    Returns ``((client_r, client_shares, client_bundles), (server_s,
+    server_bundles))`` — exactly the arguments each session's
+    ``load_offline_state`` takes. Validation runs against ``lowered``
+    (shape data only, so the client's shape-only lowering works) and
+    raises ``ValueError`` on any mismatch, *before* the caller consumes
+    the entry. Shared by :meth:`HybridProtocol.import_offline` and the
+    serving gateway's precompute hand-off, so both reject exactly the
+    same stale transcripts.
+    """
+    from collections import defaultdict
+
+    from repro.runtime.store import deserialize_offline_transcript
+
+    client_r, server_s, shares, bundles = deserialize_offline_transcript(
+        blob,
+        defaultdict(lambda: circuit),
+        garbler_role=garbler_role,
+        truncate_bits=truncate_bits,
+    )
+    if len(client_r) != len(lowered.linears):
+        raise ValueError("stored transcript does not match this network")
+    for lin, r, s in zip(lowered.linears, client_r, server_s):
+        if len(r) != lin.n_in or len(s) != lin.n_out:
+            raise ValueError("stored transcript does not match this network")
+    # Structural check of the ReLU bundles too (a revised network can
+    # keep its linear widths but move/add/remove ReLUs): positions,
+    # per-layer activation counts, and mask bindings must all match,
+    # or the online phase would crash after the entry was consumed.
+    expected = {
+        pos: (next_linear_index(lowered, pos), lowered.linears[lin_idx].n_out)
+        for pos, (kind, lin_idx) in enumerate(lowered.steps)
+        if kind == "relu"
+    }
+    found = {
+        pos: (mask_index, len(circuits))
+        for pos, (mask_index, circuits, _, _) in bundles.items()
+    }
+    if found != expected:
+        raise ValueError(
+            "stored transcript's ReLU bundles do not match this network"
+        )
+    evaluator_bundles, garbler_bundles = {}, {}
+    for pos, (mask_index, circuits, encodings, labels) in bundles.items():
+        evaluator_bundles[pos] = ReluBundle(
+            circuits=circuits,
+            encodings=None,
+            evaluator_labels=labels,
+            mask_index=mask_index,
+        )
+        garbler_bundles[pos] = ReluBundle(
+            circuits=None,
+            encodings=encodings,
+            evaluator_labels=None,
+            mask_index=mask_index,
+        )
+    if garbler_role == "server":
+        client_bundles, server_bundles = evaluator_bundles, garbler_bundles
+    else:
+        client_bundles, server_bundles = garbler_bundles, evaluator_bundles
+    return (client_r, shares, client_bundles), (server_s, server_bundles)
+
+
 class HybridProtocol:
     """Runs one private inference between a client and a server session.
 
@@ -328,6 +399,35 @@ class HybridProtocol:
 
     # -- precompute store integration ------------------------------------------
 
+    def offline_blob(self) -> bytes:
+        """Serialize this completed offline phase into one store entry.
+
+        The union of both sessions' state (per-layer mask/share vectors
+        plus every garbled ReLU bundle); :func:`split_offline_state`
+        splits it back per role. Exposed separately from
+        :meth:`export_offline` so a pool worker can mint the blob in its
+        own process and ship bytes back for the parent to admit.
+        """
+        if not self._offline_done:
+            raise RuntimeError("offline phase must run before export")
+        from repro.runtime.store import serialize_offline_transcript
+
+        bundles = {}
+        evaluator = self.client if self.garbler_role == "server" else self.server
+        garbler = self.server if self.garbler_role == "server" else self.client
+        for pos, eb in evaluator._relu_bundles.items():
+            gb = garbler._relu_bundles[pos]
+            bundles[pos] = (eb.mask_index, eb.circuits, gb.encodings, eb.evaluator_labels)
+        return serialize_offline_transcript(
+            self.modulus,
+            self.client.client_r,
+            self.server.server_s,
+            self.client.client_linear_share,
+            bundles,
+            garbler_role=self.garbler_role,
+            truncate_bits=self.truncate_bits,
+        )
+
     def export_offline(
         self, store, model_id: str, client_id: str = "client0",
         name: str | None = None,
@@ -341,31 +441,10 @@ class HybridProtocol:
         buffering the paper's streaming system is built around. The entry
         is the union of both sessions' state; import splits it back.
         """
-        if not self._offline_done:
-            raise RuntimeError("offline phase must run before export")
-        from repro.runtime.store import (
-            KIND_OFFLINE,
-            StoreKey,
-            serialize_offline_transcript,
-        )
+        from repro.runtime.store import KIND_OFFLINE, StoreKey
 
-        bundles = {}
-        evaluator = self.client if self.garbler_role == "server" else self.server
-        garbler = self.server if self.garbler_role == "server" else self.client
-        for pos, eb in evaluator._relu_bundles.items():
-            gb = garbler._relu_bundles[pos]
-            bundles[pos] = (eb.mask_index, eb.circuits, gb.encodings, eb.evaluator_labels)
-        blob = serialize_offline_transcript(
-            self.modulus,
-            self.client.client_r,
-            self.server.server_s,
-            self.client.client_linear_share,
-            bundles,
-            garbler_role=self.garbler_role,
-            truncate_bits=self.truncate_bits,
-        )
         key = StoreKey.for_protocol(model_id, self.params, client_id)
-        return store.put(key, KIND_OFFLINE, blob, name=name)
+        return store.put(key, KIND_OFFLINE, self.offline_blob(), name=name)
 
     def import_offline(
         self, store, model_id: str, client_id: str = "client0",
@@ -377,13 +456,7 @@ class HybridProtocol:
         semantics of the paper's client storage: each stored precompute
         serves one inference. Returns False when no entry is available.
         """
-        from collections import defaultdict
-
-        from repro.runtime.store import (
-            KIND_OFFLINE,
-            StoreKey,
-            deserialize_offline_transcript,
-        )
+        from repro.runtime.store import KIND_OFFLINE, StoreKey
 
         key = StoreKey.for_protocol(model_id, self.params, client_id)
         lookup = name or next(iter(store.names(key, KIND_OFFLINE)), None)
@@ -393,57 +466,17 @@ class HybridProtocol:
         # Bind stored circuits to the topology of the session that will
         # evaluate them (the client under Server-Garbler, else the server).
         evaluator = self.client if self.garbler_role == "server" else self.server
-        circuit = evaluator.relu_circuit()
-        client_r, server_s, shares, bundles = deserialize_offline_transcript(
+        client_state, server_state = split_offline_state(
             blob,
-            defaultdict(lambda: circuit),
-            garbler_role=self.garbler_role,
-            truncate_bits=self.truncate_bits,
+            self.lowered,
+            evaluator.relu_circuit(),
+            self.garbler_role,
+            self.truncate_bits,
         )
-        if len(client_r) != len(self.lowered.linears):
-            raise ValueError("stored transcript does not match this network")
-        for lin, r, s in zip(self.lowered.linears, client_r, server_s):
-            if len(r) != lin.n_in or len(s) != lin.n_out:
-                raise ValueError("stored transcript does not match this network")
-        # Structural check of the ReLU bundles too (a revised network can
-        # keep its linear widths but move/add/remove ReLUs): positions,
-        # per-layer activation counts, and mask bindings must all match,
-        # or the online phase would crash after the entry was consumed.
-        expected = {
-            pos: (next_linear_index(self.lowered, pos), self.lowered.linears[lin_idx].n_out)
-            for pos, (kind, lin_idx) in enumerate(self.lowered.steps)
-            if kind == "relu"
-        }
-        found = {
-            pos: (mask_index, len(circuits))
-            for pos, (mask_index, circuits, _, _) in bundles.items()
-        }
-        if found != expected:
-            raise ValueError(
-                "stored transcript's ReLU bundles do not match this network"
-            )
         if consume:
             # Only after validation: a rejected transcript stays buffered
             # (it may belong to a differently-configured protocol).
             store.delete(key, KIND_OFFLINE, lookup)
-        evaluator_bundles, garbler_bundles = {}, {}
-        for pos, (mask_index, circuits, encodings, labels) in bundles.items():
-            evaluator_bundles[pos] = ReluBundle(
-                circuits=circuits,
-                encodings=None,
-                evaluator_labels=labels,
-                mask_index=mask_index,
-            )
-            garbler_bundles[pos] = ReluBundle(
-                circuits=None,
-                encodings=encodings,
-                evaluator_labels=None,
-                mask_index=mask_index,
-            )
-        if self.garbler_role == "server":
-            self.client.load_offline_state(client_r, shares, evaluator_bundles)
-            self.server.load_offline_state(server_s, garbler_bundles)
-        else:
-            self.client.load_offline_state(client_r, shares, garbler_bundles)
-            self.server.load_offline_state(server_s, evaluator_bundles)
+        self.client.load_offline_state(*client_state)
+        self.server.load_offline_state(*server_state)
         return True

@@ -34,6 +34,7 @@ mid-ciphertext-op (pinned by ``tests/test_ntt_cache.py``).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.backend import ComputeBackend, RnsContext, backend_for
@@ -41,18 +42,27 @@ from repro.he.ntt import NegacyclicNtt
 
 _NTT_CACHE: OrderedDict[tuple[int, int, str], NegacyclicNtt] = OrderedDict()
 _NTT_CACHE_MAX = 32
+# The get→insert→evict sequence is compound: the serving gateway's inline
+# refill thread and its selector thread can both run HE work, and an
+# unlocked eviction racing a move_to_end would KeyError. Twiddle-table
+# construction happens outside the lock's hot path concern (building the
+# same context twice would merely waste work, but the lock removes even
+# that).
+_NTT_CACHE_LOCK = threading.Lock()
 
 
 def _context(n: int, q: int, backend: ComputeBackend) -> NegacyclicNtt:
     key = (n, q, backend.name)
-    ctx = _NTT_CACHE.get(key)
-    if ctx is None:
-        ctx = NegacyclicNtt(n, q, backend=backend)
+    with _NTT_CACHE_LOCK:
+        ctx = _NTT_CACHE.get(key)
+        if ctx is not None:
+            _NTT_CACHE.move_to_end(key)
+            return ctx
+    ctx = NegacyclicNtt(n, q, backend=backend)
+    with _NTT_CACHE_LOCK:
         _NTT_CACHE[key] = ctx
         while len(_NTT_CACHE) > _NTT_CACHE_MAX:
             _NTT_CACHE.popitem(last=False)
-    else:
-        _NTT_CACHE.move_to_end(key)
     return ctx
 
 

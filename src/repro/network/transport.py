@@ -136,15 +136,25 @@ class SocketTransport(Transport):
     def connect(
         cls, host: str, port: int, retries: int = 40, delay: float = 0.25
     ) -> "SocketTransport":
-        """Connect to a listening peer, retrying while it comes up."""
+        """Connect to a listening peer, retrying while it comes up.
+
+        Sleeps ``delay`` only *between* attempts — a dead peer costs
+        ``retries`` connection refusals, not an extra trailing sleep after
+        the final one.
+        """
+        attempts = max(1, retries)
         last: Exception | None = None
-        for _ in range(max(1, retries)):
+        for attempt in range(attempts):
             try:
                 return cls(socket.create_connection((host, port)))
             except OSError as exc:
                 last = exc
-                time.sleep(delay)
-        raise TransportError(f"could not connect to {host}:{port}: {last}")
+                if attempt + 1 < attempts:
+                    time.sleep(delay)
+        raise TransportError(
+            f"could not connect to {host}:{port} after {attempts} "
+            f"attempt(s): {last}"
+        )
 
     def send(self, frame: bytes) -> None:
         if self._closed:
@@ -192,6 +202,11 @@ class SocketTransport(Transport):
 
     def recv(self, wait: bool = True) -> bytes | None:
         if self._closed:
+            # Frames fully buffered before the close are still deliverable
+            # (``pending`` advertises them); only an empty buffer is an
+            # error. A half-received frame is not: its tail is gone.
+            if self._frame_ready():
+                return self._pop_frame()
             raise TransportClosed("transport is closed")
         while not self._frame_ready():
             self._flush(block=False)
@@ -226,6 +241,26 @@ class SocketTransport(Transport):
         # (the deadlock detector must not fire while data is in flight).
         ready, _, _ = select.select([self._sock], [], [], 0)
         return bool(ready) or bool(self._outbox)
+
+    # -- selector-loop readiness hooks --------------------------------------
+
+    def fileno(self) -> int:
+        """The socket fd, so a selector loop can register this transport."""
+        return self._sock.fileno()
+
+    @property
+    def needs_flush(self) -> bool:
+        """Whether userspace outbox bytes are waiting for socket writability.
+
+        A selector loop registers the transport for write events exactly
+        while this is true, flushing via :meth:`flush` when they fire.
+        """
+        return bool(self._outbox)
+
+    def flush(self) -> None:
+        """Push buffered outbox bytes without blocking (selector write hook)."""
+        if not self._closed:
+            self._flush(block=False)
 
     def close(self) -> None:
         if not self._closed:
@@ -271,10 +306,37 @@ class SocketListener:
         self._sock.settimeout(timeout)
         try:
             conn, _ = self._sock.accept()
-        except socket.timeout as exc:  # pragma: no cover - timing-dependent
+        except TimeoutError as exc:
             raise TransportError("accept timed out") from exc
         finally:
             self._sock.settimeout(None)
+        return SocketTransport(conn)
+
+    # -- selector-loop hooks ------------------------------------------------
+
+    def fileno(self) -> int:
+        """The listening fd, so a selector loop can register for accepts."""
+        return self._sock.fileno()
+
+    def poll_accept(self) -> SocketTransport | None:
+        """Accept one pending connection without blocking, or None.
+
+        The gateway's selector loop registers :meth:`fileno` for read
+        events and calls this when one fires; a racing peer that
+        disconnected between the event and the accept yields None, never
+        a block.
+        """
+        ready, _, _ = select.select([self._sock], [], [], 0)
+        if not ready:
+            return None
+        self._sock.setblocking(False)
+        try:
+            conn, _ = self._sock.accept()
+        except (BlockingIOError, InterruptedError):
+            return None
+        finally:
+            self._sock.setblocking(True)
+        conn.setblocking(True)  # accepted sockets inherit non-blocking mode
         return SocketTransport(conn)
 
     def close(self) -> None:

@@ -10,6 +10,9 @@ client-storage buffer that the streaming simulator models analytically.
 precomputes minted on one shared pool, admitted into per-client store
 namespaces under a global byte budget, drained by interleaved online
 requests (§5.2's multi-client serving, measured instead of modeled).
+:class:`~repro.runtime.gateway.ServingGateway` is the concurrent
+deployment shape: one selector thread multiplexing many live client
+sockets while refill mints run in pool worker processes.
 
 Transcript parity is the design invariant: a pooled offline phase is
 byte-identical to the sequential one under the same seeds, because all
@@ -17,7 +20,9 @@ randomness is drawn by the parent in sequential order and jobs are pure
 functions of pre-drawn material (see :mod:`repro.runtime.pool`).
 """
 
+from repro.runtime.gateway import ServingGateway, request_inference
 from repro.runtime.pool import (
+    AsyncJob,
     PrecomputePool,
     plan_shards,
     resolve_workers,
@@ -32,15 +37,18 @@ from repro.runtime.state import (
 from repro.runtime.store import PrecomputeStore, StoreKey, params_fingerprint
 
 __all__ = [
+    "AsyncJob",
     "PrecomputePool",
     "PrecomputeStore",
     "ServedRequest",
+    "ServingGateway",
     "ServingLoop",
     "ServingReport",
     "StoreKey",
     "derive_worker_seed",
     "params_fingerprint",
     "plan_shards",
+    "request_inference",
     "reset_process_state",
     "resolve_workers",
     "worker_index",

@@ -1,0 +1,836 @@
+"""Concurrent serving gateway: many live sockets, background refill workers.
+
+:class:`~repro.runtime.serving.ServingLoop`'s ``pipelined`` mode overlaps
+refill mints with online serving only in *schedule shape* — one thread
+steps everything, so wall-clock throughput never actually improves. This
+module makes the overlap real, in the deployment shape the paper's
+client/server characterization assumes:
+
+* **Accept loop** — a :class:`ServingGateway` owns one selectors-based
+  loop (single thread, many non-blocking
+  :class:`~repro.network.transport.SocketTransport`\\ s) hosting one
+  :class:`~repro.core.session.ServerSession` per connected client socket
+  and multiplexing them at message granularity. The session/transport
+  split (resumable ``step()`` state machines over length-prefixed frames)
+  was built exactly for this; the gateway is the first thing to exploit
+  it concurrently.
+* **Background refill** — mints leave the serving thread entirely: a
+  refill driver thread submits whole offline-mint jobs through
+  :meth:`~repro.runtime.pool.PrecomputePool.apply_async`, so the
+  SHA-256-bound garbling runs in pool worker *processes* while the
+  selector thread serves online requests. On a multi-core host the
+  online CPU work and the offline garbling genuinely overlap, and
+  ``throughput_rps`` rises accordingly (the report's
+  ``refill_overlap_seconds`` measures the overlap window).
+* **Demand-driven prioritization** — refill order follows expected time
+  to miss: per-client consumption counters estimate each client's drain
+  rate, and the client whose buffer will run dry first is refilled first
+  (GrASP's demand-driven prefetching, applied to the offline phase;
+  skewed clients get proportionally more mint slots, JSPIM-style).
+
+Wire protocol per connection (one request per connected socket, like the
+two-process demo): the client sends a HELLO frame naming its
+``client_id`` and request index; the gateway answers with an OFFER —
+either a buffered precompute (the stored offline transcript, split per
+role via :func:`~repro.core.protocol.split_offline_state` on both ends)
+followed directly by the online phase, or a miss, in which case both
+parties run the full offline phase over the wire (the demand-mint
+penalty, paid on the request's critical path and multiplexed with the
+other live sessions).
+
+Fidelity note: on a hit the gateway ships the *whole* stored transcript
+(both role halves) to the client, mirroring what
+``HybridProtocol.import_offline`` does in-process. A hardened deployment
+would mint and store the halves separately; this functional shortcut
+demonstrates the system shape — storage drain, refill pipelines, socket
+multiplexing — not a security property (see ARCHITECTURE.md).
+"""
+
+from __future__ import annotations
+
+import selectors
+import struct
+import threading
+import time
+
+from repro.network.transport import (
+    SocketListener,
+    SocketTransport,
+    TransportClosed,
+    TransportError,
+)
+from repro.runtime.state import derive_worker_seed
+from repro.runtime.store import KIND_OFFLINE, StoreKey
+
+# -- wire frames -----------------------------------------------------------------
+#
+# Gateway control frames ride the same length-prefixed transport as the
+# protocol messages; a 4-byte magic keeps them unmistakable for (and
+# versioned independently of) the serialize.py payload formats.
+
+_HELLO_MAGIC = b"GWH1"
+_OFFER_MAGIC = b"GWO1"
+
+
+def encode_hello(client_id: str, request_index: int) -> bytes:
+    """Client -> gateway: who I am and which of my requests this is."""
+    return _HELLO_MAGIC + struct.pack("<I", request_index) + client_id.encode()
+
+
+def decode_hello(frame: bytes) -> tuple[str, int]:
+    if frame[:4] != _HELLO_MAGIC:
+        raise TransportError("not a gateway hello frame")
+    (request_index,) = struct.unpack_from("<I", frame, 4)
+    return bytes(frame[8:]).decode(), request_index
+
+
+def encode_offer(hit: bool, blob: bytes = b"") -> bytes:
+    """Gateway -> client: buffered precompute (hit) or run offline (miss)."""
+    return _OFFER_MAGIC + struct.pack("<B", 1 if hit else 0) + blob
+
+
+def decode_offer(frame: bytes) -> tuple[bool, bytes]:
+    if frame[:4] != _OFFER_MAGIC:
+        raise TransportError("not a gateway offer frame")
+    return frame[4] == 1, bytes(frame[5:])
+
+
+# -- refill jobs -----------------------------------------------------------------
+
+
+def _mint_offline_job(args):
+    """Pool job: run one whole offline phase, return its store blob.
+
+    Unlike the latency-oriented path (one mint sharded across all
+    workers), refill is throughput-oriented: each worker process runs a
+    complete mint end to end, so W workers sustain W concurrent mints
+    while the gateway's selector thread keeps serving. ``workers=1`` and
+    ``transport="memory"`` are forced — pool workers are daemonic (no
+    nested pools) and the mint is process-local; only its *product*
+    crosses the wire later. The blob is byte-identical to a parent-side
+    mint under the same seed (all protocol randomness is seed-derived).
+    """
+    network, params, garbler, seed, truncate_bits = args
+    from repro.core.protocol import HybridProtocol
+
+    protocol = HybridProtocol(
+        network,
+        params,
+        garbler=garbler,
+        seed=seed,
+        truncate_bits=truncate_bits,
+        workers=1,
+        transport="memory",
+    )
+    try:
+        protocol.run_offline()
+        return protocol.offline_blob()
+    finally:
+        protocol.shutdown()
+
+
+def pick_refill_client(
+    credits: list[int], buffered: list[float], rates: list[float]
+) -> int | None:
+    """The refill policy: smallest expected time to miss wins.
+
+    ``credits[c]`` counts refills owed to client c, ``buffered[c]`` its
+    buffer depth (stored + in-flight mints), ``rates[c]`` its measured
+    consumption rate. Expected time to miss is ``buffered / rate``; a
+    client that has never consumed (rate 0) can't miss soon, so it ranks
+    last among credited clients, tie-broken by shallowest buffer. Returns
+    None when no client holds a credit.
+    """
+    best = None
+    best_rank = None
+    for c, credit in enumerate(credits):
+        if credit <= 0:
+            continue
+        rate = rates[c]
+        ettm = buffered[c] / rate if rate > 0 else float("inf")
+        rank = (ettm, buffered[c], c)
+        if best_rank is None or rank < best_rank:
+            best, best_rank = c, rank
+    return best
+
+
+class _RefillWorker(threading.Thread):
+    """Background driver keeping per-client store namespaces warm.
+
+    Submits up to ``inflight_limit`` offline-mint jobs through the shared
+    pool's async surface and admits completed blobs into the store. All
+    mint-index reservation and credit accounting lives in the gateway
+    (under its state lock); this thread only schedules and admits.
+    """
+
+    def __init__(self, gateway: "ServingGateway", inflight_limit: int):
+        super().__init__(name="gateway-refill", daemon=True)
+        self.gateway = gateway
+        self.inflight_limit = max(1, inflight_limit)
+        self.refill_seconds = 0.0  # sum of per-mint wall-clock
+        self.overlap_seconds = 0.0  # union of windows with >= 1 mint in flight
+        self.errors: list[tuple[int, Exception]] = []
+        self._stop_evt = threading.Event()
+        self._wake = threading.Event()
+
+    def kick(self) -> None:
+        self._wake.set()
+
+    def stop(self) -> None:
+        self._stop_evt.set()
+        self._wake.set()
+
+    def run(self) -> None:
+        gateway = self.gateway
+        inflight: dict = {}  # AsyncJob -> (client, mint index, submit time)
+        overlap_start: float | None = None
+        while True:
+            while len(inflight) < self.inflight_limit and not self._stop_evt.is_set():
+                reserved = gateway._next_refill_mint()
+                if reserved is None:
+                    break
+                c, index, seed = reserved
+                t0 = time.perf_counter()
+                if overlap_start is None:
+                    overlap_start = t0
+                job = gateway.pool.apply_async(
+                    _mint_offline_job,
+                    (
+                        gateway.network,
+                        gateway.params,
+                        gateway.garbler,
+                        seed,
+                        gateway.truncate_bits,
+                    ),
+                )
+                inflight[job] = (c, index, t0)
+            for job in [j for j in inflight if j.ready()]:
+                c, index, t0 = inflight.pop(job)
+                elapsed = time.perf_counter() - t0
+                self.refill_seconds += elapsed
+                try:
+                    blob = job.get()
+                    gateway._admit(c, index, blob)
+                except Exception as exc:  # surfaced via gateway.check_refills()
+                    gateway._mint_failed(c)
+                    self.errors.append((c, exc))
+            if not inflight and overlap_start is not None:
+                self.overlap_seconds += time.perf_counter() - overlap_start
+                overlap_start = None
+            if self._stop_evt.is_set() and not inflight:
+                return
+            if inflight:
+                time.sleep(0.005)
+            else:
+                self._wake.wait(timeout=0.05)
+                self._wake.clear()
+
+
+class _Connection:
+    """One live client socket and its server-side protocol state machine."""
+
+    HELLO, WAIT_STORE, OFFLINE, ONLINE = "hello", "wait-store", "offline", "online"
+
+    def __init__(self, gateway: "ServingGateway", transport: SocketTransport):
+        self.gateway = gateway
+        self.transport = transport
+        self.session = None
+        self.state = self.HELLO
+        self.client_id = "?"
+        self.request_index = -1
+        self.queue_depth = 0
+        self.hit = False
+        self.mint_seconds = 0.0
+        self.wait_deadline = 0.0
+        self._mint_start = 0.0
+        self._online_start = 0.0
+        self.registered_events = selectors.EVENT_READ
+
+    def on_event(self, mask: int) -> None:
+        try:
+            if mask & selectors.EVENT_WRITE:
+                self.transport.flush()
+            if mask & selectors.EVENT_READ:
+                self.advance()
+        except (TransportError, ValueError) as exc:
+            # TransportClosed (client died mid-protocol), malformed
+            # frames, stale transcripts: this session is unrecoverable,
+            # the rest of the gateway must not notice.
+            self.gateway._drop(self, error=exc)
+
+    def advance(self) -> None:
+        """Feed buffered frames through the state machine, never blocking."""
+        if self.state == self.HELLO:
+            frame = self.transport.recv(wait=False)
+            if frame is None:
+                return
+            self.client_id, self.request_index = decode_hello(frame)
+            self.queue_depth = max(0, self.gateway._live_count() - 1)
+            taken = self.gateway._take_precompute(self.client_id)
+            if taken is None and self.gateway._mint_pending(self.client_id):
+                # A refill for this client is already underway: hold the
+                # offer instead of duplicating the whole offline phase
+                # over the wire. poll() retries us each round; other
+                # sessions keep flowing meanwhile.
+                self.state = self.WAIT_STORE
+                self.wait_deadline = (
+                    time.perf_counter() + self.gateway.miss_wait_seconds
+                )
+                self.gateway._waiting.add(self)
+                return
+            self.open_offer(taken)
+            # Fall through: the peer's next frames may already be buffered.
+        if self.state == self.WAIT_STORE:
+            return
+        if self.state == self.OFFLINE:
+            from repro.core.session import DONE
+
+            if self.session.step() != DONE:
+                return
+            self.mint_seconds = time.perf_counter() - self._mint_start
+            self.session.start_online(pool=self.gateway.pool)
+            self._online_start = time.perf_counter()
+            self.state = self.ONLINE
+        if self.state == self.ONLINE:
+            from repro.core.session import DONE
+
+            if self.session.step() != DONE:
+                return
+            self.gateway._complete(self, time.perf_counter() - self._online_start)
+
+    def open_offer(self, taken) -> None:
+        """Answer the hello: adopt a buffered precompute or go offline."""
+        self.session = self.gateway._make_session(self.transport)
+        if taken is not None:
+            blob, server_state = taken
+            self.hit = True
+            self.transport.send(encode_offer(True, blob))
+            self.session.load_offline_state(*server_state)
+            self.session.start_online(pool=self.gateway.pool)
+            self._online_start = time.perf_counter()
+            self.state = self.ONLINE
+        else:
+            # Miss: the demand mint runs over the wire, on this request's
+            # critical path, multiplexed with the other sessions — the
+            # measured miss penalty.
+            self.transport.send(encode_offer(False))
+            self._mint_start = time.perf_counter()
+            self.session.start_offline(pool=self.gateway.pool)
+            self.state = self.OFFLINE
+
+
+class ServingGateway:
+    """A concurrent serving gateway over real sockets.
+
+    One selector thread hosts every connected client's
+    :class:`~repro.core.session.ServerSession`; one refill driver thread
+    keeps per-client store namespaces warm through the pool's async
+    surface. Lifecycle::
+
+        gateway = ServingGateway(network, params, num_clients, store, pool=pool)
+        gateway.start()              # prefill, bind listener, start refill
+        ... clients connect to gateway.port (request_inference) ...
+        gateway.serve(total)         # selector loop until `total` served
+        gateway.stop()
+        report = gateway.report()    # ServingReport with overlap accounting
+
+    ``minted`` may alias a :class:`~repro.runtime.serving.ServingLoop`'s
+    per-client mint counters so seeds continue its sequence (that is what
+    makes gateway-served logits comparable against the loop's sequential
+    reference). ``expected_per_client`` caps refills so a bounded run
+    mints exactly as many precomputes as the serialized drain would.
+    """
+
+    def __init__(
+        self,
+        network,
+        params,
+        num_clients: int,
+        store,
+        pool=None,
+        garbler: str = "client",
+        prefill: int = 1,
+        refill: bool = True,
+        base_seed: int = 0,
+        model_id: str = "serving",
+        truncate_bits: int = 0,
+        host: str = "127.0.0.1",
+        expected_per_client: int | None = None,
+        minted: list[int] | None = None,
+        refill_inflight: int | None = None,
+        miss_wait_seconds: float = 60.0,
+    ):
+        if num_clients < 1:
+            raise ValueError("need at least one client")
+        self.network = network
+        self.params = params
+        self.num_clients = num_clients
+        self.store = store
+        self.garbler = garbler
+        self.prefill = prefill
+        self.refill = refill
+        self.base_seed = base_seed
+        self.model_id = model_id
+        self.truncate_bits = truncate_bits
+        self.host = host
+        self.expected_per_client = expected_per_client
+        self.minted = minted if minted is not None else [0] * num_clients
+        if len(self.minted) != num_clients:
+            raise ValueError("minted counters must match num_clients")
+        if pool is None:
+            from repro.runtime.pool import PrecomputePool
+
+            pool = self._own_pool = PrecomputePool()
+        else:
+            self._own_pool = None
+        self.pool = pool
+        self._refill_inflight = refill_inflight or pool.workers
+
+        from repro.core.lowering import lower_network
+        from repro.core.session import ServerSession
+
+        # One weight-bearing lowering and one (public) circuit topology,
+        # shared by every connection's session — per-request setup cost
+        # stays at session construction, not network lowering.
+        self.lowered = lower_network(
+            network, params.t, backend=params.backend
+        )
+        self._session_cls = ServerSession
+        template = ServerSession(
+            network,
+            params=params,
+            garbler=garbler,
+            seed=0,
+            truncate_bits=truncate_bits,
+            lowered=self.lowered,
+        )
+        self.params = template.params  # overrides resolved once
+        self._circuit = template.relu_circuit()
+        self._client_index = {self.client_id(c): c for c in range(num_clients)}
+
+        self._state_lock = threading.Lock()
+        self._credits = [0] * num_clients
+        self._pending_mints = [0] * num_clients
+        self._consumed = [0] * num_clients
+        self._served: list = []
+        self._occupancy: list[dict] = []
+        self.dropped_sessions = 0
+        self.peak_live_sessions = 0
+        self.prefill_seconds = 0.0
+        self.serve_seconds = 0.0
+        self._serve_start: float | None = None
+        self._session_counter = 0
+        self._minted_before = sum(self.minted)
+        self._evictions_before = store.evictions
+        self._connections: set[_Connection] = set()
+        self._waiting: set[_Connection] = set()
+        self.miss_wait_seconds = miss_wait_seconds
+        self.listener: SocketListener | None = None
+        self._selector = None
+        self._refill_worker: _RefillWorker | None = None
+
+    # -- identity (mirrors ServingLoop, so seeds and keys line up) ------------
+
+    def client_id(self, index: int) -> str:
+        return f"client{index}"
+
+    def mint_seed(self, client_index: int, mint_index: int) -> int:
+        client_stream = derive_worker_seed(self.base_seed, client_index)
+        return derive_worker_seed(client_stream, mint_index)
+
+    def store_key(self, client_id: str) -> StoreKey:
+        return StoreKey.for_protocol(self.model_id, self.params, client_id)
+
+    @property
+    def port(self) -> int:
+        if self.listener is None:
+            raise RuntimeError("gateway not started")
+        return self.listener.port
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Prefill buffers, bind the listener, start the refill worker."""
+        start = time.perf_counter()
+        jobs = []
+        for _ in range(self.prefill):
+            for c in range(self.num_clients):
+                index = self._reserve_mint(c)
+                jobs.append(
+                    (
+                        c,
+                        index,
+                        self.pool.apply_async(
+                            _mint_offline_job,
+                            (
+                                self.network,
+                                self.params,
+                                self.garbler,
+                                self.mint_seed(c, index),
+                                self.truncate_bits,
+                            ),
+                        ),
+                    )
+                )
+        # Admit in submission order: round-robin, so budget pressure hits
+        # all clients evenly — same admission order as the serial loop.
+        for c, index, job in jobs:
+            self._admit(c, index, job.get())
+        self.prefill_seconds = time.perf_counter() - start
+
+        self.listener = SocketListener(
+            host=self.host, backlog=max(8, 2 * self.num_clients)
+        )
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self.listener, selectors.EVENT_READ, None)
+        self._refill_worker = _RefillWorker(self, self._refill_inflight)
+        self._refill_worker.start()
+
+    def poll(self, timeout: float = 0.05) -> None:
+        """One selector round: accept, step ready sessions, flush outboxes."""
+        if self._selector is None:
+            raise RuntimeError("gateway not started")
+        for key, mask in self._selector.select(timeout=timeout):
+            if key.data is None:
+                self._accept_pending()
+            else:
+                key.data.on_event(mask)
+        # Retry held offers: a refill may have landed since last round.
+        for conn in list(self._waiting):
+            taken = self._take_precompute(conn.client_id)
+            if taken is None and self._mint_pending(conn.client_id) and (
+                time.perf_counter() < conn.wait_deadline
+            ):
+                continue  # still worth holding for the in-flight mint
+            self._waiting.discard(conn)
+            try:
+                conn.open_offer(taken)
+                conn.advance()
+            except (TransportError, ValueError) as exc:
+                self._drop(conn, error=exc)
+        # Register write interest exactly while userspace outbox bytes
+        # wait on kernel buffer space; drop it as soon as they drain.
+        for conn in list(self._connections):
+            events = selectors.EVENT_READ
+            if conn.transport.needs_flush:
+                events |= selectors.EVENT_WRITE
+            if events != conn.registered_events:
+                try:
+                    self._selector.modify(conn.transport, events, conn)
+                    conn.registered_events = events
+                except (KeyError, ValueError):  # pragma: no cover - racing drop
+                    pass
+
+    def serve(self, total_requests: int, timeout: float | None = 300.0,
+              abort=None) -> float:
+        """Run the selector loop until ``total_requests`` complete.
+
+        Returns (and records) the drain-window wall clock —
+        ``throughput_rps``'s denominator, directly comparable with the
+        serialized loop's. ``abort`` is polled each round; returning True
+        ends the loop early (a driver thread hit an error).
+        """
+        if self._serve_start is None:
+            self._serve_start = time.perf_counter()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while len(self._served) < total_requests:
+            if abort is not None and abort():
+                break
+            self.poll(0.05)
+            if deadline is not None and time.monotonic() > deadline:
+                raise TransportError(
+                    f"gateway timed out with {len(self._served)}/"
+                    f"{total_requests} requests served"
+                )
+        self.serve_seconds = time.perf_counter() - self._serve_start
+        return self.serve_seconds
+
+    def drain_refills(self, timeout: float = 60.0) -> None:
+        """Wait for owed refill mints to finish (bounded)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._state_lock:
+                idle = not any(self._credits) and not any(self._pending_mints)
+            if idle:
+                return
+            time.sleep(0.01)
+
+    def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
+        """Tear down: refill worker, live connections, listener, own pool."""
+        if self._refill_worker is not None:
+            if drain:
+                self.drain_refills(timeout)
+            self._refill_worker.stop()
+            self._refill_worker.join(timeout=timeout)
+        for conn in list(self._connections):
+            self._drop(conn, error=None)
+        if self._selector is not None:
+            try:
+                self._selector.unregister(self.listener)
+            except (KeyError, ValueError):  # pragma: no cover - already gone
+                pass
+            self._selector.close()
+            self._selector = None
+        if self.listener is not None:
+            self.listener.close()
+        if self._own_pool is not None:
+            self._own_pool.close()
+
+    def check_refills(self) -> None:
+        """Raise if any background mint failed (call after serve())."""
+        worker = self._refill_worker
+        if worker is not None and worker.errors:
+            c, exc = worker.errors[0]
+            raise RuntimeError(
+                f"{len(worker.errors)} background refill mint(s) failed; "
+                f"first: client{c}: {exc!r}"
+            ) from exc
+
+    # -- report ---------------------------------------------------------------
+
+    def report(self):
+        """ServingReport over everything served since start()."""
+        from repro.runtime.serving import ServingReport
+
+        worker = self._refill_worker
+        return ServingReport(
+            num_clients=self.num_clients,
+            requests=list(self._served),
+            minted=sum(self.minted) - self._minted_before,
+            demand_mints=sum(1 for r in self._served if not r.hit),
+            evictions=self.store.evictions - self._evictions_before,
+            prefill_seconds=self.prefill_seconds,
+            refill_seconds=worker.refill_seconds if worker else 0.0,
+            serve_seconds=self.serve_seconds,
+            pipelined=False,
+            concurrent=True,
+            refill_overlap_seconds=worker.overlap_seconds if worker else 0.0,
+            peak_live_sessions=self.peak_live_sessions,
+            dropped_sessions=self.dropped_sessions,
+            occupancy=list(self._occupancy),
+        )
+
+    # -- selector-side internals ----------------------------------------------
+
+    def _accept_pending(self) -> None:
+        while True:
+            transport = self.listener.poll_accept()
+            if transport is None:
+                return
+            conn = _Connection(self, transport)
+            self._connections.add(conn)
+            self.peak_live_sessions = max(
+                self.peak_live_sessions, len(self._connections)
+            )
+            self._selector.register(transport, selectors.EVENT_READ, conn)
+
+    def _live_count(self) -> int:
+        return len(self._connections)
+
+    def _make_session(self, transport):
+        seed = derive_worker_seed(
+            self.base_seed + 0x5EED, self._session_counter
+        )
+        self._session_counter += 1
+        return self._session_cls(
+            self.network,
+            params=self.params,
+            garbler=self.garbler,
+            seed=seed,
+            truncate_bits=self.truncate_bits,
+            transport=transport,
+            lowered=self.lowered,
+            pool=self.pool,
+        )
+
+    def _take_precompute(self, client_id: str):
+        """Consume the oldest buffered precompute: (blob, server half) or None.
+
+        Validation precedes the delete (same contract as
+        ``import_offline``): a transcript that does not match this
+        network stays buffered and the connection is dropped instead.
+        """
+        from repro.core.protocol import split_offline_state
+
+        key = self.store_key(client_id)
+        name = next(iter(self.store.names(key, KIND_OFFLINE)), None)
+        blob = self.store.get(key, KIND_OFFLINE, name) if name else None
+        if blob is None:
+            return None
+        _, server_state = split_offline_state(
+            blob, self.lowered, self._circuit, self.garbler, self.truncate_bits
+        )
+        self.store.delete(key, KIND_OFFLINE, name)
+        return blob, server_state
+
+    def _complete(self, conn: _Connection, online_seconds: float) -> None:
+        from repro.runtime.serving import ServedRequest
+
+        self._served.append(
+            ServedRequest(
+                client=conn.client_id,
+                index=conn.request_index,
+                hit=conn.hit,
+                queue_depth=conn.queue_depth,
+                mint_seconds=conn.mint_seconds,
+                online_seconds=online_seconds,
+                store_bytes=self.store.total_bytes,
+                logits=[],  # logits materialize client-side; drivers merge them
+            )
+        )
+        self._sample("serve", conn.client_id)
+        c = self._client_index.get(conn.client_id)
+        if c is not None:
+            with self._state_lock:
+                self._consumed[c] += 1
+                if self.refill and self._may_mint_locked(c):
+                    self._credits[c] += 1
+            if self._refill_worker is not None:
+                self._refill_worker.kick()
+        self._drop(conn, error=None)
+
+    def _mint_pending(self, client_id: str) -> bool:
+        """Is a refill for this client credited or already in flight?"""
+        c = self._client_index.get(client_id)
+        if c is None or not self.refill:
+            return False
+        with self._state_lock:
+            return self._credits[c] > 0 or self._pending_mints[c] > 0
+
+    def _drop(self, conn: _Connection, error) -> None:
+        if conn not in self._connections:
+            return
+        self._connections.discard(conn)
+        self._waiting.discard(conn)
+        try:
+            self._selector.unregister(conn.transport)
+        except (KeyError, ValueError):  # pragma: no cover - already gone
+            pass
+        try:
+            conn.transport.close()
+        except TransportError:  # pragma: no cover - peer already gone
+            pass
+        if error is not None:
+            self.dropped_sessions += 1
+
+    def _sample(self, event: str, client_id: str) -> None:
+        self._occupancy.append(
+            {
+                "event": event,
+                "client": client_id,
+                "bytes": self.store.total_bytes,
+                "entries": self.store.entry_count,
+            }
+        )
+
+    # -- refill-side internals ------------------------------------------------
+
+    def _may_mint_locked(self, c: int) -> bool:
+        if self.expected_per_client is None:
+            return True
+        return self.minted[c] < self.expected_per_client
+
+    def _reserve_mint(self, c: int) -> int:
+        with self._state_lock:
+            index = self.minted[c]
+            self.minted[c] += 1
+            self._pending_mints[c] += 1
+            return index
+
+    def _next_refill_mint(self):
+        """Claim the most urgent owed refill: (client, mint index, seed)."""
+        with self._state_lock:
+            if not any(self._credits):
+                return None
+            now = time.perf_counter()
+            elapsed = max(now - (self._serve_start or now), 1e-9)
+            rates = [self._consumed[c] / elapsed for c in range(self.num_clients)]
+            buffered = [
+                len(self.store.names(self.store_key(self.client_id(c)), KIND_OFFLINE))
+                + self._pending_mints[c]
+                for c in range(self.num_clients)
+            ]
+            c = pick_refill_client(self._credits, buffered, rates)
+            if c is None:
+                return None
+            self._credits[c] -= 1
+            index = self.minted[c]
+            self.minted[c] += 1
+            self._pending_mints[c] += 1
+        return c, index, self.mint_seed(c, index)
+
+    def _admit(self, c: int, index: int, blob: bytes) -> None:
+        """Admit one minted blob into the client's namespace (any thread)."""
+        try:
+            self.store.put(
+                self.store_key(self.client_id(c)),
+                KIND_OFFLINE,
+                blob,
+                name=f"{index:08d}",
+            )
+        finally:
+            with self._state_lock:
+                self._pending_mints[c] = max(0, self._pending_mints[c] - 1)
+        self._sample("mint", self.client_id(c))
+
+    def _mint_failed(self, c: int) -> None:
+        with self._state_lock:
+            self._pending_mints[c] = max(0, self._pending_mints[c] - 1)
+
+
+# -- client side -----------------------------------------------------------------
+
+
+def request_inference(
+    host: str,
+    port: int,
+    network,
+    params,
+    x: list[int],
+    *,
+    garbler: str = "client",
+    client_id: str = "client0",
+    request_index: int = 0,
+    seed: int | None = None,
+    truncate_bits: int = 0,
+    lowered=None,
+    retries: int = 40,
+) -> list[int]:
+    """One inference against a running gateway, from the client's side.
+
+    Connects, announces ``(client_id, request_index)``, adopts the
+    offered precompute half on a hit (or runs the full offline phase over
+    the wire on a miss), drives the online phase, and returns the logits.
+    ``lowered`` may carry a pre-built *shape-only* lowering to amortize
+    across requests; weights never materialize client-side either way.
+    """
+    from repro.core.protocol import split_offline_state
+    from repro.core.session import ClientSession
+
+    transport = SocketTransport.connect(host, port, retries=retries)
+    try:
+        session = ClientSession(
+            network,
+            params=params,
+            garbler=garbler,
+            seed=seed,
+            truncate_bits=truncate_bits,
+            transport=transport,
+            lowered=lowered,
+        )
+        transport.send(encode_hello(client_id, request_index))
+        hit, blob = decode_offer(transport.recv(wait=True))
+        if hit:
+            client_state, _ = split_offline_state(
+                blob,
+                session.lowered,
+                session.relu_circuit(),
+                garbler,
+                truncate_bits,
+            )
+            session.load_offline_state(*client_state)
+        else:
+            session.run_offline()
+        return session.run_online(x)
+    finally:
+        transport.close()

@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
+import warnings
 
 from repro.crypto.rng import SecureRandom
 from repro.gc.circuit import Circuit
@@ -64,7 +66,15 @@ def resolve_workers(workers: int | None = None, default: int | None = None) -> i
         try:
             return max(1, int(env))
         except ValueError:
-            pass  # fail soft: unparseable env keeps the default
+            # Fail soft but never silently: a typo'd deployment variable
+            # quietly running single-core is a capacity incident.
+            warnings.warn(
+                f"ignoring unparseable REPRO_WORKERS={env!r} "
+                "(expected an integer); falling back to the default "
+                "worker count",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     if default is None:
         return os.cpu_count() or 1
     return max(1, int(default))
@@ -119,6 +129,51 @@ def _init_worker(backend, representation, base_seed, counter) -> None:
     init_worker_rng(base_seed, index)
 
 
+class AsyncJob:
+    """Handle for one asynchronously submitted pool job.
+
+    A tiny future: :meth:`ready` polls, :meth:`get` joins (re-raising the
+    job's exception, like ``multiprocessing.pool.AsyncResult``). Inline
+    submissions (``workers <= 1``) resolve at submit time, so callers can
+    treat the two modes uniformly.
+    """
+
+    def ready(self) -> bool:
+        raise NotImplementedError
+
+    def get(self, timeout: float | None = None):
+        raise NotImplementedError
+
+
+class _ImmediateJob(AsyncJob):
+    """An already-resolved job (the inline / single-worker path)."""
+
+    def __init__(self, value=None, error: BaseException | None = None):
+        self._value = value
+        self._error = error
+
+    def ready(self) -> bool:
+        return True
+
+    def get(self, timeout: float | None = None):
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class _PoolJob(AsyncJob):
+    """A job executing on a worker process (wraps AsyncResult)."""
+
+    def __init__(self, result):
+        self._result = result
+
+    def ready(self) -> bool:
+        return self._result.ready()
+
+    def get(self, timeout: float | None = None):
+        return self._result.get(timeout)
+
+
 def _garble_rows_job(args):
     """Pool job: deterministic vectorized garble of one row shard."""
     circuit, deltas, zero_labels = args
@@ -171,19 +226,25 @@ class PrecomputePool:
         self.oversubscribe = max(1, oversubscribe)
         self._start_method = start_method
         self._pool = None
+        # Lazy creation may race when a background refill thread and the
+        # serving thread both touch the pool first; worker forking must
+        # happen exactly once. multiprocessing.Pool itself is safe for
+        # concurrent map/apply_async calls from multiple threads.
+        self._create_lock = threading.Lock()
 
     # -- pool lifecycle -----------------------------------------------------
 
     def _ensure_pool(self):
-        if self._pool is None and self.workers > 1:
-            ctx = multiprocessing.get_context(self._start_method)
-            counter = ctx.Value("i", 0)
-            self._pool = ctx.Pool(
-                processes=self.workers,
-                initializer=_init_worker,
-                initargs=(self.backend, self.representation, self.seed, counter),
-            )
-        return self._pool
+        with self._create_lock:
+            if self._pool is None and self.workers > 1:
+                ctx = multiprocessing.get_context(self._start_method)
+                counter = ctx.Value("i", 0)
+                self._pool = ctx.Pool(
+                    processes=self.workers,
+                    initializer=_init_worker,
+                    initargs=(self.backend, self.representation, self.seed, counter),
+                )
+            return self._pool
 
     def close(self) -> None:
         """Tear down worker processes (idempotent)."""
@@ -223,6 +284,30 @@ class PrecomputePool:
         if self.workers <= 1 or len(jobs) <= 1:
             return [func(job) for job in jobs]
         return self._ensure_pool().map(func, jobs, chunksize=1)
+
+    def apply_async(self, func, job, callback=None) -> AsyncJob:
+        """Submit one picklable job without waiting; returns an AsyncJob.
+
+        This is the refill workers' submission surface: a background
+        driver ships whole offline-mint jobs to worker processes and keeps
+        serving while they run, which is what turns the serving loop's
+        schedule-shape overlap into wall-clock overlap. ``callback``
+        receives the result (in a pool-internal thread — keep it tiny and
+        thread-safe). With ``workers <= 1`` the job runs inline at submit
+        time and the callback fires synchronously, so single-core
+        deployments keep identical semantics minus the overlap.
+        """
+        if self.workers <= 1:
+            try:
+                value = func(job)
+            except BaseException as exc:
+                return _ImmediateJob(error=exc)
+            if callback is not None:
+                callback(value)
+            return _ImmediateJob(value)
+        return _PoolJob(
+            self._ensure_pool().apply_async(func, (job,), callback=callback)
+        )
 
     # -- precompute kinds ----------------------------------------------------
 

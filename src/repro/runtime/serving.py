@@ -85,6 +85,10 @@ class ServingReport:
     refill_seconds: float = 0.0  # background-refill mints (off critical path)
     serve_seconds: float = 0.0  # wall-clock of the whole drain window
     pipelined: bool = False  # refills interleaved with online serving
+    concurrent: bool = False  # served through the socket gateway
+    refill_overlap_seconds: float = 0.0  # window with a mint in flight
+    peak_live_sessions: int = 0  # most sockets live at once (gateway)
+    dropped_sessions: int = 0  # client sockets that died mid-protocol
     occupancy: list[dict] = field(default_factory=list)
 
     @property
@@ -150,6 +154,10 @@ class ServingReport:
             "serve_seconds": round(self.serve_seconds, 6),
             "throughput_rps": round(self.throughput_rps, 3),
             "pipelined": self.pipelined,
+            "concurrent": self.concurrent,
+            "refill_overlap_seconds": round(self.refill_overlap_seconds, 6),
+            "peak_live_sessions": self.peak_live_sessions,
+            "dropped_sessions": self.dropped_sessions,
             "total_mint_seconds": round(self.total_mint_seconds, 6),
             "queue_depths": [r.queue_depth for r in self.requests],
             "occupancy": self.occupancy,
@@ -193,6 +201,7 @@ class ServingLoop:
         prefill: int = 1,
         refill: bool = True,
         pipelined: bool = False,
+        concurrent: bool = False,
         base_seed: int = 0,
         model_id: str = "serving",
         transport: str | None = None,
@@ -201,6 +210,8 @@ class ServingLoop:
             raise ValueError("need at least one client")
         if prefill < 0:
             raise ValueError("prefill must be >= 0")
+        if pipelined and concurrent:
+            raise ValueError("pipelined and concurrent modes are exclusive")
         self.network = network
         self.params = params
         self.num_clients = num_clients
@@ -210,6 +221,7 @@ class ServingLoop:
         self.prefill = prefill
         self.refill = refill
         self.pipelined = pipelined
+        self.concurrent = concurrent
         self.base_seed = base_seed
         self.model_id = model_id
         self.transport = transport
@@ -396,6 +408,8 @@ class ServingLoop:
                 f"inputs must provide >= {requests_per_client} vector(s) for "
                 f"each of {self.num_clients} clients"
             )
+        if self.concurrent:
+            return self._run_concurrent(requests_per_client, inputs)
         # Deltas/slices against the pre-run state, so a reused loop's
         # second run() reports only its own activity.
         evictions_before = self.store.evictions
@@ -504,6 +518,97 @@ class ServingLoop:
         demand_mints = sum(1 for r in served if not r.hit)
         return served, demand_mints, refill_clock[0]
 
+    def _run_concurrent(self, requests_per_client: int, inputs) -> ServingReport:
+        """Serve through the socket gateway: real concurrency, real wire.
+
+        A :class:`~repro.runtime.gateway.ServingGateway` runs the selector
+        loop in *this* thread while one driver thread per client issues
+        its requests in order over loopback TCP (each driver blocks on
+        its own socket, so the GIL is free whenever a driver waits on the
+        gateway and vice versa; refill mints run in pool worker
+        processes). The gateway shares this loop's store, pool, and mint
+        counters, so seeds — and therefore logits — line up with the
+        sequential reference. Logits materialize client-side and are
+        merged into the report's :class:`ServedRequest` rows by
+        ``(client, index)``.
+        """
+        import threading
+
+        from repro.core.lowering import lower_network
+        from repro.runtime.gateway import ServingGateway, request_inference
+
+        gateway = ServingGateway(
+            self.network,
+            self.params,
+            self.num_clients,
+            self.store,
+            pool=self.pool,
+            garbler=self.garbler,
+            prefill=self.prefill,
+            refill=self.refill,
+            base_seed=self.base_seed,
+            model_id=self.model_id,
+            expected_per_client=requests_per_client,
+            minted=self.minted,
+        )
+        results: dict[tuple[str, int], list[int]] = {}
+        errors: list[BaseException] = []
+        # One shape-only lowering shared by every driver: the client side
+        # never holds weights, and re-lowering per request is pure waste.
+        client_lowered = lower_network(
+            self.network, self.params.t, backend=self.params.backend,
+            shape_only=True,
+        )
+
+        def drive(c: int) -> None:
+            try:
+                for j in range(requests_per_client):
+                    logits = request_inference(
+                        gateway.host,
+                        gateway.port,
+                        self.network,
+                        self.params,
+                        inputs[c][j],
+                        garbler=self.garbler,
+                        client_id=self.client_id(c),
+                        request_index=j,
+                        seed=derive_worker_seed(
+                            self.base_seed + 0xC11E, c * 65536 + j
+                        ),
+                        lowered=client_lowered,
+                    )
+                    results[(self.client_id(c), j)] = logits
+            except BaseException as exc:  # surfaced after the serve loop
+                errors.append(exc)
+
+        gateway.start()
+        try:
+            threads = [
+                threading.Thread(target=drive, args=(c,), daemon=True)
+                for c in range(self.num_clients)
+            ]
+            for t in threads:
+                t.start()
+            gateway.serve(
+                self.num_clients * requests_per_client,
+                timeout=600.0,
+                abort=lambda: bool(errors),
+            )
+            for t in threads:
+                t.join(timeout=60.0)
+            gateway.check_refills()
+        finally:
+            gateway.stop()
+        if errors:
+            raise RuntimeError(
+                f"{len(errors)} gateway client driver(s) failed"
+            ) from errors[0]
+        report = gateway.report()
+        for request in report.requests:
+            request.logits = results.get((request.client, request.index), [])
+        self._occupancy.extend(report.occupancy)
+        return report
+
     def draw_inputs(
         self, requests_per_client: int, input_seed: int = 1
     ) -> list[list[list[int]]]:
@@ -549,6 +654,7 @@ def demo(
     store_dir: str | None = None,
     summary_path: str | None = None,
     pipelined: bool = False,
+    concurrent: bool = False,
     transport: str | None = None,
 ) -> ServingReport:
     """Self-contained serving run on a tiny network.
@@ -559,8 +665,11 @@ def demo(
     summary JSON. Both ``python -m repro --serve N`` and
     ``examples/multi_client_serving.py`` are thin wrappers over this.
     ``budget_mb=0`` means unbounded; ``pipelined`` overlaps refill mints
-    with online serving; ``transport="socket"`` runs every session pair
-    over loopback TCP.
+    with online serving; ``concurrent`` serves through the socket gateway
+    (driver threads over loopback TCP, refill mints in worker processes);
+    ``transport="socket"`` runs every session pair over loopback TCP.
+    When ``store_dir`` is None the temporary store directory is removed
+    before returning (after the summary, if any, is written).
     """
     import json
     import tempfile
@@ -569,18 +678,26 @@ def demo(
     from repro.runtime.pool import PrecomputePool
 
     network, params = demo_network_and_params()
+    made_tempdir = store_dir is None
     root = store_dir or tempfile.mkdtemp(prefix="repro-serving-")
     store = PrecomputeStore(root, byte_budget=int(budget_mb * 1e6) or None)
+    if pipelined and concurrent:
+        raise ValueError("pipelined and concurrent modes are exclusive")
+    mode = (
+        "concurrent gateway"
+        if concurrent
+        else ("pipelined" if pipelined else "serialized")
+    )
     with PrecomputePool(workers=workers) as pool:
         print(
             f"serving {num_clients} clients x {requests_per_client} requests "
             f"({pool.workers} worker(s), budget {budget_mb:g} MB, "
             f"{transport or 'memory'} transport, "
-            f"{'pipelined' if pipelined else 'serialized'} refills, store {root})"
+            f"{mode} refills, store {root})"
         )
         loop = ServingLoop(
             network, params, num_clients, store, pool=pool, garbler="client",
-            pipelined=pipelined, transport=transport,
+            pipelined=pipelined, concurrent=concurrent, transport=transport,
         )
         inputs = loop.draw_inputs(requests_per_client)
         report = loop.run(requests_per_client, inputs=inputs)
@@ -602,10 +719,22 @@ def demo(
         f"{report.mean_online_seconds * 1e3:.0f} ms mean, steady-state "
         f"{report.throughput_rps:.2f} req/s"
     )
+    if report.concurrent:
+        print(
+            f"  refill overlap {report.refill_overlap_seconds:.2f}s, peak "
+            f"{report.peak_live_sessions} live session(s), "
+            f"{report.dropped_sessions} dropped"
+        )
     if summary_path:
         summary = report.summary()
         summary["store_dir"] = root
         with open(summary_path, "w") as fh:
             json.dump(summary, fh, indent=2, sort_keys=True)
         print(f"  queue-depth summary written to {summary_path}")
+    if made_tempdir:
+        # The demo created this directory; a long-lived host running the
+        # smoke entry point repeatedly must not accrete orphaned stores.
+        import shutil
+
+        shutil.rmtree(root, ignore_errors=True)
     return report

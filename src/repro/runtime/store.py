@@ -24,6 +24,7 @@ import hashlib
 import json
 import os
 import struct
+import threading
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
@@ -95,7 +96,10 @@ class PrecomputeStore:
 
     ``byte_budget=None`` disables eviction (unbounded store). Access is
     single-process by design — the store models one party's local buffer,
-    not a shared service; the serving layers coordinate through the pool.
+    not a shared service — but thread-safe within that process: the
+    serving gateway's background refill worker admits entries while the
+    selector thread drains them, so every index mutation (and the
+    eviction counter) runs under one internal lock.
     """
 
     def __init__(self, root, byte_budget: int | None = None):
@@ -103,6 +107,7 @@ class PrecomputeStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.byte_budget = byte_budget
         self.evictions = 0
+        self._lock = threading.RLock()
         self._index: dict = {"seq": 0, "entries": {}}
         index_path = self.root / INDEX_NAME
         # A leftover .tmp means a crash interrupted _save_index before its
@@ -191,11 +196,13 @@ class PrecomputeStore:
 
     @property
     def total_bytes(self) -> int:
-        return sum(e["bytes"] for e in self._index["entries"].values())
+        with self._lock:
+            return sum(e["bytes"] for e in self._index["entries"].values())
 
     @property
     def entry_count(self) -> int:
-        return len(self._index["entries"])
+        with self._lock:
+            return len(self._index["entries"])
 
     def _evict_to_budget(self, keep: str) -> None:
         if self.byte_budget is None:
@@ -230,37 +237,39 @@ class PrecomputeStore:
             raise ValueError(
                 f"entry of {len(blob)} bytes exceeds the {self.byte_budget}-byte budget"
             )
-        seq = self._next_seq()
-        if name is None:
-            name = f"{seq:08d}"
-        rel = self._rel(key, kind, name)
-        path = self.root / rel
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_bytes(blob)
-        # "created" orders the FIFO drain (names/take); "seq" is the LRU
-        # recency that get() refreshes and eviction consults.
-        self._index["entries"][rel] = {
-            "bytes": len(blob), "seq": seq, "created": seq, "kind": kind,
-        }
-        self._evict_to_budget(keep=rel)
-        self._save_index()
+        with self._lock:
+            seq = self._next_seq()
+            if name is None:
+                name = f"{seq:08d}"
+            rel = self._rel(key, kind, name)
+            path = self.root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(blob)
+            # "created" orders the FIFO drain (names/take); "seq" is the LRU
+            # recency that get() refreshes and eviction consults.
+            self._index["entries"][rel] = {
+                "bytes": len(blob), "seq": seq, "created": seq, "kind": kind,
+            }
+            self._evict_to_budget(keep=rel)
+            self._save_index()
         return name
 
     def get(self, key: StoreKey, kind: str, name: str) -> bytes | None:
         """Fetch an entry (refreshing its LRU position), or None."""
-        rel = self._rel(key, kind, name)
-        entry = self._index["entries"].get(rel)
-        if entry is None:
-            return None
-        try:
-            blob = (self.root / rel).read_bytes()
-        except OSError:
-            self._remove(rel)
+        with self._lock:
+            rel = self._rel(key, kind, name)
+            entry = self._index["entries"].get(rel)
+            if entry is None:
+                return None
+            try:
+                blob = (self.root / rel).read_bytes()
+            except OSError:
+                self._remove(rel)
+                self._save_index()
+                return None
+            entry["seq"] = self._next_seq()
             self._save_index()
-            return None
-        entry["seq"] = self._next_seq()
-        self._save_index()
-        return blob
+            return blob
 
     def take(self, key: StoreKey, kind: str, name: str | None = None) -> bytes | None:
         """Consume an entry: fetch and delete (oldest-inserted if unnamed).
@@ -271,29 +280,31 @@ class PrecomputeStore:
         index write per consume (no LRU refresh for an entry that is
         being removed anyway).
         """
-        if name is None:
-            names = self.names(key, kind)
-            if not names:
+        with self._lock:
+            if name is None:
+                names = self.names(key, kind)
+                if not names:
+                    return None
+                name = names[0]
+            rel = self._rel(key, kind, name)
+            if rel not in self._index["entries"]:
                 return None
-            name = names[0]
-        rel = self._rel(key, kind, name)
-        if rel not in self._index["entries"]:
-            return None
-        try:
-            blob = (self.root / rel).read_bytes()
-        except OSError:
-            blob = None
-        self._remove(rel)
-        self._save_index()
-        return blob
+            try:
+                blob = (self.root / rel).read_bytes()
+            except OSError:
+                blob = None
+            self._remove(rel)
+            self._save_index()
+            return blob
 
     def delete(self, key: StoreKey, kind: str, name: str) -> bool:
-        rel = self._rel(key, kind, name)
-        if rel not in self._index["entries"]:
-            return False
-        self._remove(rel)
-        self._save_index()
-        return True
+        with self._lock:
+            rel = self._rel(key, kind, name)
+            if rel not in self._index["entries"]:
+                return False
+            self._remove(rel)
+            self._save_index()
+            return True
 
     def names(self, key: StoreKey, kind: str) -> list[str]:
         """Entry names of one kind under a key, oldest (by insertion) first.
@@ -302,11 +313,12 @@ class PrecomputeStore:
         :meth:`get` must not change which one :meth:`take` drains next.
         """
         prefix = "/".join(key.parts()) + "/" + _sanitize(kind) + "-"
-        matches = [
-            (entry.get("created", entry["seq"]), rel)
-            for rel, entry in self._index["entries"].items()
-            if rel.startswith(prefix)
-        ]
+        with self._lock:
+            matches = [
+                (entry.get("created", entry["seq"]), rel)
+                for rel, entry in self._index["entries"].items()
+                if rel.startswith(prefix)
+            ]
         return [
             rel[len(prefix) : -len(".bin")] for _, rel in sorted(matches)
         ]

@@ -1,0 +1,224 @@
+"""Transport lifecycle regressions: close/drain, connect retry, listener.
+
+Each test here pins one of the concrete contract fixes that the
+concurrent serving gateway depends on:
+
+* ``SocketTransport.recv`` after ``close()`` must still deliver frames
+  that were already complete in the userspace buffer (``pending`` was
+  advertising them; raising ``TransportClosed`` anyway contradicted it).
+* ``SocketTransport.connect`` must not sleep after its *final* failed
+  attempt, and must name the attempt count in the error.
+* ``SocketListener.accept`` must catch the ``TimeoutError`` builtin
+  (``socket.timeout`` is a deprecated alias of it since 3.10) and
+  translate it to ``TransportError``.
+* The selector hooks — ``fileno()`` / ``needs_flush`` / ``flush()`` on
+  transports, ``fileno()`` / ``poll_accept()`` on listeners — behave as
+  the gateway's event loop assumes.
+"""
+
+import selectors
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.network.transport import (
+    SocketListener,
+    SocketTransport,
+    TransportClosed,
+    TransportError,
+)
+
+
+def _frame(payload: bytes) -> bytes:
+    return struct.pack("<I", len(payload)) + payload
+
+
+class TestRecvAfterClose:
+    def test_buffered_complete_frames_survive_close(self):
+        """Frames fully received before close() are still deliverable."""
+        client, server = SocketTransport.loopback_pair()
+        try:
+            client.send(b"first")
+            client.send(b"second")
+            # Pull both frames into the server's userspace buffer without
+            # consuming them, then close the receiving endpoint.
+            deadline = time.monotonic() + 5
+            while len(server._buf) < len(_frame(b"first") + _frame(b"second")):
+                chunk = server._sock.recv(65536)
+                server._buf += chunk
+                assert time.monotonic() < deadline
+            server.close()
+            assert server.pending  # advertised...
+            assert server.recv(wait=False) == b"first"  # ...and delivered
+            assert server.recv() == b"second"
+            with pytest.raises(TransportClosed):
+                server.recv()
+        finally:
+            client.close()
+            server.close()
+
+    def test_half_received_frame_is_not_deliverable(self):
+        """A frame whose tail never arrived raises, never truncates."""
+        client, server = SocketTransport.loopback_pair()
+        try:
+            server._buf += _frame(b"whole") + _frame(b"torn")[:-2]
+            server.close()
+            assert server.recv() == b"whole"
+            assert not server.pending
+            with pytest.raises(TransportClosed):
+                server.recv()
+        finally:
+            client.close()
+            server.close()
+
+
+class TestConnectRetries:
+    def _dead_port(self) -> int:
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()  # nothing listens here any more
+        return port
+
+    def test_no_sleep_after_final_attempt(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", lambda s: sleeps.append(s))
+        with pytest.raises(TransportError):
+            SocketTransport.connect(
+                "127.0.0.1", self._dead_port(), retries=3, delay=0.25
+            )
+        # 3 attempts, sleeps only *between* them: 2, not 3.
+        assert sleeps == [0.25, 0.25]
+
+    def test_single_attempt_never_sleeps(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(time, "sleep", lambda s: sleeps.append(s))
+        with pytest.raises(TransportError):
+            SocketTransport.connect(
+                "127.0.0.1", self._dead_port(), retries=1, delay=5.0
+            )
+        assert sleeps == []
+
+    def test_error_reports_attempt_count_and_cause(self, monkeypatch):
+        monkeypatch.setattr(time, "sleep", lambda s: None)
+        with pytest.raises(TransportError) as excinfo:
+            SocketTransport.connect(
+                "127.0.0.1", self._dead_port(), retries=3
+            )
+        message = str(excinfo.value)
+        assert "3 attempt(s)" in message
+        assert "refused" in message.lower() or "Errno" in message
+
+    def test_zero_retries_still_attempts_once(self, monkeypatch):
+        monkeypatch.setattr(time, "sleep", lambda s: None)
+        with pytest.raises(TransportError) as excinfo:
+            SocketTransport.connect(
+                "127.0.0.1", self._dead_port(), retries=0
+            )
+        assert "1 attempt(s)" in str(excinfo.value)
+
+
+class TestListener:
+    def test_accept_timeout_raises_transport_error(self):
+        with SocketListener() as listener:
+            with pytest.raises(TransportError, match="accept timed out"):
+                listener.accept(timeout=0.05)
+            # The listening socket must come back blocking and reusable.
+            assert listener._sock.gettimeout() is None
+            client = SocketTransport.connect(
+                "127.0.0.1", listener.port, retries=1
+            )
+            server = listener.accept(timeout=5.0)
+            client.send(b"after-timeout")
+            assert server.recv() == b"after-timeout"
+            client.close()
+            server.close()
+
+    def test_poll_accept_returns_none_without_pending_connection(self):
+        with SocketListener() as listener:
+            assert listener.poll_accept() is None
+            # And leaves the listener in blocking mode for accept().
+            assert listener._sock.getblocking()
+
+    def test_poll_accept_accepts_pending_connection(self):
+        with SocketListener() as listener:
+            client = SocketTransport.connect(
+                "127.0.0.1", listener.port, retries=1
+            )
+            deadline = time.monotonic() + 5
+            server = None
+            while server is None and time.monotonic() < deadline:
+                server = listener.poll_accept()
+            assert server is not None
+            assert server._sock.getblocking()  # not inherited non-blocking
+            client.send(b"via-poll")
+            assert server.recv() == b"via-poll"
+            client.close()
+            server.close()
+
+    def test_fileno_registers_with_a_selector(self):
+        with SocketListener() as listener:
+            sel = selectors.DefaultSelector()
+            sel.register(listener, selectors.EVENT_READ)
+            assert sel.select(timeout=0) == []  # nothing pending yet
+            client = SocketTransport.connect(
+                "127.0.0.1", listener.port, retries=1
+            )
+            events = sel.select(timeout=5.0)
+            assert len(events) == 1
+            server = listener.poll_accept()
+            assert server is not None
+            sel.close()
+            client.close()
+            server.close()
+
+
+class TestSelectorHooks:
+    def test_transport_fileno_matches_socket(self):
+        client, server = SocketTransport.loopback_pair()
+        try:
+            assert client.fileno() == client._sock.fileno()
+            sel = selectors.DefaultSelector()
+            sel.register(server, selectors.EVENT_READ)
+            client.send(b"ping")
+            assert len(sel.select(timeout=5.0)) == 1
+            assert server.recv(wait=False) == b"ping"
+            sel.close()
+        finally:
+            client.close()
+            server.close()
+
+    def test_needs_flush_tracks_outbox_and_flush_drains_it(self):
+        client, server = SocketTransport.loopback_pair()
+        try:
+            assert not client.needs_flush
+            # Force bytes to park in the userspace outbox by stuffing the
+            # kernel buffers: send far more than the socket pair absorbs.
+            blob = bytes(1 << 20)
+            parked = False
+            for _ in range(64):
+                client.send(blob)
+                if client.needs_flush:
+                    parked = True
+                    break
+            assert parked, "outbox never backed up — enlarge the burst"
+            # Drain the peer; flush() must then empty the outbox.
+            received = 0
+            deadline = time.monotonic() + 30
+            while client.needs_flush:
+                assert time.monotonic() < deadline
+                if server.recv(wait=False) is not None:
+                    received += 1
+                client.flush()
+            assert received > 0
+        finally:
+            client.close()
+            server.close()
+
+    def test_flush_on_closed_transport_is_a_noop(self):
+        client, server = SocketTransport.loopback_pair()
+        client.close()
+        client.flush()  # must not raise
+        server.close()

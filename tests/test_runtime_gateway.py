@@ -1,0 +1,312 @@
+"""Concurrent serving gateway: correctness under real concurrency.
+
+The gateway multiplexes many live client sockets on one selector thread
+while refill mints run through the pool's async surface — none of which
+may change a single output bit. These tests pin that down:
+
+* logits served concurrently are byte-identical to per-client sequential
+  reference runs (same mint seeds), with full hit rate and the same mint
+  count as the serialized drain;
+* under a byte budget tight enough to evict, misses demand-run the
+  offline phase over the wire and still match the plaintext oracle;
+* forked OS-process clients (nothing shared but the socket) verify their
+  logits and exit clean;
+* a client that dies mid-protocol is dropped without disturbing the
+  other live sessions;
+* on a multi-core host, concurrent serving beats the serialized drain on
+  ``throughput_rps`` (the whole point of the overlap).
+"""
+
+import multiprocessing
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import HybridProtocol, tiny_dataset, tiny_mlp
+from repro.core.lowering import lower_network, plaintext_reference
+from repro.he.params import fast_params
+from repro.network.transport import SocketTransport
+from repro.runtime import (
+    PrecomputePool,
+    PrecomputeStore,
+    ServingGateway,
+    ServingLoop,
+    request_inference,
+)
+from repro.runtime.gateway import (
+    decode_hello,
+    decode_offer,
+    encode_hello,
+    encode_offer,
+    pick_refill_client,
+)
+
+PARAMS = fast_params(n=256)
+
+
+def _network(hidden=8):
+    network = tiny_mlp(tiny_dataset(size=4, channels=1, classes=3), hidden=hidden)
+    network.randomize_weights(PARAMS.t, np.random.default_rng(0))
+    return network
+
+
+# -- wire codecs and refill policy ----------------------------------------------
+
+
+def test_gateway_wire_codecs_roundtrip():
+    assert decode_hello(encode_hello("client7", 3)) == ("client7", 3)
+    assert decode_hello(encode_hello("", 0)) == ("", 0)
+    hit, blob = decode_offer(encode_offer(True, b"precompute-bytes"))
+    assert hit and blob == b"precompute-bytes"
+    hit, blob = decode_offer(encode_offer(False))
+    assert not hit and blob == b""
+    from repro.network.transport import TransportError
+
+    with pytest.raises(TransportError):
+        decode_hello(encode_offer(True, b"x"))
+    with pytest.raises(TransportError):
+        decode_offer(encode_hello("client0", 0))
+
+
+def test_pick_refill_client_prefers_earliest_miss():
+    # Client 1 drains fastest relative to its buffer: it misses first.
+    assert pick_refill_client([1, 1, 1], [2.0, 1.0, 4.0], [1.0, 2.0, 1.0]) == 1
+    # Only credited clients are eligible.
+    assert pick_refill_client([0, 1, 0], [2.0, 9.0, 0.0], [5.0, 0.1, 5.0]) == 1
+    # Never-consuming clients (rate 0) rank last, tie-broken by buffer.
+    assert pick_refill_client([1, 1], [3.0, 1.0], [0.0, 0.0]) == 1
+    # No credits anywhere: nothing to refill.
+    assert pick_refill_client([0, 0], [1.0, 1.0], [1.0, 1.0]) is None
+
+
+# -- concurrent serving correctness ---------------------------------------------
+
+
+def test_concurrent_serving_matches_sequential_reference(tmp_path):
+    """3 clients x 2 requests through the gateway: logits byte-identical
+    to per-client sequential mint-then-serve runs, full hit rate, and the
+    same number of mints as the serialized drain would perform."""
+    network = _network()
+    store = PrecomputeStore(tmp_path)
+    with PrecomputePool(workers=1) as pool:
+        loop = ServingLoop(
+            network, PARAMS, 3, store, pool=pool, garbler="client",
+            concurrent=True,
+        )
+        inputs = loop.draw_inputs(2)
+        report = loop.run(2, inputs=inputs)
+
+    assert report.concurrent
+    assert len(report.requests) == 6
+    assert report.hit_rate == 1.0  # ample budget: no request paid a miss
+    assert report.demand_mints == 0
+    assert report.minted == 6  # prefill + refills == the serialized count
+    assert report.dropped_sessions == 0
+    assert report.peak_live_sessions >= 1
+    assert loop.minted == [2, 2, 2]
+    for request in report.requests:
+        c = int(request.client[len("client"):])
+        sequential = HybridProtocol(
+            network, PARAMS, garbler="client",
+            seed=loop.mint_seed(c, request.index),
+        )
+        sequential.run_offline()
+        assert request.logits == sequential.run_online(inputs[c][request.index])
+
+    summary = report.summary()
+    assert summary["concurrent"] is True
+    for key in ("refill_overlap_seconds", "peak_live_sessions",
+                "dropped_sessions"):
+        assert key in summary
+    import json
+
+    json.dumps(summary)  # must stay uploadable by the CI smoke job
+
+
+def test_concurrent_serving_under_eviction_pressure(tmp_path):
+    """A budget that can't hold every client's precompute: admissions
+    evict, evicted clients demand-run the offline phase over the wire,
+    and every logit vector still matches the plaintext oracle."""
+    network = _network()
+    store = PrecomputeStore(tmp_path, byte_budget=200_000)
+    with PrecomputePool(workers=1) as pool:
+        loop = ServingLoop(
+            network, PARAMS, 3, store, pool=pool, garbler="client",
+            concurrent=True,
+        )
+        inputs = loop.draw_inputs(2)
+        report = loop.run(2, inputs=inputs)
+
+    assert len(report.requests) == 6
+    assert report.evictions > 0  # the budget actually bit
+    assert store.total_bytes <= 200_000  # never exceeded
+    lowered = lower_network(network, PARAMS.t)
+    for request in report.requests:
+        c = int(request.client[len("client"):])
+        assert request.logits == plaintext_reference(
+            lowered, inputs[c][request.index]
+        )
+
+
+# -- forked OS-process clients ---------------------------------------------------
+
+
+def _forked_client_main(port, client_index, requests):
+    """Child process: request inferences and verify logits, or exit 1."""
+    from repro.runtime.gateway import request_inference
+
+    network = _network()
+    oracle = lower_network(network, PARAMS.t)
+    shape = lower_network(network, PARAMS.t, shape_only=True)
+    rng = np.random.default_rng(900 + client_index)
+    for j in range(requests):
+        x = rng.integers(0, PARAMS.t, size=16).tolist()
+        logits = request_inference(
+            "127.0.0.1", port, network, PARAMS, x, garbler="client",
+            client_id=f"client{client_index}", request_index=j, lowered=shape,
+        )
+        assert logits == plaintext_reference(oracle, x)
+
+
+def test_gateway_serves_forked_client_processes(tmp_path):
+    """N real OS processes against one gateway: nothing shared but TCP."""
+    network = _network()
+    store = PrecomputeStore(tmp_path)
+    clients, requests = 2, 1
+    with PrecomputePool(workers=1) as pool:
+        gateway = ServingGateway(
+            network, PARAMS, clients, store, pool=pool, garbler="client",
+            expected_per_client=requests,
+        )
+        gateway.start()
+        procs = [
+            multiprocessing.Process(
+                target=_forked_client_main, args=(gateway.port, c, requests)
+            )
+            for c in range(clients)
+        ]
+        try:
+            for p in procs:
+                p.start()
+            gateway.serve(clients * requests, timeout=300.0)
+            for p in procs:
+                p.join(timeout=60)
+            gateway.check_refills()
+        finally:
+            gateway.stop()
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+                    p.join()
+    assert [p.exitcode for p in procs] == [0] * clients
+    report = gateway.report()
+    assert len(report.requests) == clients * requests
+    assert report.hit_rate == 1.0
+    assert report.dropped_sessions == 0
+    served = {(r.client, r.index) for r in report.requests}
+    assert served == {(f"client{c}", j) for c in range(clients)
+                      for j in range(requests)}
+
+
+# -- failure isolation -----------------------------------------------------------
+
+
+def test_gateway_drops_dead_client_without_disturbing_others(tmp_path):
+    """A client that vanishes mid-protocol costs exactly its own session."""
+    network = _network()
+    store = PrecomputeStore(tmp_path)
+    with PrecomputePool(workers=1) as pool:
+        gateway = ServingGateway(
+            network, PARAMS, 2, store, pool=pool, garbler="client",
+            expected_per_client=1,
+        )
+        gateway.start()
+        survivor_logits = []
+        errors = []
+
+        def victim():
+            # Handshake through the offer — a hit consumes client1's
+            # precompute — then die without ever starting the online phase.
+            try:
+                transport = SocketTransport.connect(
+                    "127.0.0.1", gateway.port, retries=5
+                )
+                transport.send(encode_hello("client1", 0))
+                hit, _ = decode_offer(transport.recv(wait=True))
+                assert hit
+                transport._sock.close()  # abrupt death, no clean close
+            except BaseException as exc:  # pragma: no cover - debug aid
+                errors.append(exc)
+
+        def survivor():
+            try:
+                x = list(range(16))
+                survivor_logits.append(
+                    request_inference(
+                        "127.0.0.1", gateway.port, network, PARAMS, x,
+                        garbler="client", client_id="client0",
+                    )
+                )
+            except BaseException as exc:
+                errors.append(exc)
+
+        try:
+            victim_thread = threading.Thread(target=victim, daemon=True)
+            victim_thread.start()
+            survivor_thread = threading.Thread(target=survivor, daemon=True)
+            survivor_thread.start()
+            gateway.serve(1, timeout=300.0)
+            # The victim's death is observed asynchronously; keep polling
+            # until the gateway notices and drops it.
+            deadline = time.monotonic() + 60
+            while gateway.dropped_sessions < 1:
+                assert time.monotonic() < deadline
+                gateway.poll(0.05)
+            victim_thread.join(timeout=60)
+            survivor_thread.join(timeout=60)
+        finally:
+            gateway.stop()
+
+    assert errors == []
+    assert gateway.dropped_sessions == 1
+    report = gateway.report()
+    assert len(report.requests) == 1  # only the survivor completed
+    assert report.requests[0].client == "client0"
+    oracle = lower_network(network, PARAMS.t)
+    assert survivor_logits == [plaintext_reference(oracle, list(range(16)))]
+
+
+# -- wall-clock overlap ----------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="wall-clock overlap needs at least two cores",
+)
+def test_concurrent_throughput_beats_serialized(tmp_path):
+    """With refill mints in worker processes, the drain window must shrink
+    versus the serialized mint-then-serve schedule on the same pool."""
+    network = _network()
+    reports = {}
+    for mode in ("serialized", "concurrent"):
+        store = PrecomputeStore(tmp_path / mode)
+        with PrecomputePool(workers=2, min_shard=4) as pool:
+            loop = ServingLoop(
+                network, PARAMS, 3, store, pool=pool, garbler="client",
+                concurrent=(mode == "concurrent"),
+            )
+            inputs = loop.draw_inputs(2)
+            reports[mode] = loop.run(2, inputs=inputs)
+
+    serialized, concurrent = reports["serialized"], reports["concurrent"]
+    assert {tuple(r.logits) for r in concurrent.requests} == {
+        tuple(r.logits) for r in serialized.requests
+    }
+    assert concurrent.refill_overlap_seconds > 0.0
+    assert concurrent.throughput_rps > serialized.throughput_rps, (
+        f"concurrent {concurrent.throughput_rps:.2f} req/s did not beat "
+        f"serialized {serialized.throughput_rps:.2f} req/s"
+    )

@@ -66,9 +66,34 @@ def test_resolve_workers_precedence(monkeypatch):
     assert resolve_workers(None, default=1) == 5
     assert resolve_workers(2) == 2  # explicit beats env
     monkeypatch.setenv("REPRO_WORKERS", "junk")
-    assert resolve_workers(None, default=1) == 1  # fail soft
+    with pytest.warns(RuntimeWarning):
+        assert resolve_workers(None, default=1) == 1  # fail soft, loudly
     monkeypatch.setenv("REPRO_WORKERS", "0")
     assert resolve_workers(None, default=1) == 1  # floored at one
+
+
+def test_resolve_workers_warns_naming_the_bad_value(monkeypatch):
+    """An unparseable REPRO_WORKERS must not be silently swallowed.
+
+    The fallback is deliberate (a broken environment should not kill a
+    run), but the warning must name the offending value so the user can
+    see why their worker-count setting had no effect.
+    """
+    monkeypatch.setenv("REPRO_WORKERS", "all-the-cores")
+    with pytest.warns(RuntimeWarning, match="all-the-cores"):
+        assert resolve_workers(None, default=1) == 1
+    with pytest.warns(RuntimeWarning, match="REPRO_WORKERS"):
+        resolve_workers(None)
+    # A parseable value stays silent...
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert resolve_workers(None, default=1) == 2
+        # ...and so does an explicit argument, which never consults env.
+        monkeypatch.setenv("REPRO_WORKERS", "junk")
+        assert resolve_workers(4) == 4
 
 
 def test_plan_shards_covers_and_balances():
@@ -330,3 +355,83 @@ def test_pool_inline_when_single_worker():
     assert pool._pool is None  # no processes were spawned
     assert runtime_state.worker_index() is None  # parent untouched
     pool.close()
+
+
+# -- async submission surface ----------------------------------------------------
+
+
+def test_apply_async_inline_resolves_at_submit():
+    """workers<=1 runs the job inline: ready immediately, same process."""
+    import math
+
+    with PrecomputePool(workers=1) as pool:
+        seen = []
+        job = pool.apply_async(math.sqrt, 16.0, callback=seen.append)
+        assert job.ready()
+        assert job.get() == 4.0
+        assert seen == [4.0]  # callback ran synchronously
+        assert pool._pool is None  # still no processes
+
+
+def test_apply_async_inline_captures_exceptions():
+    import math
+
+    with PrecomputePool(workers=1) as pool:
+        seen = []
+        job = pool.apply_async(math.sqrt, -1.0, callback=seen.append)
+        assert job.ready()  # resolved — to an error
+        with pytest.raises(ValueError):
+            job.get()
+        assert seen == []  # callback must not fire on failure
+
+
+def test_apply_async_pooled_runs_in_worker():
+    import math
+    import time
+
+    with PrecomputePool(workers=2) as pool:
+        jobs = [pool.apply_async(math.sqrt, float(n * n)) for n in range(1, 6)]
+        assert [job.get(timeout=60) for job in jobs] == [1.0, 2.0, 3.0, 4.0, 5.0]
+        deadline = time.monotonic() + 60
+        while not all(job.ready() for job in jobs):
+            assert time.monotonic() < deadline
+        failing = pool.apply_async(math.sqrt, -1.0)
+        with pytest.raises(ValueError):
+            failing.get(timeout=60)
+
+
+def test_apply_async_pooled_callback_fires():
+    import math
+    import time
+
+    with PrecomputePool(workers=2) as pool:
+        seen = []
+        job = pool.apply_async(math.sqrt, 81.0, callback=seen.append)
+        assert job.get(timeout=60) == 9.0
+        deadline = time.monotonic() + 60
+        while not seen:  # callback runs on the pool's result thread
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        assert seen == [9.0]
+
+
+def test_pool_creation_is_thread_safe():
+    """Racing first submissions must materialize exactly one process pool."""
+    import math
+    import threading
+
+    with PrecomputePool(workers=2) as pool:
+        barrier = threading.Barrier(4)
+        results = []
+
+        def submit():
+            barrier.wait()
+            results.append(pool.apply_async(math.sqrt, 4.0).get(timeout=60))
+
+        threads = [threading.Thread(target=submit) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert results == [2.0, 2.0, 2.0, 2.0]
+        assert pool._pool is not None

@@ -255,3 +255,45 @@ def test_constructor_pool_serves_run_online():
         pooled.channel.summary()["online_down"]
         == sequential.channel.summary()["online_down"]
     )
+
+
+def test_demo_cleans_up_created_store_dir(tmp_path, monkeypatch, capsys):
+    """demo() must remove the temp store dir it created — and only that.
+
+    A host running the smoke entry point repeatedly must not accrete
+    orphaned store directories; a caller-supplied ``store_dir`` stays
+    untouched (it is the caller's directory, not the demo's).
+    """
+    import tempfile
+
+    from repro.runtime.serving import demo
+
+    created = []
+    real_mkdtemp = tempfile.mkdtemp
+
+    def recording_mkdtemp(*args, **kwargs):
+        kwargs.setdefault("dir", str(tmp_path))
+        path = real_mkdtemp(*args, **kwargs)
+        created.append(path)
+        return path
+
+    monkeypatch.setattr(tempfile, "mkdtemp", recording_mkdtemp)
+    summary_path = tmp_path / "summary.json"
+    demo(
+        num_clients=1, requests_per_client=1, workers=1,
+        summary_path=str(summary_path),
+    )
+    assert len(created) == 1
+    import json
+    import os
+
+    assert not os.path.exists(created[0])  # cleaned up after the run
+    summary = json.loads(summary_path.read_text())  # written before cleanup
+    assert summary["store_dir"] == created[0]
+
+    supplied = tmp_path / "keep-me"
+    supplied.mkdir()
+    demo(num_clients=1, requests_per_client=1, workers=1,
+         store_dir=str(supplied))
+    assert supplied.exists()  # caller-owned directory is preserved
+    assert len(created) == 1  # and no temp dir was created for it
