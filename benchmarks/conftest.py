@@ -14,6 +14,7 @@ across PRs. Run the suite under each backend to populate both columns::
 """
 
 import json
+import os
 import platform
 import time
 
@@ -49,6 +50,11 @@ def _collect_primitive_stats(session):
                 "mean_s": bench.stats.mean,
                 "min_s": bench.stats.min,
                 "rounds": bench.stats.rounds,
+                # Host provenance per row: scaling annotations and perf
+                # diffs are only comparable between rows recorded on
+                # like-for-like hardware.
+                "cpu_count": os.cpu_count(),
+                "platform": platform.platform(),
             }
         except (AttributeError, TypeError):  # incomplete run; skip quietly
             continue

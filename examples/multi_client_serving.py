@@ -306,7 +306,25 @@ def main() -> None:
         "--analytic", action="store_true",
         help="also run the paper-scale analytic multi-client simulator",
     )
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="enable the telemetry spine (tracing + metrics); logits are "
+        "byte-identical either way",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="with --telemetry: export Chrome trace-event JSONL "
+        "(load at https://ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="with --telemetry: write Prometheus text exposition here",
+    )
     args = parser.parse_args()
+    if args.telemetry:
+        from repro import telemetry
+
+        telemetry.configure(enabled=True)
     functional_run(args)
     if args.concurrent:
         gateway_forked_demo(
@@ -317,6 +335,16 @@ def main() -> None:
         two_process_demo(min(args.clients, 2), max(1, min(args.requests, 2)))
     if args.analytic:
         analytic_run()
+    if args.telemetry:
+        from repro.telemetry import METRICS, TRACER
+
+        if args.trace_out:
+            count = TRACER.export_jsonl(args.trace_out)
+            print(f"wrote {count} trace events to {args.trace_out}")
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(METRICS.to_prometheus())
+            print(f"wrote metrics to {args.metrics_out}")
 
 
 if __name__ == "__main__":

@@ -105,22 +105,76 @@ def main(argv: list[str] | None = None) -> int:
         help="global precompute store byte budget (with --serve; "
         "0 = unbounded)",
     )
+    parser.add_argument(
+        "--serve-summary",
+        default=None,
+        metavar="PATH",
+        help="with --serve: write the ServingReport summary JSON here",
+    )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="enable the telemetry spine (structured tracing + metrics "
+        "registry) for this run; equivalent to REPRO_TELEMETRY=1. "
+        "Transcripts and logits are byte-identical either way",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="with --telemetry: export the collected trace as Chrome "
+        "trace-event JSONL (load at https://ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="with --telemetry: write the metrics registry as Prometheus "
+        "text exposition",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="with --serve-concurrent: print the gateway's live stats "
+        "snapshot (per-client latency quantiles, queue depth, store "
+        "occupancy, expected time-to-miss) fetched over the GWS1 wire op",
+    )
     args = parser.parse_args(argv)
     if args.backend is not None:
         set_backend(args.backend)
+    if args.telemetry:
+        from repro import telemetry
+
+        telemetry.configure(enabled=True)
 
     if args.serve is not None:
         from repro.runtime.serving import demo
 
-        demo(
+        report = demo(
             num_clients=max(1, args.serve),
             requests_per_client=max(1, args.serve_requests),
             workers=args.workers,
             budget_mb=args.serve_budget_mb,
+            summary_path=args.serve_summary,
             pipelined=args.serve_pipelined,
             concurrent=args.serve_concurrent,
             transport=args.transport,
         )
+        if args.stats and report.gateway_stats:
+            import json
+
+            print("gateway stats:")
+            print(json.dumps(report.gateway_stats, indent=2, sort_keys=True))
+        if args.telemetry:
+            from repro.telemetry import METRICS, TRACER
+
+            if args.trace_out:
+                count = TRACER.export_jsonl(args.trace_out)
+                print(f"wrote {count} trace events to {args.trace_out}")
+            if args.metrics_out:
+                with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                    fh.write(METRICS.to_prometheus())
+                print(f"wrote metrics to {args.metrics_out}")
         return 0
 
     if args.list or not args.experiments:

@@ -77,6 +77,7 @@ from repro.network.serialize import (
     serialize_public_key,
 )
 from repro.ot.extension import iknp_transfer, iknp_wire_bytes
+from repro.telemetry import TRACER, now_us, section
 
 # step() results
 DONE = "done"
@@ -256,6 +257,8 @@ class ProtocolSession:
         self._phase: str | None = None
         self._primed = False
         self._result = None
+        self._trace_track: int | None = None
+        self._phase_start_us: int | None = None
         validate_packing(self.lowered, self.params.row_size)
 
     # -- identity -----------------------------------------------------------
@@ -349,6 +352,13 @@ class ProtocolSession:
         self._phase = phase
         self._gen = gen
         self._primed = False
+        if TRACER.enabled:
+            # Session phases interleave with other sessions on the same
+            # thread (the gateway selector loop, the pipelined drain), so
+            # each session gets its own virtual track for its phase spans.
+            if self._trace_track is None:
+                self._trace_track = TRACER.new_track(f"{self.role}-session")
+            self._phase_start_us = now_us()
 
     def start_offline(self, pool=None) -> None:
         """Arm the offline phase (HE correlations + garbling + OT)."""
@@ -387,6 +397,15 @@ class ProtocolSession:
             raise
 
     def _finish_phase(self, completed: bool) -> None:
+        if TRACER.enabled and self._phase_start_us is not None:
+            TRACER.emit_since(
+                f"session.{self.role}.{self._phase}",
+                self._phase_start_us,
+                tid=self._trace_track,
+                garbler=self.garbler_role,
+                completed=completed,
+            )
+        self._phase_start_us = None
         self._gen = None
         self._active_pool = None
         if self._own_pool is not None:
@@ -423,15 +442,16 @@ class ProtocolSession:
         under the same rng.
         """
         layer_rngs = [self.rng.spawn() for _ in plan]
-        if self._active_pool is not None:
-            return self._active_pool.garble_layers(
-                [(circuit, n, rng) for (_, _, _, n), rng in zip(plan, layer_rngs)],
-                vectorize=self._vectorize_gc,
-            )
-        return [
-            Garbler(rng).garble_batch(circuit, n, vectorize=self._vectorize_gc)
-            for (_, _, _, n), rng in zip(plan, layer_rngs)
-        ]
+        with section("gc", "gc.garble_layers", layers=len(plan)):
+            if self._active_pool is not None:
+                return self._active_pool.garble_layers(
+                    [(circuit, n, rng) for (_, _, _, n), rng in zip(plan, layer_rngs)],
+                    vectorize=self._vectorize_gc,
+                )
+            return [
+                Garbler(rng).garble_batch(circuit, n, vectorize=self._vectorize_gc)
+                for (_, _, _, n), rng in zip(plan, layer_rngs)
+            ]
 
     # -- offline state transplant (precompute store integration) --------------
 
@@ -488,10 +508,11 @@ class ClientSession(ProtocolSession):
         params = self.params
         ctx = BfvContext(params, self.rng.spawn())
         encoder = BatchEncoder(params)
-        sk, pk = ctx.keygen()
-        gk = ctx.galois_keygen(
-            sk, [encoder.galois_element_for_rotation(1)], pool=self._active_pool
-        )
+        with section("he_linear", "he.keygen"):
+            sk, pk = ctx.keygen()
+            gk = ctx.galois_keygen(
+                sk, [encoder.galois_element_for_rotation(1)], pool=self._active_pool
+            )
         self._send(serialize_public_key(pk), payload=pk)
         self._send(serialize_galois_keys(gk), payload=gk)
         self._ctx, self._encoder, self._sk = ctx, encoder, sk
@@ -505,13 +526,15 @@ class ClientSession(ProtocolSession):
         self.client_linear_share = []
         # HE pass: send Enc(r_i); the server returns Enc(W r_i - s_i).
         for lin, r in zip(self.lowered.linears, self.client_r):
-            ct = ctx.encrypt(pk, encoder.encode(packer.pack_vector(r)))
+            with section("he_linear", "he.encrypt"):
+                ct = ctx.encrypt(pk, encoder.encode(packer.pack_vector(r)))
             self.counters.he_encryptions += 1
             self._send(serialize_ciphertext(ct), payload=ct)
             frame = yield
             ct_out = deserialize_ciphertext(frame, params)
             self._note_recv(ct_out)
-            share = encoder.decode(ctx.decrypt(sk, ct_out))[: lin.n_out]
+            with section("he_linear", "he.decrypt"):
+                share = encoder.decode(ctx.decrypt(sk, ct_out))[: lin.n_out]
             self.counters.he_decryptions += 1
             self.client_linear_share.append(share)
 
@@ -608,9 +631,10 @@ class ClientSession(ProtocolSession):
                     labels = dict(bundle.evaluator_labels[j])
                     labels.update(zip(circuit.garbler_inputs, garbler_labels))
                     labels_batch.append(labels)
-                output_label_batch = evaluator.evaluate_batch(
-                    bundle.circuits, labels_batch, vectorize=self._vectorize_gc
-                )
+                with section("gc", "gc.evaluate_batch", width=n):
+                    output_label_batch = evaluator.evaluate_batch(
+                        bundle.circuits, labels_batch, vectorize=self._vectorize_gc
+                    )
                 self.counters.gc_circuits_evaluated += len(labels_batch)
                 self._send(
                     serialize_label_lists(output_label_batch),
@@ -633,9 +657,10 @@ class ClientSession(ProtocolSession):
                         pairs.append(
                             (encoding.label_for(wire, 0), encoding.label_for(wire, 1))
                         )
-                received, transcript = iknp_transfer(
-                    pairs, choices, self.rng.spawn(), pool=self._active_pool
-                )
+                with section("ot", "ot.iknp_transfer", pairs=len(pairs)):
+                    received, transcript = iknp_transfer(
+                        pairs, choices, self.rng.spawn(), pool=self._active_pool
+                    )
                 self.counters.ots_performed += len(pairs)
                 self._send(
                     serialize_labels(received),
@@ -709,9 +734,10 @@ class ServerSession(ProtocolSession):
             frame = yield
             ct = deserialize_ciphertext(frame, params)
             self._note_recv(ct)
-            ct_y = evaluator.matvec(ct, lin.matrix)
-            s_row = list(s) + [0] * (row - lin.n_out)
-            ct_out = ctx.sub_plain(ct_y, encoder.encode(s_row + s_row))
+            with section("he_linear", "he.matvec", n_out=lin.n_out):
+                ct_y = evaluator.matvec(ct, lin.matrix)
+                s_row = list(s) + [0] * (row - lin.n_out)
+                ct_out = ctx.sub_plain(ct_y, encoder.encode(s_row + s_row))
             self._send(serialize_ciphertext(ct_out), payload=ct_out)
         self.counters.he_rotations = evaluator.rotations_performed
         self.counters.he_plain_mults = evaluator.plain_mults_performed
@@ -749,9 +775,10 @@ class ServerSession(ProtocolSession):
                     pairs.append(
                         (encoding.label_for(wire, 0), encoding.label_for(wire, 1))
                     )
-            received, transcript = iknp_transfer(
-                pairs, choices, self.rng.spawn(), pool=self._active_pool
-            )
+            with section("ot", "ot.iknp_transfer", pairs=len(pairs)):
+                received, transcript = iknp_transfer(
+                    pairs, choices, self.rng.spawn(), pool=self._active_pool
+                )
             self.counters.ots_performed += len(pairs)
             # Chosen labels plus each instance's constant-wire labels (the
             # monolith handed constants over directly; on the wire they
@@ -819,38 +846,44 @@ class ServerSession(ProtocolSession):
         for pos, (kind, lin_idx) in enumerate(self.lowered.steps):
             if kind == "linear":
                 lin = self.lowered.linears[lin_idx]
-                server_vec = mod_add_vec(
-                    matvec_mod(lin.matrix, server_vec, p, prefer=self._backend_pref),
-                    self.server_s[lin_idx],
-                    p,
-                    prefer=self._backend_pref,
-                )
+                with section("he_linear", "linear.matvec_mod", n_out=lin.n_out):
+                    server_vec = mod_add_vec(
+                        matvec_mod(
+                            lin.matrix, server_vec, p, prefer=self._backend_pref
+                        ),
+                        self.server_s[lin_idx],
+                        p,
+                        prefer=self._backend_pref,
+                    )
                 continue
             bundle = self._relu_bundles[pos]
             if self.garbler_role == "server":
                 # Ship the labels of this side's share; the client
                 # evaluates and returns output labels; decode here.
-                all_labels = []
-                for j, value in enumerate(server_vec):
-                    encoding = bundle.encodings[j]
-                    bits = int_to_bits(value, self.bits)
-                    all_labels.append(
-                        [
-                            encoding.label_for(w, b)
-                            for w, b in zip(circuit.garbler_inputs, bits)
-                        ]
-                    )
+                with section("gc", "gc.encode_labels", width=len(server_vec)):
+                    all_labels = []
+                    for j, value in enumerate(server_vec):
+                        encoding = bundle.encodings[j]
+                        bits = int_to_bits(value, self.bits)
+                        all_labels.append(
+                            [
+                                encoding.label_for(w, b)
+                                for w, b in zip(circuit.garbler_inputs, bits)
+                            ]
+                        )
                 self._send(serialize_label_lists(all_labels), payload=all_labels)
                 frame = yield
                 output_label_batch = deserialize_label_lists(frame)
                 self._note_recv(output_label_batch)
-                out = []
-                for j, out_labels in enumerate(output_label_batch):
-                    bits = Garbler.decode_output_labels(
-                        bundle.encodings[j], circuit, out_labels
-                    )
-                    out.append(words_to_int(bits))
-                server_vec = out
+                with section("gc", "gc.decode_outputs",
+                             width=len(output_label_batch)):
+                    out = []
+                    for j, out_labels in enumerate(output_label_batch):
+                        bits = Garbler.decode_output_labels(
+                            bundle.encodings[j], circuit, out_labels
+                        )
+                        out.append(words_to_int(bits))
+                    server_vec = out
             else:
                 # Fetch labels for this side's share via online OT, then
                 # evaluate and decode locally (decode bits shipped offline).
@@ -869,14 +902,17 @@ class ServerSession(ProtocolSession):
                     chunk = received[j * per : (j + 1) * per]
                     labels.update(zip(circuit.evaluator_inputs, chunk))
                     labels_batch.append(labels)
-                output_label_batch = evaluator.evaluate_batch(
-                    bundle.circuits, labels_batch, vectorize=self._vectorize_gc
-                )
-                self.counters.gc_circuits_evaluated += len(labels_batch)
-                server_vec = [
-                    words_to_int(evaluator.decode(garbled, out_labels))
-                    for garbled, out_labels in zip(bundle.circuits, output_label_batch)
-                ]
+                with section("gc", "gc.evaluate_batch", width=len(labels_batch)):
+                    output_label_batch = evaluator.evaluate_batch(
+                        bundle.circuits, labels_batch, vectorize=self._vectorize_gc
+                    )
+                    self.counters.gc_circuits_evaluated += len(labels_batch)
+                    server_vec = [
+                        words_to_int(evaluator.decode(garbled, out_labels))
+                        for garbled, out_labels in zip(
+                            bundle.circuits, output_label_batch
+                        )
+                    ]
 
         # Final reconstruction: ship this side's output share.
         self._send(serialize_field_vector(server_vec, p), payload=server_vec)

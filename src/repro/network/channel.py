@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.telemetry import METRICS
+
 CLIENT = "client"
 SERVER = "server"
 
@@ -87,6 +89,13 @@ class Channel:
         phase_stats = self.phase_stats[self._phase][direction]
         phase_stats.messages += 1
         phase_stats.bytes += size
+        if METRICS.enabled:
+            METRICS.counter(
+                "channel_messages_total", phase=self._phase, dir=direction
+            ).inc()
+            METRICS.counter(
+                "channel_bytes_total", phase=self._phase, dir=direction
+            ).inc(size)
         return size
 
     def recv(self, receiver: str):

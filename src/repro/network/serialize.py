@@ -44,6 +44,45 @@ FMT_LABEL_LISTS = 0x0A
 FMT_CIRCUIT_BATCH = 0x0B
 
 
+_FMT_NAMES = {
+    FMT_FIELD_VECTOR: "field_vector",
+    FMT_CIPHERTEXT: "ciphertext",
+    FMT_LABELS: "labels",
+    FMT_LABEL_MAP: "label_map",
+    FMT_INPUT_ENCODING: "input_encoding",
+    FMT_GARBLED_CIRCUIT: "garbled_circuit",
+    FMT_PUBLIC_KEY: "public_key",
+    FMT_GALOIS_KEYS: "galois_keys",
+    FMT_BIT_VECTOR: "bit_vector",
+    FMT_LABEL_LISTS: "label_lists",
+    FMT_CIRCUIT_BATCH: "circuit_batch",
+}
+
+# Gateway control frames carry their own 4-byte magics (see
+# runtime/gateway.py); the frame classifier names them too so the
+# per-message-type transport counters cover the whole wire vocabulary.
+_GATEWAY_MAGIC_NAMES = {
+    b"GWH1": "gateway_hello",
+    b"GWO1": "gateway_offer",
+    b"GWS1": "gateway_stats",
+}
+
+
+def frame_format_name(frame: bytes) -> str:
+    """Classify a wire frame by message type, for telemetry counters.
+
+    Never raises: frames that are neither protocol messages nor gateway
+    control frames are counted as ``"unknown"``.
+    """
+    head = bytes(frame[:4])
+    name = _GATEWAY_MAGIC_NAMES.get(head)
+    if name is not None:
+        return name
+    if len(head) >= 4 and head[:2] == WIRE_MAGIC:
+        return _FMT_NAMES.get(head[3], f"fmt_0x{head[3]:02x}")
+    return "unknown"
+
+
 def wire_header(fmt: int) -> bytes:
     return WIRE_MAGIC + bytes((WIRE_VERSION, fmt))
 

@@ -25,6 +25,8 @@ import struct
 import time
 from collections import deque
 
+from repro.telemetry import record_frame
+
 _LENGTH_BYTES = 4
 _MAX_FRAME = 1 << 31  # sanity bound: a torn length prefix fails loudly
 _SOCKET_BUF = 1 << 20
@@ -86,11 +88,14 @@ class InMemoryTransport(Transport):
     def send(self, frame: bytes) -> None:
         if self._closed:
             raise TransportClosed("transport is closed")
+        record_frame("send", frame)
         self._outbox.append(bytes(frame))
 
     def recv(self, wait: bool = True) -> bytes | None:
         if self._inbox:
-            return self._inbox.popleft()
+            frame = self._inbox.popleft()
+            record_frame("recv", frame)
+            return frame
         if self._closed:
             raise TransportClosed("transport is closed")
         if wait:
@@ -159,6 +164,7 @@ class SocketTransport(Transport):
     def send(self, frame: bytes) -> None:
         if self._closed:
             raise TransportClosed("transport is closed")
+        record_frame("send", frame)
         self._outbox += struct.pack("<I", len(frame)) + frame
         self._flush(block=False)
 
@@ -206,7 +212,9 @@ class SocketTransport(Transport):
             # (``pending`` advertises them); only an empty buffer is an
             # error. A half-received frame is not: its tail is gone.
             if self._frame_ready():
-                return self._pop_frame()
+                frame = self._pop_frame()
+                record_frame("recv", frame)
+                return frame
             raise TransportClosed("transport is closed")
         while not self._frame_ready():
             self._flush(block=False)
@@ -228,7 +236,9 @@ class SocketTransport(Transport):
             if not chunk:
                 raise TransportClosed("peer closed the connection")
             self._buf += chunk
-        return self._pop_frame()
+        frame = self._pop_frame()
+        record_frame("recv", frame)
+        return frame
 
     @property
     def pending(self) -> bool:

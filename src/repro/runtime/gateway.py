@@ -48,6 +48,7 @@ multiplexing — not a security property (see ARCHITECTURE.md).
 
 from __future__ import annotations
 
+import json
 import selectors
 import struct
 import threading
@@ -61,6 +62,14 @@ from repro.network.transport import (
 )
 from repro.runtime.state import derive_worker_seed
 from repro.runtime.store import KIND_OFFLINE, StoreKey
+from repro.telemetry import (
+    METRICS,
+    PHASES,
+    TRACER,
+    MetricsRegistry,
+    now_us,
+    section,
+)
 
 # -- wire frames -----------------------------------------------------------------
 #
@@ -70,6 +79,7 @@ from repro.runtime.store import KIND_OFFLINE, StoreKey
 
 _HELLO_MAGIC = b"GWH1"
 _OFFER_MAGIC = b"GWO1"
+_STATS_MAGIC = b"GWS1"
 
 
 def encode_hello(client_id: str, request_index: int) -> bytes:
@@ -93,6 +103,21 @@ def decode_offer(frame: bytes) -> tuple[bool, bytes]:
     if frame[:4] != _OFFER_MAGIC:
         raise TransportError("not a gateway offer frame")
     return frame[4] == 1, bytes(frame[5:])
+
+
+def encode_stats_request() -> bytes:
+    """Client -> gateway: asks for a live stats snapshot (no session)."""
+    return _STATS_MAGIC
+
+
+def encode_stats_reply(stats: dict) -> bytes:
+    return _STATS_MAGIC + json.dumps(stats, sort_keys=True).encode()
+
+
+def decode_stats_reply(frame: bytes) -> dict:
+    if frame[:4] != _STATS_MAGIC:
+        raise TransportError("not a gateway stats frame")
+    return json.loads(bytes(frame[4:]).decode())
 
 
 # -- refill jobs -----------------------------------------------------------------
@@ -245,6 +270,17 @@ class _Connection:
         self._mint_start = 0.0
         self._online_start = 0.0
         self.registered_events = selectors.EVENT_READ
+        # Request-latency clock (always on: feeds the live stats
+        # histograms) plus, under tracing, a per-connection virtual
+        # track carrying the accept -> offer -> online -> complete spans.
+        self.accepted = time.perf_counter()
+        self._track: int | None = None
+        self._t_accept_us: int | None = None
+        self._t_offline_us: int | None = None
+        self._t_online_us: int | None = None
+        if TRACER.enabled:
+            self._track = TRACER.new_track("gateway-conn")
+            self._t_accept_us = now_us()
 
     def on_event(self, mask: int) -> None:
         try:
@@ -263,6 +299,14 @@ class _Connection:
         if self.state == self.HELLO:
             frame = self.transport.recv(wait=False)
             if frame is None:
+                return
+            if frame[:4] == _STATS_MAGIC:
+                # A monitoring peer, not a protocol client: answer with a
+                # live snapshot and close. No session is created and the
+                # session seed counter never advances, so stats probes
+                # cannot perturb a serving run's transcripts.
+                self.transport.send(encode_stats_reply(self.gateway.stats()))
+                self.gateway._drop(self, error=None)
                 return
             self.client_id, self.request_index = decode_hello(frame)
             self.queue_depth = max(0, self.gateway._live_count() - 1)
@@ -285,16 +329,32 @@ class _Connection:
         if self.state == self.OFFLINE:
             from repro.core.session import DONE
 
-            if self.session.step() != DONE:
+            with TRACER.span(
+                "gateway.step", client=self.client_id, state=self.state
+            ):
+                done = self.session.step() == DONE
+            if not done:
                 return
             self.mint_seconds = time.perf_counter() - self._mint_start
+            if self._t_offline_us is not None:
+                TRACER.emit_since(
+                    "gateway.offline", self._t_offline_us, tid=self._track,
+                    client=self.client_id,
+                )
+                self._t_offline_us = None
             self.session.start_online(pool=self.gateway.pool)
             self._online_start = time.perf_counter()
+            if TRACER.enabled and self._track is not None:
+                self._t_online_us = now_us()
             self.state = self.ONLINE
         if self.state == self.ONLINE:
             from repro.core.session import DONE
 
-            if self.session.step() != DONE:
+            with TRACER.span(
+                "gateway.step", client=self.client_id, state=self.state
+            ):
+                done = self.session.step() == DONE
+            if not done:
                 return
             self.gateway._complete(self, time.perf_counter() - self._online_start)
 
@@ -308,6 +368,8 @@ class _Connection:
             self.session.load_offline_state(*server_state)
             self.session.start_online(pool=self.gateway.pool)
             self._online_start = time.perf_counter()
+            if TRACER.enabled and self._track is not None:
+                self._t_online_us = now_us()
             self.state = self.ONLINE
         else:
             # Miss: the demand mint runs over the wire, on this request's
@@ -315,6 +377,8 @@ class _Connection:
             # measured miss penalty.
             self.transport.send(encode_offer(False))
             self._mint_start = time.perf_counter()
+            if TRACER.enabled and self._track is not None:
+                self._t_offline_us = now_us()
             self.session.start_offline(pool=self.gateway.pool)
             self.state = self.OFFLINE
 
@@ -428,6 +492,13 @@ class ServingGateway:
         self.listener: SocketListener | None = None
         self._selector = None
         self._refill_worker: _RefillWorker | None = None
+        # Request-granularity latency histograms for the live stats
+        # surface. Always on — decoupled from the global telemetry flag,
+        # so GWS1 stats work without --telemetry; observations happen
+        # once per completed request, never on the per-message hot path.
+        self._stats_registry = MetricsRegistry(enabled=True)
+        # Exclusive-time decomposition accumulated across serve() windows.
+        self._phase_totals: dict[str, float] = {}
 
     # -- identity (mirrors ServingLoop, so seeds and keys line up) ------------
 
@@ -451,7 +522,19 @@ class ServingGateway:
 
     def start(self) -> None:
         """Prefill buffers, bind the listener, start the refill worker."""
-        start = time.perf_counter()
+        with TRACER.timed_span("gateway.prefill", prefill=self.prefill) as tspan:
+            self._prefill()
+        self.prefill_seconds = tspan.seconds
+
+        self.listener = SocketListener(
+            host=self.host, backlog=max(8, 2 * self.num_clients)
+        )
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self.listener, selectors.EVENT_READ, None)
+        self._refill_worker = _RefillWorker(self, self._refill_inflight)
+        self._refill_worker.start()
+
+    def _prefill(self) -> None:
         jobs = []
         for _ in range(self.prefill):
             for c in range(self.num_clients):
@@ -476,21 +559,16 @@ class ServingGateway:
         # all clients evenly — same admission order as the serial loop.
         for c, index, job in jobs:
             self._admit(c, index, job.get())
-        self.prefill_seconds = time.perf_counter() - start
-
-        self.listener = SocketListener(
-            host=self.host, backlog=max(8, 2 * self.num_clients)
-        )
-        self._selector = selectors.DefaultSelector()
-        self._selector.register(self.listener, selectors.EVENT_READ, None)
-        self._refill_worker = _RefillWorker(self, self._refill_inflight)
-        self._refill_worker.start()
 
     def poll(self, timeout: float = 0.05) -> None:
         """One selector round: accept, step ready sessions, flush outboxes."""
         if self._selector is None:
             raise RuntimeError("gateway not started")
-        for key, mask in self._selector.select(timeout=timeout):
+        # Selector waits are the "queue" bucket of the decomposition
+        # (no-op unless serve() opened a window on this thread).
+        with PHASES.phase("queue"):
+            events = self._selector.select(timeout=timeout)
+        for key, mask in events:
             if key.data is None:
                 self._accept_pending()
             else:
@@ -532,17 +610,28 @@ class ServingGateway:
         """
         if self._serve_start is None:
             self._serve_start = time.perf_counter()
-        deadline = None if timeout is None else time.monotonic() + timeout
-        while len(self._served) < total_requests:
-            if abort is not None and abort():
-                break
-            self.poll(0.05)
-            if deadline is not None and time.monotonic() > deadline:
-                raise TransportError(
-                    f"gateway timed out with {len(self._served)}/"
-                    f"{total_requests} requests served"
-                )
-        self.serve_seconds = time.perf_counter() - self._serve_start
+        # The window brackets exactly this drain loop, so its exclusive
+        # buckets decompose serve_seconds (they sum to the window's
+        # wall-clock by construction).
+        window = PHASES.open_window(root="wire") if TRACER.enabled else None
+        try:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while len(self._served) < total_requests:
+                if abort is not None and abort():
+                    break
+                self.poll(0.05)
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TransportError(
+                        f"gateway timed out with {len(self._served)}/"
+                        f"{total_requests} requests served"
+                    )
+            self.serve_seconds = time.perf_counter() - self._serve_start
+        finally:
+            if window is not None:
+                for name, seconds in window.close().items():
+                    self._phase_totals[name] = (
+                        self._phase_totals.get(name, 0.0) + seconds
+                    )
         return self.serve_seconds
 
     def drain_refills(self, timeout: float = 60.0) -> None:
@@ -608,7 +697,68 @@ class ServingGateway:
             peak_live_sessions=self.peak_live_sessions,
             dropped_sessions=self.dropped_sessions,
             occupancy=list(self._occupancy),
+            phase_seconds={
+                k: round(v, 6) for k, v in self._phase_totals.items()
+            },
+            gateway_stats=self.stats(),
         )
+
+    def stats(self) -> dict:
+        """Live JSON-safe stats snapshot (any thread, including wire op).
+
+        Built entirely from the always-on ``_stats_registry`` plus state
+        guarded by ``_state_lock``, so a ``GWS1`` probe mid-serve sees a
+        coherent picture without perturbing session transcripts.
+        """
+        served = list(self._served)
+        with self._state_lock:
+            rates, buffered = self._rates_and_buffered_locked()
+            pending = list(self._pending_mints)
+            credits = list(self._credits)
+            # Sessions, not sockets: a stats probe (or a pre-hello
+            # connection) holds no session and must not count itself.
+            live = sum(
+                1 for conn in list(self._connections)
+                if conn.session is not None
+            )
+        clients = {}
+        for c in range(self.num_clients):
+            cid = self.client_id(c)
+            hist = self._stats_registry.histogram(
+                "gateway_request_seconds", client=cid
+            )
+            rate = rates[c]
+            clients[cid] = {
+                "requests": hist.count,
+                "latency_p50": round(hist.quantile(0.50), 6),
+                "latency_p95": round(hist.quantile(0.95), 6),
+                "latency_p99": round(hist.quantile(0.99), 6),
+                "rate_rps": round(rate, 6),
+                "buffered": buffered[c],
+                "pending_mints": pending[c],
+                "refill_credits": credits[c],
+                # How long until this client's buffer runs dry at its
+                # observed request rate — None while the rate is still 0.
+                "expected_time_to_miss": (
+                    round(buffered[c] / rate, 6) if rate > 0 else None
+                ),
+            }
+        hits = sum(1 for r in served if r.hit)
+        return {
+            "served": len(served),
+            "hit_rate": round(hits / len(served), 6) if served else 0.0,
+            "live_sessions": live,
+            "peak_live_sessions": self.peak_live_sessions,
+            "dropped_sessions": self.dropped_sessions,
+            "queue_depth": max(0, live - 1),
+            "refill_inflight": sum(pending),
+            "store": {
+                "bytes": self.store.total_bytes,
+                "entries": self.store.entry_count,
+                "evictions": self.store.evictions - self._evictions_before,
+            },
+            "clients": clients,
+        }
 
     # -- selector-side internals ----------------------------------------------
 
@@ -652,20 +802,48 @@ class ServingGateway:
         """
         from repro.core.protocol import split_offline_state
 
-        key = self.store_key(client_id)
-        name = next(iter(self.store.names(key, KIND_OFFLINE)), None)
-        blob = self.store.get(key, KIND_OFFLINE, name) if name else None
-        if blob is None:
-            return None
-        _, server_state = split_offline_state(
-            blob, self.lowered, self._circuit, self.garbler, self.truncate_bits
-        )
-        self.store.delete(key, KIND_OFFLINE, name)
-        return blob, server_state
+        # Charged wholesale to the "store" bucket: the split is part of
+        # the price of serving from storage (nested store.get/delete
+        # sections are fine — exclusive accounting handles re-entry).
+        with section("store", "gateway.take_precompute", client=client_id):
+            key = self.store_key(client_id)
+            name = next(iter(self.store.names(key, KIND_OFFLINE)), None)
+            blob = self.store.get(key, KIND_OFFLINE, name) if name else None
+            if blob is None:
+                return None
+            _, server_state = split_offline_state(
+                blob, self.lowered, self._circuit, self.garbler,
+                self.truncate_bits,
+            )
+            self.store.delete(key, KIND_OFFLINE, name)
+            return blob, server_state
 
     def _complete(self, conn: _Connection, online_seconds: float) -> None:
         from repro.runtime.serving import ServedRequest
 
+        latency = time.perf_counter() - conn.accepted
+        self._stats_registry.histogram(
+            "gateway_request_seconds", client=conn.client_id
+        ).observe(latency)
+        self._stats_registry.counter(
+            "gateway_requests_total",
+            client=conn.client_id,
+            result="hit" if conn.hit else "miss",
+        ).inc()
+        if METRICS.enabled:
+            METRICS.histogram(
+                "gateway_request_seconds", client=conn.client_id
+            ).observe(latency)
+        if conn._t_online_us is not None:
+            TRACER.emit_since(
+                "gateway.online", conn._t_online_us, tid=conn._track,
+                client=conn.client_id,
+            )
+        if conn._t_accept_us is not None:
+            TRACER.emit_since(
+                "gateway.request", conn._t_accept_us, tid=conn._track,
+                client=conn.client_id, index=conn.request_index, hit=conn.hit,
+            )
         self._served.append(
             ServedRequest(
                 client=conn.client_id,
@@ -737,19 +915,30 @@ class ServingGateway:
             self._pending_mints[c] += 1
             return index
 
+    def _rates_and_buffered_locked(self) -> tuple[list[float], list[int]]:
+        """Per-client consumption rates and buffer depths (state lock held).
+
+        Rates are measured over the serve window so far; depth counts
+        stored precomputes plus mints already in flight. Shared by the
+        refill policy and the live stats snapshot, so ``stats()`` reports
+        exactly the numbers ``pick_refill_client`` decides on.
+        """
+        now = time.perf_counter()
+        elapsed = max(now - (self._serve_start or now), 1e-9)
+        rates = [self._consumed[c] / elapsed for c in range(self.num_clients)]
+        buffered = [
+            len(self.store.names(self.store_key(self.client_id(c)), KIND_OFFLINE))
+            + self._pending_mints[c]
+            for c in range(self.num_clients)
+        ]
+        return rates, buffered
+
     def _next_refill_mint(self):
         """Claim the most urgent owed refill: (client, mint index, seed)."""
         with self._state_lock:
             if not any(self._credits):
                 return None
-            now = time.perf_counter()
-            elapsed = max(now - (self._serve_start or now), 1e-9)
-            rates = [self._consumed[c] / elapsed for c in range(self.num_clients)]
-            buffered = [
-                len(self.store.names(self.store_key(self.client_id(c)), KIND_OFFLINE))
-                + self._pending_mints[c]
-                for c in range(self.num_clients)
-            ]
+            rates, buffered = self._rates_and_buffered_locked()
             c = pick_refill_client(self._credits, buffered, rates)
             if c is None:
                 return None
@@ -832,5 +1021,21 @@ def request_inference(
         else:
             session.run_offline()
         return session.run_online(x)
+    finally:
+        transport.close()
+
+
+def request_stats(host: str, port: int, *, retries: int = 40) -> dict:
+    """Fetch a live stats snapshot from a running gateway.
+
+    Speaks the ``GWS1`` wire op: connect, send the 4-byte stats magic
+    where a hello would normally go, read back one JSON frame. The
+    gateway answers from its selector thread without minting a session,
+    so probing is free of transcript side effects.
+    """
+    transport = SocketTransport.connect(host, port, retries=retries)
+    try:
+        transport.send(encode_stats_request())
+        return decode_stats_reply(transport.recv(wait=True))
     finally:
         transport.close()

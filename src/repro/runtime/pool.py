@@ -174,6 +174,62 @@ class _PoolJob(AsyncJob):
         return self._result.get(timeout)
 
 
+def _run_traced_job(packed):
+    """Pool job wrapper: run ``func(job)`` with worker-local telemetry.
+
+    The worker's tracer/metrics are reset and enabled only for this
+    job's duration, and their contents ride home with the value —
+    ``(value, (trace_events, metrics_snapshot))`` — so the parent can
+    attribute pool-side mint costs (:class:`_TracedPoolJob` merges the
+    payload exactly once). Telemetry enablement is deliberately *not*
+    inherited from the parent's environment: this wrapper is the only
+    path that turns it on in a worker.
+    """
+    func, job = packed
+    from repro import telemetry
+
+    telemetry.TRACER.reset()
+    telemetry.METRICS.reset()
+    telemetry.TRACER.enabled = True
+    telemetry.METRICS.enabled = True
+    try:
+        with telemetry.TRACER.span(
+            "pool.job", job=getattr(func, "__name__", str(func))
+        ):
+            value = func(job)
+        return value, (telemetry.TRACER.drain(), telemetry.METRICS.snapshot())
+    finally:
+        telemetry.TRACER.enabled = False
+        telemetry.METRICS.enabled = False
+
+
+class _TracedPoolJob(AsyncJob):
+    """A traced pool job: unwraps the telemetry payload on first get().
+
+    The wrapped result is ``(value, payload)``; the payload is merged
+    into the parent-process tracer/metrics exactly once (get() may be
+    called repeatedly), and callers see only the bare value.
+    """
+
+    def __init__(self, result):
+        self._result = result
+        self._merged = False
+        self._merge_lock = threading.Lock()
+
+    def ready(self) -> bool:
+        return self._result.ready()
+
+    def get(self, timeout: float | None = None):
+        value, payload = self._result.get(timeout)
+        with self._merge_lock:
+            if not self._merged:
+                self._merged = True
+                from repro import telemetry
+
+                telemetry.merge_worker_payload(payload)
+        return value
+
+
 def _garble_rows_job(args):
     """Pool job: deterministic vectorized garble of one row shard."""
     circuit, deltas, zero_labels = args
@@ -305,6 +361,20 @@ class PrecomputePool:
             if callback is not None:
                 callback(value)
             return _ImmediateJob(value)
+        from repro import telemetry
+
+        if telemetry.enabled():
+            # Ship worker-side telemetry home with the result; the
+            # callback still sees the bare value (payloads merge on the
+            # submitting side, at get(), never in the pool's thread).
+            wrapped = None
+            if callback is not None:
+                wrapped = lambda pair: callback(pair[0])  # noqa: E731
+            return _TracedPoolJob(
+                self._ensure_pool().apply_async(
+                    _run_traced_job, ((func, job),), callback=wrapped
+                )
+            )
         return _PoolJob(
             self._ensure_pool().apply_async(func, (job,), callback=callback)
         )

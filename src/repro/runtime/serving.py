@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 
 from repro.runtime.state import derive_worker_seed
 from repro.runtime.store import PrecomputeStore, StoreKey
+from repro.telemetry import PHASES, TRACER
 
 
 @dataclass
@@ -90,6 +91,13 @@ class ServingReport:
     peak_live_sessions: int = 0  # most sockets live at once (gateway)
     dropped_sessions: int = 0  # client sockets that died mid-protocol
     occupancy: list[dict] = field(default_factory=list)
+    # Exclusive-time latency decomposition of the drain window
+    # (queue/store/he_linear/gc/ot/wire -> seconds; sums to
+    # serve_seconds). Populated only when telemetry is enabled.
+    phase_seconds: dict = field(default_factory=dict)
+    # Live gateway stats snapshot (per-client latency quantiles, queue
+    # depth, store occupancy, refill in-flight). Concurrent runs only.
+    gateway_stats: dict = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -161,6 +169,10 @@ class ServingReport:
             "total_mint_seconds": round(self.total_mint_seconds, 6),
             "queue_depths": [r.queue_depth for r in self.requests],
             "occupancy": self.occupancy,
+            "phase_seconds": {
+                k: round(v, 6) for k, v in self.phase_seconds.items()
+            },
+            "gateway_stats": self.gateway_stats,
         }
 
 
@@ -272,10 +284,12 @@ class ServingLoop:
         the paper's ``buffer_capacity == 0`` regime, where serving from
         storage is impossible.
         """
-        start = time.perf_counter()
-        for _ in self._mint_steps(client_index):
-            pass
-        return time.perf_counter() - start
+        with TRACER.timed_span(
+            "serving.mint", client=self.client_id(client_index)
+        ) as span:
+            for _ in self._mint_steps(client_index):
+                pass
+        return span.seconds
 
     def _mint_steps(self, client_index: int):
         """One mint as a stepwise task: yields between scheduler rounds.
@@ -302,11 +316,11 @@ class ServingLoop:
 
     def prefill_buffers(self) -> float:
         """Mint ``prefill`` precomputes per client, interleaved round-robin."""
-        start = time.perf_counter()
-        for _ in range(self.prefill):
-            for c in range(self.num_clients):
-                self.mint_one(c)
-        return time.perf_counter() - start
+        with TRACER.timed_span("serving.prefill", prefill=self.prefill) as span:
+            for _ in range(self.prefill):
+                for c in range(self.num_clients):
+                    self.mint_one(c)
+        return span.seconds
 
     def _sample(self, event: str, client_index: int) -> None:
         self._occupancy.append(
@@ -350,14 +364,21 @@ class ServingLoop:
                         f"{client}: freshly minted precompute immediately "
                         "unavailable — store budget admits no entry"
                     )
-            start = time.perf_counter()
-            server.start_online(x)
-            yield from server.drive_steps()
-            logits = server.client.finish()
+            # Each request's online window goes on its own virtual trace
+            # track: under the pipelined scheduler many requests' windows
+            # interleave on this one thread.
+            track = TRACER.new_track("request") if TRACER.enabled else None
+            with TRACER.timed_span(
+                "serving.online", track=track, client=client,
+                index=request_index, hit=hit,
+            ) as span:
+                server.start_online(x)
+                yield from server.drive_steps()
+                logits = server.client.finish()
             # Measured before teardown (transport close flushes sockets);
             # in pipelined mode this is still wall-clock over the window,
             # including interleaved work — the report's stated basis.
-            online_seconds = time.perf_counter() - start
+            online_seconds = span.seconds
         finally:
             server.shutdown()
         self._sample("serve", client_index)
@@ -417,16 +438,25 @@ class ServingLoop:
         occupancy_before = len(self._occupancy)
         prefill_seconds = self.prefill_buffers()
 
+        # The phase window brackets exactly the perf_counter reads that
+        # define serve_seconds, so its exclusive-time buckets decompose
+        # that very number (they sum to the window by construction).
+        window = PHASES.open_window(root="wire") if TRACER.enabled else None
+        phase_seconds: dict[str, float] = {}
         serve_start = time.perf_counter()
-        if self.pipelined:
-            served, demand_mints, refill_seconds = self._drain_pipelined(
-                requests_per_client, inputs
-            )
-        else:
-            served, demand_mints, refill_seconds = self._drain_sequential(
-                requests_per_client, inputs
-            )
-        serve_seconds = time.perf_counter() - serve_start
+        try:
+            if self.pipelined:
+                served, demand_mints, refill_seconds = self._drain_pipelined(
+                    requests_per_client, inputs
+                )
+            else:
+                served, demand_mints, refill_seconds = self._drain_sequential(
+                    requests_per_client, inputs
+                )
+        finally:
+            serve_seconds = time.perf_counter() - serve_start
+            if window is not None:
+                phase_seconds = window.close()
         return ServingReport(
             num_clients=self.num_clients,
             requests=served,
@@ -438,6 +468,7 @@ class ServingLoop:
             serve_seconds=serve_seconds,
             pipelined=self.pipelined,
             occupancy=list(self._occupancy[occupancy_before:]),
+            phase_seconds=phase_seconds,
         )
 
     def _drain_sequential(self, requests_per_client: int, inputs):
@@ -482,19 +513,19 @@ class ServingLoop:
         """
         served: list[ServedRequest] = []
         state = {"outstanding": self.num_clients * requests_per_client}
-        refill_clock = [0.0]
+        # Each refill is driven through a telemetry StepTimer, which
+        # accrues only the time spent inside resumptions (the old
+        # mutable-cell perf_counter bookkeeping, same per-step
+        # semantics) and — when tracing — spans the refill's wall
+        # window on its own track.
+        refill_timers = []
 
         def timed_refill(c):
-            steps = self._mint_steps(c)
-            while True:
-                t0 = time.perf_counter()
-                try:
-                    next(steps)
-                except StopIteration:
-                    refill_clock[0] += time.perf_counter() - t0
-                    return
-                refill_clock[0] += time.perf_counter() - t0
-                yield
+            timer = TRACER.step_timer(
+                "serving.refill", client=self.client_id(c)
+            )
+            refill_timers.append(timer)
+            yield from timer.drive(self._mint_steps(c))
 
         def client_task(c):
             for j in range(requests_per_client):
@@ -516,7 +547,8 @@ class ServingLoop:
                 continue
             tasks.append(task)
         demand_mints = sum(1 for r in served if not r.hit)
-        return served, demand_mints, refill_clock[0]
+        refill_seconds = sum(t.seconds for t in refill_timers)
+        return served, demand_mints, refill_seconds
 
     def _run_concurrent(self, requests_per_client: int, inputs) -> ServingReport:
         """Serve through the socket gateway: real concurrency, real wire.
@@ -535,7 +567,11 @@ class ServingLoop:
         import threading
 
         from repro.core.lowering import lower_network
-        from repro.runtime.gateway import ServingGateway, request_inference
+        from repro.runtime.gateway import (
+            ServingGateway,
+            request_inference,
+            request_stats,
+        )
 
         gateway = ServingGateway(
             self.network,
@@ -597,6 +633,25 @@ class ServingLoop:
             for t in threads:
                 t.join(timeout=60.0)
             gateway.check_refills()
+            # Exercise the GWS1 stats op over the real wire: a helper
+            # thread connects while this thread keeps the selector loop
+            # turning (the gateway serves stats like any other frame).
+            stats_box: dict = {}
+
+            def fetch_stats() -> None:
+                try:
+                    stats_box["stats"] = request_stats(
+                        gateway.host, gateway.port, retries=5
+                    )
+                except BaseException as exc:  # fall back to the local view
+                    stats_box["error"] = exc
+
+            stats_thread = threading.Thread(target=fetch_stats, daemon=True)
+            stats_thread.start()
+            deadline = time.perf_counter() + 30.0
+            while stats_thread.is_alive() and time.perf_counter() < deadline:
+                gateway.poll(0.05)
+            stats_thread.join(timeout=5.0)
         finally:
             gateway.stop()
         if errors:
@@ -604,6 +659,10 @@ class ServingLoop:
                 f"{len(errors)} gateway client driver(s) failed"
             ) from errors[0]
         report = gateway.report()
+        if "stats" in stats_box:
+            # Prefer the wire-fetched snapshot (it proves GWS1 works
+            # end-to-end); report() already fell back to the local view.
+            report.gateway_stats = stats_box["stats"]
         for request in report.requests:
             request.logits = results.get((request.client, request.index), [])
         self._occupancy.extend(report.occupancy)

@@ -39,6 +39,7 @@ from repro.network.serialize import (
     serialize_input_encoding,
     serialize_label_map,
 )
+from repro.telemetry import METRICS, TRACER, section
 
 INDEX_NAME = "index.json"
 
@@ -215,6 +216,8 @@ class PrecomputeStore:
             victim = min(victims, key=lambda rel: entries[rel]["seq"])
             self._remove(victim)
             self.evictions += 1
+            METRICS.counter("store_evictions_total").inc()
+            TRACER.instant("store.evict", victim=victim)
 
     def _remove(self, rel: str) -> None:
         self._index["entries"].pop(rel, None)
@@ -237,7 +240,7 @@ class PrecomputeStore:
             raise ValueError(
                 f"entry of {len(blob)} bytes exceeds the {self.byte_budget}-byte budget"
             )
-        with self._lock:
+        with section("store", "store.put", kind=kind), self._lock:
             seq = self._next_seq()
             if name is None:
                 name = f"{seq:08d}"
@@ -252,24 +255,31 @@ class PrecomputeStore:
             }
             self._evict_to_budget(keep=rel)
             self._save_index()
+        if METRICS.enabled:
+            METRICS.counter("store_puts_total", kind=kind).inc()
+            METRICS.gauge("store_bytes").set(self.total_bytes)
+            METRICS.gauge("store_entries").set(self.entry_count)
         return name
 
     def get(self, key: StoreKey, kind: str, name: str) -> bytes | None:
         """Fetch an entry (refreshing its LRU position), or None."""
-        with self._lock:
+        blob = None
+        with section("store", "store.get", kind=kind), self._lock:
             rel = self._rel(key, kind, name)
             entry = self._index["entries"].get(rel)
-            if entry is None:
-                return None
-            try:
-                blob = (self.root / rel).read_bytes()
-            except OSError:
-                self._remove(rel)
-                self._save_index()
-                return None
-            entry["seq"] = self._next_seq()
-            self._save_index()
-            return blob
+            if entry is not None:
+                try:
+                    blob = (self.root / rel).read_bytes()
+                except OSError:
+                    self._remove(rel)
+                    self._save_index()
+                else:
+                    entry["seq"] = self._next_seq()
+                    self._save_index()
+        METRICS.counter(
+            "store_gets_total", result="hit" if blob is not None else "miss"
+        ).inc()
+        return blob
 
     def take(self, key: StoreKey, kind: str, name: str | None = None) -> bytes | None:
         """Consume an entry: fetch and delete (oldest-inserted if unnamed).
@@ -280,25 +290,31 @@ class PrecomputeStore:
         index write per consume (no LRU refresh for an entry that is
         being removed anyway).
         """
-        with self._lock:
+        blob = None
+        with section("store", "store.take", kind=kind), self._lock:
             if name is None:
                 names = self.names(key, kind)
-                if not names:
-                    return None
-                name = names[0]
-            rel = self._rel(key, kind, name)
-            if rel not in self._index["entries"]:
-                return None
-            try:
-                blob = (self.root / rel).read_bytes()
-            except OSError:
-                blob = None
-            self._remove(rel)
-            self._save_index()
-            return blob
+                name = names[0] if names else None
+            if name is not None:
+                rel = self._rel(key, kind, name)
+                if rel in self._index["entries"]:
+                    try:
+                        blob = (self.root / rel).read_bytes()
+                    except OSError:
+                        blob = None
+                    self._remove(rel)
+                    self._save_index()
+        if METRICS.enabled:
+            METRICS.counter(
+                "store_takes_total",
+                result="hit" if blob is not None else "miss",
+            ).inc()
+            METRICS.gauge("store_bytes").set(self.total_bytes)
+            METRICS.gauge("store_entries").set(self.entry_count)
+        return blob
 
     def delete(self, key: StoreKey, kind: str, name: str) -> bool:
-        with self._lock:
+        with section("store", "store.delete", kind=kind), self._lock:
             rel = self._rel(key, kind, name)
             if rel not in self._index["entries"]:
                 return False

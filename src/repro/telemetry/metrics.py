@@ -1,0 +1,376 @@
+"""Cross-process metrics registry: counters, gauges, log-bucket histograms.
+
+Series are keyed Prometheus-style — ``name{label="value",...}`` with
+sorted labels — which makes the key both the in-memory dict key and the
+exposition identity, so :func:`snapshot_to_prometheus` /
+:func:`prometheus_to_snapshot` round-trip exactly (the CI contract).
+
+Merging is commutative and associative so worker-process snapshots can
+arrive in any order and produce identical registries: counters and
+histogram buckets *add*, gauges take the *max* (occupancy-style gauges
+want the high-water mark across processes).
+
+When disabled, every factory returns a shared no-op singleton: no
+allocation, no locking — the hot path pays one attribute check.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HISTOGRAM_BOUNDS",
+    "snapshot_to_prometheus",
+    "prometheus_to_snapshot",
+]
+
+# Fixed log2-scale bounds shared by every histogram: 2^-20 (~1 us, as
+# seconds) through 2^10, plus the +Inf overflow bucket. One global
+# layout keeps cross-process bucket merges a plain elementwise add.
+HISTOGRAM_BOUNDS = tuple(2.0 ** e for e in range(-20, 11))
+
+_LABEL_ESCAPE = str.maketrans({"\\": "\\\\", '"': '\\"'})
+_SERIES_RE = re.compile(r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?$')
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def series_key(name: str, labels: dict) -> str:
+    """Canonical series identity: name plus sorted, escaped labels."""
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{k}="{str(v).translate(_LABEL_ESCAPE)}"'
+        for k, v in sorted(labels.items())
+    )
+    return f"{name}{{{inner}}}"
+
+
+def _parse_series_key(key: str) -> tuple[str, dict]:
+    match = _SERIES_RE.match(key)
+    if not match:
+        raise ValueError(f"unparseable series key {key!r}")
+    name, raw = match.group(1), match.group(2)
+    labels = {}
+    if raw:
+        for lmatch in _LABEL_RE.finditer(raw):
+            value = lmatch.group(2).replace('\\"', '"').replace("\\\\", "\\")
+            labels[lmatch.group(1)] = value
+    return name, labels
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram while metrics are disabled."""
+
+    __slots__ = ()
+
+    def inc(self, amount=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class Counter:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed log-scale buckets; supports quantile estimation and merge."""
+
+    __slots__ = ("buckets", "sum", "count")
+
+    def __init__(self):
+        # One count per bound in HISTOGRAM_BOUNDS, plus the +Inf bucket.
+        self.buckets = [0] * (len(HISTOGRAM_BOUNDS) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # Linear scan is fine: 31 bounds, and observations are
+        # request-granularity, not per-coefficient.
+        for i, bound in enumerate(HISTOGRAM_BOUNDS):
+            if value <= bound:
+                self.buckets[i] += 1
+                break
+        else:
+            self.buckets[-1] += 1
+        self.sum += value
+        self.count += 1
+
+    def quantile(self, p: float) -> float:
+        """Estimate the p-quantile by linear interpolation in-bucket."""
+        if self.count == 0:
+            return 0.0
+        target = p * self.count
+        seen = 0
+        for i, bucket_count in enumerate(self.buckets):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count >= target:
+                lo = 0.0 if i == 0 else HISTOGRAM_BOUNDS[i - 1]
+                hi = (HISTOGRAM_BOUNDS[i] if i < len(HISTOGRAM_BOUNDS)
+                      else HISTOGRAM_BOUNDS[-1])
+                frac = (target - seen) / bucket_count
+                return lo + (hi - lo) * min(1.0, max(0.0, frac))
+            seen += bucket_count
+        return HISTOGRAM_BOUNDS[-1]
+
+
+class MetricsRegistry:
+    """Thread-safe series registry with deterministic merge semantics."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _get(self, table, factory, name, labels):
+        key = series_key(name, labels)
+        with self._lock:
+            instrument = table.get(key)
+            if instrument is None:
+                instrument = table[key] = factory()
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self._get(self._counters, Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self._get(self._gauges, Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        return self._get(self._histograms, Histogram, name, labels)
+
+    # -- snapshot / merge ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy, safe to pickle across process boundaries."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in self._counters.items()},
+                "gauges": {k: g.value for k, g in self._gauges.items()},
+                "histograms": {
+                    k: {"buckets": list(h.buckets), "sum": h.sum,
+                        "count": h.count}
+                    for k, h in self._histograms.items()
+                },
+            }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a snapshot in: counters/buckets add, gauges take max."""
+        if not snapshot:
+            return
+        with self._lock:
+            for key, value in snapshot.get("counters", {}).items():
+                counter = self._counters.get(key)
+                if counter is None:
+                    counter = self._counters[key] = Counter()
+                counter.value += value
+            for key, value in snapshot.get("gauges", {}).items():
+                gauge = self._gauges.get(key)
+                if gauge is None:
+                    gauge = self._gauges[key] = Gauge()
+                gauge.value = max(gauge.value, float(value))
+            for key, data in snapshot.get("histograms", {}).items():
+                hist = self._histograms.get(key)
+                if hist is None:
+                    hist = self._histograms[key] = Histogram()
+                for i, n in enumerate(data["buckets"]):
+                    hist.buckets[i] += n
+                hist.sum += data["sum"]
+                hist.count += data["count"]
+
+    def to_prometheus(self) -> str:
+        return snapshot_to_prometheus(self.snapshot())
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+# -- Prometheus text exposition ---------------------------------------------------
+
+
+def _format_value(value) -> str:
+    if isinstance(value, int) and not isinstance(value, bool):
+        return str(value)
+    return repr(float(value))
+
+
+def _split_key(key: str) -> tuple[str, str]:
+    """Split a series key into (name, label body or '')."""
+    brace = key.find("{")
+    if brace < 0:
+        return key, ""
+    return key[:brace], key[brace + 1:-1]
+
+
+def _with_label(key: str, extra: str) -> str:
+    """Append one label term after the existing (sorted) user labels."""
+    name, body = _split_key(key)
+    body = f"{body},{extra}" if body else extra
+    return f"{name}{{{body}}}"
+
+
+def snapshot_to_prometheus(snapshot: dict) -> str:
+    """Render a snapshot as Prometheus text exposition.
+
+    Deterministic: series sorted by key, histograms expanded into
+    cumulative ``_bucket{le=...}`` terms plus ``_sum``/``_count``. The
+    inverse is :func:`prometheus_to_snapshot`; round-tripping text
+    through both is exact.
+    """
+    lines = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+
+    seen_types = set()
+
+    def type_line(key, kind):
+        name, _ = _split_key(key)
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for key in sorted(counters):
+        type_line(key, "counter")
+        lines.append(f"{key} {_format_value(counters[key])}")
+    for key in sorted(gauges):
+        type_line(key, "gauge")
+        lines.append(f"{key} {_format_value(gauges[key])}")
+    for key in sorted(histograms):
+        data = histograms[key]
+        name, _ = _split_key(key)
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for i, bucket_count in enumerate(data["buckets"]):
+            cumulative += bucket_count
+            le = (repr(HISTOGRAM_BOUNDS[i]) if i < len(HISTOGRAM_BOUNDS)
+                  else "+Inf")
+            bucket_key = _with_label(
+                f"{name}_bucket" + key[len(name):], f'le="{le}"'
+            )
+            lines.append(f"{bucket_key} {cumulative}")
+        lines.append(f"{name}_sum{key[len(name):]} "
+                     f"{_format_value(data['sum'])}")
+        lines.append(f"{name}_count{key[len(name):]} {data['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def prometheus_to_snapshot(text: str) -> dict:
+    """Parse text exposition produced by :func:`snapshot_to_prometheus`.
+
+    The inverse of the renderer for its own output format; raises
+    ``ValueError`` on lines it cannot attribute.
+    """
+    types: dict[str, str] = {}
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+
+    def hist_entry(key):
+        entry = histograms.get(key)
+        if entry is None:
+            entry = histograms[key] = {
+                "buckets": [0] * (len(HISTOGRAM_BOUNDS) + 1),
+                "sum": 0.0,
+                "count": 0,
+                "_cumulative": [],
+            }
+        return entry
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        space = line.rfind(" ")
+        if space < 0:
+            raise ValueError(f"line {lineno}: no value in {line!r}")
+        key, raw_value = line[:space], line[space + 1:]
+        name, labels = _parse_series_key(key)
+
+        base = None
+        for suffix in ("_bucket", "_sum", "_count"):
+            candidate = name[:-len(suffix)] if name.endswith(suffix) else None
+            if candidate and types.get(candidate) == "histogram":
+                base = candidate
+                break
+        if base is not None:
+            suffix = name[len(base):]
+            le = labels.pop("le", None)
+            base_key = series_key(base, labels)
+            entry = hist_entry(base_key)
+            if suffix == "_bucket":
+                if le is None:
+                    raise ValueError(f"line {lineno}: bucket without le")
+                entry["_cumulative"].append((le, int(raw_value)))
+            elif suffix == "_sum":
+                entry["sum"] = float(raw_value)
+            else:
+                entry["count"] = int(raw_value)
+            continue
+
+        kind = types.get(name)
+        if kind == "counter":
+            counters[key] = int(raw_value)
+        elif kind == "gauge":
+            gauges[key] = float(raw_value)
+        else:
+            raise ValueError(f"line {lineno}: series {key!r} has no "
+                             f"preceding # TYPE line")
+
+    bound_order = {repr(b): i for i, b in enumerate(HISTOGRAM_BOUNDS)}
+    bound_order["+Inf"] = len(HISTOGRAM_BOUNDS)
+    for key, entry in histograms.items():
+        cumulative = entry.pop("_cumulative")
+        prev = 0
+        for le, value in sorted(cumulative, key=lambda t: bound_order[t[0]]):
+            entry["buckets"][bound_order[le]] = value - prev
+            prev = value
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
