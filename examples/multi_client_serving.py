@@ -128,26 +128,31 @@ def two_process_demo(clients: int, requests: int, garbler: str = "client") -> No
 
 def _gateway_client_main(port: int, client_index: int, requests: int,
                          garbler: str) -> None:
-    """Client process: one gateway request per inference, logits checked.
+    """Client process: one keep-alive connection, all requests over it.
 
     Reconstructs the demo network locally only to know the public layer
     shapes and the plaintext oracle; every protocol byte crosses the
-    gateway's TCP socket.
+    gateway's TCP socket. One HELLO, then a REQ per inference — the
+    ClientSession is recycled between requests, never rebuilt.
     """
     from repro.core.lowering import lower_network, plaintext_reference
-    from repro.runtime.gateway import request_inference
+    from repro.runtime.gateway import GatewayClient
 
     network, params = demo_network_and_params()
     oracle = lower_network(network, params.t)
     shape = lower_network(network, params.t, shape_only=True)
     rng = np.random.default_rng(4200 + client_index)
-    for j in range(requests):
-        x = rng.integers(0, params.t, size=16).tolist()
-        logits = request_inference(
-            "127.0.0.1", port, network, params, x, garbler=garbler,
-            client_id=f"client{client_index}", request_index=j, lowered=shape,
-        )
-        assert logits == plaintext_reference(oracle, x)
+    client = GatewayClient(
+        "127.0.0.1", port, network, params, garbler=garbler,
+        client_id=f"client{client_index}", lowered=shape,
+    )
+    try:
+        for j in range(requests):
+            x = rng.integers(0, params.t, size=16).tolist()
+            logits = client.request(x, request_index=j)
+            assert logits == plaintext_reference(oracle, x)
+    finally:
+        client.close()
 
 
 def gateway_forked_demo(clients: int, requests: int, garbler: str = "client",

@@ -106,6 +106,25 @@ def main(argv: list[str] | None = None) -> int:
         "0 = unbounded)",
     )
     parser.add_argument(
+        "--gateway-wait-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="with --serve-concurrent: seconds a missed request may wait "
+        "in WAIT_STORE for an in-flight refill before demand-minting "
+        "(overrides the REPRO_GATEWAY_WAIT_S environment variable)",
+    )
+    parser.add_argument(
+        "--gateway-max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --serve-concurrent: admission backlog threshold — "
+        "requests arriving while waiters + credits + in-flight mints "
+        "exceed N are answered with BUSY (overrides the "
+        "REPRO_GATEWAY_MAX_QUEUE environment variable)",
+    )
+    parser.add_argument(
         "--serve-summary",
         default=None,
         metavar="PATH",
@@ -159,6 +178,8 @@ def main(argv: list[str] | None = None) -> int:
             pipelined=args.serve_pipelined,
             concurrent=args.serve_concurrent,
             transport=args.transport,
+            gateway_wait_seconds=args.gateway_wait_s,
+            gateway_max_queue=args.gateway_max_queue,
         )
         if args.stats and report.gateway_stats:
             import json

@@ -285,6 +285,17 @@ class HybridProtocol:
         self._end_phase()
         self.close()
 
+    def reset_for_request(self) -> None:
+        """Recycle both sessions for a fresh request (keep-alive reuse).
+
+        Mirrors :meth:`ProtocolSession.reset_for_request`: the transports,
+        channel accounting, counters, lowerings, and RNG streams survive;
+        the per-request offline state is cleared so the pair can run (or
+        adopt) a new offline phase and serve another inference.
+        """
+        self.client.reset_for_request()
+        self.server.reset_for_request()
+
     # -- phase scheduling ------------------------------------------------------
 
     def _phase_pool(self, create_own: bool):

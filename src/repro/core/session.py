@@ -83,6 +83,18 @@ from repro.telemetry import TRACER, now_us, section
 DONE = "done"
 WAITING = "waiting"
 
+# Session lifecycle states. A session is *connection*-scoped and serves
+# many requests over its lifetime; each request walks
+# NEW → [OFFLINE →] READY → ONLINE → COMPLETE, and
+# ``reset_for_request()`` re-arms a COMPLETE session back to NEW while
+# keeping the connection-scoped state (transport, channel accounting,
+# counters, lowering, circuit cache, RNG stream, pool wiring).
+LIFE_NEW = "new"
+LIFE_OFFLINE = "offline"
+LIFE_READY = "ready"
+LIFE_ONLINE = "online"
+LIFE_COMPLETE = "complete"
+
 
 @dataclass
 class ReluBundle:
@@ -252,7 +264,7 @@ class ProtocolSession:
         self._own_pool = None
         self._relu_circuit_cache: Circuit | None = None
         self._relu_bundles: dict[int, ReluBundle] = {}
-        self._offline_done = False
+        self.lifecycle = LIFE_NEW
         self._gen = None
         self._phase: str | None = None
         self._primed = False
@@ -269,7 +281,7 @@ class ProtocolSession:
 
     @property
     def offline_done(self) -> bool:
-        return self._offline_done
+        return self.lifecycle in (LIFE_READY, LIFE_ONLINE, LIFE_COMPLETE)
 
     @property
     def active_phase(self) -> str | None:
@@ -362,9 +374,15 @@ class ProtocolSession:
 
     def start_offline(self, pool=None) -> None:
         """Arm the offline phase (HE correlations + garbling + OT)."""
-        if self._offline_done:
-            raise RuntimeError("offline phase already complete")
+        if self._gen is not None:
+            raise RuntimeError(f"a {self._phase} phase is already in progress")
+        if self.lifecycle != LIFE_NEW:
+            raise RuntimeError(
+                f"cannot start offline from lifecycle state {self.lifecycle!r}"
+                " — reset_for_request() re-arms a completed session"
+            )
         self._begin_phase("offline", self._offline_gen(), pool, allow_own_pool=True)
+        self.lifecycle = LIFE_OFFLINE
 
     def step(self, wait: bool = False) -> str:
         """Advance the active phase as far as the transport allows.
@@ -411,8 +429,12 @@ class ProtocolSession:
         if self._own_pool is not None:
             self._own_pool.close()
             self._own_pool = None
-        if completed and self._phase == "offline":
-            self._offline_done = True
+        if self._phase == "offline":
+            # A failed offline phase must not look finished: the lifecycle
+            # rolls back to NEW so the session can be re-armed (or reset).
+            self.lifecycle = LIFE_READY if completed else LIFE_NEW
+        else:
+            self.lifecycle = LIFE_COMPLETE if completed else LIFE_READY
         self._phase = None
 
     def finish(self):
@@ -456,8 +478,40 @@ class ProtocolSession:
     # -- offline state transplant (precompute store integration) --------------
 
     def load_offline_bundles(self, bundles: dict[int, ReluBundle]) -> None:
+        if self._gen is not None:
+            raise RuntimeError(
+                f"cannot adopt offline state while a {self._phase} phase "
+                "is in progress"
+            )
         self._relu_bundles = bundles
-        self._offline_done = True
+        self.lifecycle = LIFE_READY
+
+    # -- request recycling (keep-alive connections) ----------------------------
+
+    # Attributes that belong to one *request* (offline correlations and
+    # role keys), torn down by reset_for_request(). Everything else on the
+    # session is connection-scoped and survives across requests.
+    _REQUEST_STATE: tuple[str, ...] = ()
+
+    def reset_for_request(self) -> None:
+        """Recycle this connection-scoped session for a fresh request.
+
+        Keeps what is amortized across a keep-alive connection — the
+        transport, channel byte accounting, operation counters, lowering,
+        ReLU circuit cache, RNG stream, and pool wiring — while clearing
+        per-request protocol state (offline shares/keys, garbled bundles,
+        the phase result) and re-arming the lifecycle at NEW so the next
+        request can run or adopt a fresh offline phase.
+        """
+        if self._gen is not None:
+            raise RuntimeError(
+                f"cannot reset while a {self._phase} phase is in progress"
+            )
+        for name in self._REQUEST_STATE:
+            self.__dict__.pop(name, None)
+        self._relu_bundles = {}
+        self._result = None
+        self.lifecycle = LIFE_NEW
 
 
 class ClientSession(ProtocolSession):
@@ -473,14 +527,16 @@ class ClientSession(ProtocolSession):
 
     role = CLIENT
     needs_weights = False
+    _REQUEST_STATE = ("client_r", "client_linear_share", "_ctx", "_encoder", "_sk")
 
     def start_online(self, x: list[int], pool=None) -> None:
         """Arm one inference on the client input ``x``."""
-        if not self._offline_done:
+        if self.lifecycle not in (LIFE_READY, LIFE_COMPLETE):
             raise RuntimeError("offline phase must run before online phase")
         if len(x) != self.lowered.input_size:
             raise ValueError("input size mismatch")
         self._begin_phase("online", self._online_gen(list(x)), pool, allow_own_pool=False)
+        self.lifecycle = LIFE_ONLINE
 
     def run_online(self, x: list[int], pool=None) -> list[int]:
         """Blocking convenience: one inference, returns the logits."""
@@ -688,12 +744,14 @@ class ServerSession(ProtocolSession):
     """
 
     role = SERVER
+    _REQUEST_STATE = ("server_s",)
 
     def start_online(self, pool=None) -> None:
         """Arm the serving side of one inference."""
-        if not self._offline_done:
+        if self.lifecycle not in (LIFE_READY, LIFE_COMPLETE):
             raise RuntimeError("offline phase must run before online phase")
         self._begin_phase("online", self._online_gen(), pool, allow_own_pool=False)
+        self.lifecycle = LIFE_ONLINE
 
     def run_online(self, pool=None) -> None:
         """Blocking convenience: serve one inference to completion."""

@@ -62,8 +62,13 @@ _FMT_NAMES = {
 # runtime/gateway.py); the frame classifier names them too so the
 # per-message-type transport counters cover the whole wire vocabulary.
 _GATEWAY_MAGIC_NAMES = {
-    b"GWH1": "gateway_hello",
+    b"GWH1": "gateway_hello",  # legacy single-request hello (rejected, named)
+    b"GWH2": "gateway_hello",
+    b"GWR1": "gateway_request",
     b"GWO1": "gateway_offer",
+    b"GWD1": "gateway_done",
+    b"GWB1": "gateway_busy",
+    b"GWG1": "gateway_goaway",
     b"GWS1": "gateway_stats",
 }
 

@@ -30,6 +30,11 @@ from repro.telemetry import record_frame
 _LENGTH_BYTES = 4
 _MAX_FRAME = 1 << 31  # sanity bound: a torn length prefix fails loudly
 _SOCKET_BUF = 1 << 20
+# How long close() keeps trying to drain the userspace outbox. Long
+# enough for a live peer to drain a final control frame (the gateway's
+# BUSY/GOAWAY replies ride on this), bounded so a peer that stopped
+# reading can never wedge the closing side.
+_CLOSE_FLUSH_SECONDS = 5.0
 
 
 class TransportError(RuntimeError):
@@ -117,7 +122,8 @@ class SocketTransport(Transport):
     """Length-prefixed frames over a connected TCP socket.
 
     Sends are buffered in a userspace outbox and flushed opportunistically
-    (on every send/recv/pending call, and fully on close). This is what
+    (on every send/recv/pending call, and best-effort with a bounded wait
+    on close). This is what
     makes the single-threaded loopback driver safe: a burst of frames
     larger than the kernel socket buffers parks in the outbox instead of
     blocking inside ``sendall`` against a peer that runs on this very
@@ -168,29 +174,70 @@ class SocketTransport(Transport):
         self._outbox += struct.pack("<I", len(frame)) + frame
         self._flush(block=False)
 
-    def _flush(self, block: bool) -> None:
+    def _send_chunk(self) -> int:
+        """Send one outbox chunk without ever blocking; returns bytes sent.
+
+        select's writability only promises *some* free buffer space — it
+        can be smaller than the chunk, and a blocking ``send`` would then
+        wedge against a peer that never drains. The socket is flipped to
+        non-blocking for exactly this call so a partial or refused write
+        returns instead of sleeping.
+        """
+        self._sock.setblocking(False)
+        try:
+            sent = self._sock.send(self._outbox[:65536])
+        except (BlockingIOError, InterruptedError):
+            return 0
+        except OSError as exc:
+            raise TransportClosed(f"peer connection lost: {exc}") from exc
+        finally:
+            try:
+                self._sock.setblocking(True)
+            except OSError:  # pragma: no cover - racing close
+                pass
+        del self._outbox[:sent]
+        return sent
+
+    def _flush(self, block: bool = False) -> None:
         """Push outbox bytes into the socket without ever blocking.
 
-        The socket stays in blocking mode, but writes go out in bounded
-        chunks only while select reports writability — a blocking
-        ``send`` with buffer space available transmits what fits and
-        returns, so no call here can wedge. ``block=True`` waits for
-        writability between chunks (used only on close, when the peer is
-        a separate live process draining the connection).
+        Writes go out in bounded non-blocking chunks only while select
+        reports writability, so no call here can wedge. (``block`` is
+        ignored; it survives for call-site compatibility. Blocking drains
+        go through :meth:`_flush_bounded`, which always carries a
+        deadline.)
         """
         while self._outbox:
-            timeout = None if block else 0
             try:
-                _, writable, _ = select.select([], [self._sock], [], timeout)
+                _, writable, _ = select.select([], [self._sock], [], 0)
+            except OSError as exc:  # pragma: no cover - racing close
+                raise TransportClosed(f"peer connection lost: {exc}") from exc
+            if not writable or self._send_chunk() == 0:
+                return
+
+    def _flush_bounded(self, timeout: float) -> None:
+        """Best-effort outbox drain with a wall-clock bound (close path).
+
+        close() must not lose a frame the peer is about to read (a
+        server-sent BUSY/GOAWAY immediately before the selector drops the
+        connection), but it must also never hang on a peer that stopped
+        draining — so waits for writability are bounded by ``timeout``
+        overall, and whatever has not drained by then is abandoned.
+        """
+        deadline = time.perf_counter() + max(0.0, timeout)
+        while self._outbox:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                return
+            try:
+                _, writable, _ = select.select(
+                    [], [self._sock], [], remaining
+                )
             except OSError as exc:  # pragma: no cover - racing close
                 raise TransportClosed(f"peer connection lost: {exc}") from exc
             if not writable:
                 return
-            try:
-                sent = self._sock.send(self._outbox[:65536])
-            except OSError as exc:
-                raise TransportClosed(f"peer connection lost: {exc}") from exc
-            del self._outbox[:sent]
+            self._send_chunk()
 
     def _frame_ready(self) -> bool:
         if len(self._buf) < _LENGTH_BYTES:
@@ -276,7 +323,7 @@ class SocketTransport(Transport):
         if not self._closed:
             self._closed = True
             try:
-                self._flush(block=True)
+                self._flush_bounded(_CLOSE_FLUSH_SECONDS)
             except TransportError:  # pragma: no cover - peer already gone
                 pass
             try:

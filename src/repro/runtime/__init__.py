@@ -20,7 +20,12 @@ randomness is drawn by the parent in sequential order and jobs are pure
 functions of pre-drawn material (see :mod:`repro.runtime.pool`).
 """
 
-from repro.runtime.gateway import ServingGateway, request_inference
+from repro.runtime.gateway import (
+    GatewayClient,
+    ServingGateway,
+    request_inference,
+    request_stats,
+)
 from repro.runtime.pool import (
     AsyncJob,
     PrecomputePool,
@@ -38,6 +43,7 @@ from repro.runtime.store import PrecomputeStore, StoreKey, params_fingerprint
 
 __all__ = [
     "AsyncJob",
+    "GatewayClient",
     "PrecomputePool",
     "PrecomputeStore",
     "ServedRequest",
@@ -49,6 +55,7 @@ __all__ = [
     "params_fingerprint",
     "plan_shards",
     "request_inference",
+    "request_stats",
     "reset_process_state",
     "resolve_workers",
     "worker_index",

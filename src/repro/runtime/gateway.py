@@ -28,15 +28,27 @@ client/server characterization assumes:
   (GrASP's demand-driven prefetching, applied to the offline phase;
   skewed clients get proportionally more mint slots, JSPIM-style).
 
-Wire protocol per connection (one request per connected socket, like the
-two-process demo): the client sends a HELLO frame naming its
-``client_id`` and request index; the gateway answers with an OFFER —
-either a buffered precompute (the stored offline transcript, split per
-role via :func:`~repro.core.protocol.split_offline_state` on both ends)
-followed directly by the online phase, or a miss, in which case both
-parties run the full offline phase over the wire (the demand-mint
-penalty, paid on the request's critical path and multiplexed with the
-other live sessions).
+Wire protocol: a *connection* and a *request* are distinct objects. The
+client sends one HELLO frame naming its ``client_id``, then issues any
+number of REQ frames over the same socket; each admitted REQ is answered
+with an OFFER — either a buffered precompute (the stored offline
+transcript, split per role via
+:func:`~repro.core.protocol.split_offline_state` on both ends) followed
+directly by the online phase, or a miss, in which case both parties run
+the full offline phase over the wire (the demand-mint penalty, paid on
+the request's critical path and multiplexed with the other live
+sessions) — and acknowledged with a DONE frame once the logits' final
+share has shipped. Admission is queue-depth aware: when the refill
+backlog (held WAIT_STORE offers + owed/in-flight refill mints) crosses
+``max_queue``, a REQ is *deferred* with a BUSY{retry_after} frame the
+client honors by backing off and re-issuing, or — past
+``max_request_deferrals`` consecutive deferrals — *rejected* with a
+GOAWAY frame that ends the connection. Either side may send GOAWAY to
+close a connection gracefully. The server-side
+:class:`~repro.core.session.ServerSession` is connection-scoped and
+recycled between requests via ``reset_for_request()``; a ``GWS1`` stats
+probe works both as a standalone connection and mid-stream between two
+requests on a live one.
 
 Fidelity note: on a hit the gateway ships the *whole* stored transcript
 (both role halves) to the client, mirroring what
@@ -49,10 +61,13 @@ multiplexing — not a security property (see ARCHITECTURE.md).
 from __future__ import annotations
 
 import json
+import os
 import selectors
 import struct
 import threading
 import time
+import warnings
+from collections import deque
 
 from repro.network.transport import (
     SocketListener,
@@ -77,21 +92,42 @@ from repro.telemetry import (
 # protocol messages; a 4-byte magic keeps them unmistakable for (and
 # versioned independently of) the serialize.py payload formats.
 
-_HELLO_MAGIC = b"GWH1"
+_HELLO_MAGIC = b"GWH2"  # v2: connection-scoped — client_id only, no index
+_LEGACY_HELLO_MAGIC = b"GWH1"  # v1 carried (client_id, request_index) per socket
+_REQ_MAGIC = b"GWR1"
 _OFFER_MAGIC = b"GWO1"
+_DONE_MAGIC = b"GWD1"
+_BUSY_MAGIC = b"GWB1"
+_GOAWAY_MAGIC = b"GWG1"
 _STATS_MAGIC = b"GWS1"
 
 
-def encode_hello(client_id: str, request_index: int) -> bytes:
-    """Client -> gateway: who I am and which of my requests this is."""
-    return _HELLO_MAGIC + struct.pack("<I", request_index) + client_id.encode()
+def encode_hello(client_id: str) -> bytes:
+    """Client -> gateway, once per connection: who I am."""
+    return _HELLO_MAGIC + client_id.encode()
 
 
-def decode_hello(frame: bytes) -> tuple[str, int]:
+def decode_hello(frame: bytes) -> str:
+    if frame[:4] == _LEGACY_HELLO_MAGIC:
+        raise TransportError(
+            "peer sent a GWH1 single-request hello; this gateway speaks "
+            "GWH2 keep-alive connections (one HELLO, then a REQ per request)"
+        )
     if frame[:4] != _HELLO_MAGIC:
         raise TransportError("not a gateway hello frame")
+    return bytes(frame[4:]).decode()
+
+
+def encode_request(request_index: int) -> bytes:
+    """Client -> gateway, once per request: which of my requests this is."""
+    return _REQ_MAGIC + struct.pack("<I", request_index)
+
+
+def decode_request(frame: bytes) -> int:
+    if frame[:4] != _REQ_MAGIC:
+        raise TransportError("not a gateway request frame")
     (request_index,) = struct.unpack_from("<I", frame, 4)
-    return bytes(frame[8:]).decode(), request_index
+    return request_index
 
 
 def encode_offer(hit: bool, blob: bytes = b"") -> bytes:
@@ -103,6 +139,41 @@ def decode_offer(frame: bytes) -> tuple[bool, bytes]:
     if frame[:4] != _OFFER_MAGIC:
         raise TransportError("not a gateway offer frame")
     return frame[4] == 1, bytes(frame[5:])
+
+
+def encode_done(request_index: int, hit: bool) -> bytes:
+    """Gateway -> client: the request's final share shipped; cycle over."""
+    return _DONE_MAGIC + struct.pack("<IB", request_index, 1 if hit else 0)
+
+
+def decode_done(frame: bytes) -> tuple[int, bool]:
+    if frame[:4] != _DONE_MAGIC:
+        raise TransportError("not a gateway done frame")
+    request_index, hit = struct.unpack_from("<IB", frame, 4)
+    return request_index, hit == 1
+
+
+def encode_busy(retry_after: float) -> bytes:
+    """Gateway -> client: request deferred; retry after this many seconds."""
+    return _BUSY_MAGIC + struct.pack("<d", max(0.0, retry_after))
+
+
+def decode_busy(frame: bytes) -> float:
+    if frame[:4] != _BUSY_MAGIC:
+        raise TransportError("not a gateway busy frame")
+    (retry_after,) = struct.unpack_from("<d", frame, 4)
+    return retry_after
+
+
+def encode_goaway(reason: str = "") -> bytes:
+    """Either direction: this connection is over (reject or graceful bye)."""
+    return _GOAWAY_MAGIC + reason.encode()
+
+
+def decode_goaway(frame: bytes) -> str:
+    if frame[:4] != _GOAWAY_MAGIC:
+        raise TransportError("not a gateway goaway frame")
+    return bytes(frame[4:]).decode()
 
 
 def encode_stats_request() -> bytes:
@@ -118,6 +189,55 @@ def decode_stats_reply(frame: bytes) -> dict:
     if frame[:4] != _STATS_MAGIC:
         raise TransportError("not a gateway stats frame")
     return json.loads(bytes(frame[4:]).decode())
+
+
+# -- admission configuration -----------------------------------------------------
+
+DEFAULT_WAIT_SECONDS = 60.0
+DEFAULT_MAX_QUEUE = 8
+
+
+def _resolve_env_number(name: str, explicit, default, cast):
+    """Explicit > environment > default, mirroring ``resolve_workers``.
+
+    An unparseable environment value warns (RuntimeWarning) and falls
+    back to the default rather than crashing a serving run at startup.
+    """
+    if explicit is not None:
+        return explicit
+    raw = os.environ.get(name, "").strip()
+    if raw:
+        try:
+            return cast(raw)
+        except ValueError:
+            kind = "an integer" if cast is int else "a number"
+            warnings.warn(
+                f"ignoring unparseable {name}={raw!r} (expected {kind}); "
+                "falling back to the default",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+    return default
+
+
+def resolve_wait_seconds(explicit: float | None = None) -> float:
+    """How long a missed offer may hold for an in-flight refill mint.
+
+    Explicit argument > ``REPRO_GATEWAY_WAIT_S`` > 60 seconds.
+    """
+    return _resolve_env_number(
+        "REPRO_GATEWAY_WAIT_S", explicit, DEFAULT_WAIT_SECONDS, float
+    )
+
+
+def resolve_max_queue(explicit: int | None = None) -> int:
+    """Refill-backlog threshold above which new requests get BUSY.
+
+    Explicit argument > ``REPRO_GATEWAY_MAX_QUEUE`` > 8.
+    """
+    return _resolve_env_number(
+        "REPRO_GATEWAY_MAX_QUEUE", explicit, DEFAULT_MAX_QUEUE, int
+    )
 
 
 # -- refill jobs -----------------------------------------------------------------
@@ -252,9 +372,18 @@ class _RefillWorker(threading.Thread):
 
 
 class _Connection:
-    """One live client socket and its server-side protocol state machine."""
+    """One live client socket: a request queue plus the protocol machine.
 
-    HELLO, WAIT_STORE, OFFLINE, ONLINE = "hello", "wait-store", "offline", "online"
+    State walk: ``HELLO`` (awaiting the connection's identity) → ``IDLE``
+    (between requests; REQ frames queue here) → one of ``WAIT_STORE`` /
+    ``OFFLINE`` / ``ONLINE`` while a request is active → back to ``IDLE``
+    after the DONE frame, until a GOAWAY (either direction) or a
+    transport error ends the connection.
+    """
+
+    HELLO, IDLE, WAIT_STORE, OFFLINE, ONLINE = (
+        "hello", "idle", "wait-store", "offline", "online",
+    )
 
     def __init__(self, gateway: "ServingGateway", transport: SocketTransport):
         self.gateway = gateway
@@ -263,19 +392,24 @@ class _Connection:
         self.state = self.HELLO
         self.client_id = "?"
         self.request_index = -1
+        self.pending: deque[int] = deque()  # REQs queued behind the active one
+        self.requests_completed = 0
+        self.deferrals = 0  # consecutive BUSY replies on this connection
         self.queue_depth = 0
         self.hit = False
         self.mint_seconds = 0.0
         self.wait_deadline = 0.0
+        self.request_started = 0.0
         self._mint_start = 0.0
         self._online_start = 0.0
         self.registered_events = selectors.EVENT_READ
         # Request-latency clock (always on: feeds the live stats
         # histograms) plus, under tracing, a per-connection virtual
-        # track carrying the accept -> offer -> online -> complete spans.
+        # track carrying the accept -> request* -> close spans.
         self.accepted = time.perf_counter()
         self._track: int | None = None
         self._t_accept_us: int | None = None
+        self._t_request_us: int | None = None
         self._t_offline_us: int | None = None
         self._t_online_us: int | None = None
         if TRACER.enabled:
@@ -296,71 +430,103 @@ class _Connection:
 
     def advance(self) -> None:
         """Feed buffered frames through the state machine, never blocking."""
-        if self.state == self.HELLO:
-            frame = self.transport.recv(wait=False)
-            if frame is None:
+        from repro.core.session import DONE
+
+        while True:
+            if self.state == self.HELLO:
+                frame = self.transport.recv(wait=False)
+                if frame is None:
+                    return
+                if frame[:4] == _STATS_MAGIC:
+                    # A monitoring peer, not a protocol client: answer
+                    # with a live snapshot and close. No session is
+                    # created and the session seed counter never
+                    # advances, so stats probes cannot perturb a serving
+                    # run's transcripts.
+                    self.transport.send(
+                        encode_stats_reply(self.gateway.stats())
+                    )
+                    self.gateway._drop(self, error=None)
+                    return
+                self.client_id = decode_hello(frame)
+                self.gateway._register_hello(self)
+                self.state = self.IDLE
+                continue
+            if self.state == self.IDLE:
+                frame = self.transport.recv(wait=False)
+                if frame is None:
+                    if not self.gateway._maybe_start(self):
+                        return
+                    continue  # a queued request started: run its phase
+                head = bytes(frame[:4])
+                if head == _STATS_MAGIC:
+                    # Mid-stream probe between two requests on a live
+                    # keep-alive connection: answered inline, the
+                    # connection (and its recycled session) lives on.
+                    self.transport.send(
+                        encode_stats_reply(self.gateway.stats())
+                    )
+                    continue
+                if head == _GOAWAY_MAGIC:
+                    # The client is done with this connection.
+                    self.gateway._drop(self, error=None)
+                    return
+                self.pending.append(decode_request(frame))
+                self.gateway.requests_issued += 1
+                self.gateway._maybe_start(self)
+                if self not in self.gateway._connections:
+                    return  # rejected with GOAWAY mid-admission
+                continue
+            if self.state == self.WAIT_STORE:
                 return
-            if frame[:4] == _STATS_MAGIC:
-                # A monitoring peer, not a protocol client: answer with a
-                # live snapshot and close. No session is created and the
-                # session seed counter never advances, so stats probes
-                # cannot perturb a serving run's transcripts.
-                self.transport.send(encode_stats_reply(self.gateway.stats()))
-                self.gateway._drop(self, error=None)
-                return
-            self.client_id, self.request_index = decode_hello(frame)
-            self.queue_depth = max(0, self.gateway._live_count() - 1)
-            taken = self.gateway._take_precompute(self.client_id)
-            if taken is None and self.gateway._mint_pending(self.client_id):
-                # A refill for this client is already underway: hold the
-                # offer instead of duplicating the whole offline phase
-                # over the wire. poll() retries us each round; other
-                # sessions keep flowing meanwhile.
-                self.state = self.WAIT_STORE
-                self.wait_deadline = (
-                    time.perf_counter() + self.gateway.miss_wait_seconds
+            if self.state == self.OFFLINE:
+                with TRACER.span(
+                    "gateway.step", client=self.client_id, state=self.state
+                ):
+                    done = self.session.step() == DONE
+                if not done:
+                    return
+                self.mint_seconds = time.perf_counter() - self._mint_start
+                if self._t_offline_us is not None:
+                    TRACER.emit_since(
+                        "gateway.offline", self._t_offline_us, tid=self._track,
+                        client=self.client_id,
+                    )
+                    self._t_offline_us = None
+                self.session.start_online(pool=self.gateway.pool)
+                self._online_start = time.perf_counter()
+                if TRACER.enabled and self._track is not None:
+                    self._t_online_us = now_us()
+                self.state = self.ONLINE
+                continue
+            if self.state == self.ONLINE:
+                with TRACER.span(
+                    "gateway.step", client=self.client_id, state=self.state
+                ):
+                    done = self.session.step() == DONE
+                if not done:
+                    return
+                self.gateway._complete(
+                    self, time.perf_counter() - self._online_start
                 )
-                self.gateway._waiting.add(self)
-                return
-            self.open_offer(taken)
-            # Fall through: the peer's next frames may already be buffered.
-        if self.state == self.WAIT_STORE:
-            return
-        if self.state == self.OFFLINE:
-            from repro.core.session import DONE
+                if self not in self.gateway._connections:
+                    return  # dropped during completion
+                continue
+            return  # pragma: no cover - unreachable state
 
-            with TRACER.span(
-                "gateway.step", client=self.client_id, state=self.state
-            ):
-                done = self.session.step() == DONE
-            if not done:
-                return
-            self.mint_seconds = time.perf_counter() - self._mint_start
-            if self._t_offline_us is not None:
-                TRACER.emit_since(
-                    "gateway.offline", self._t_offline_us, tid=self._track,
-                    client=self.client_id,
-                )
-                self._t_offline_us = None
-            self.session.start_online(pool=self.gateway.pool)
-            self._online_start = time.perf_counter()
-            if TRACER.enabled and self._track is not None:
-                self._t_online_us = now_us()
-            self.state = self.ONLINE
-        if self.state == self.ONLINE:
-            from repro.core.session import DONE
+    def begin_request(self, taken) -> None:
+        """OFFER the admitted request: adopt a precompute or go offline.
 
-            with TRACER.span(
-                "gateway.step", client=self.client_id, state=self.state
-            ):
-                done = self.session.step() == DONE
-            if not done:
-                return
-            self.gateway._complete(self, time.perf_counter() - self._online_start)
+        The connection's session is created on the first request and
+        recycled (``reset_for_request``) for every later one — transport,
+        channel accounting, and counters stay connection-scoped.
+        """
+        from repro.core.session import LIFE_NEW
 
-    def open_offer(self, taken) -> None:
-        """Answer the hello: adopt a buffered precompute or go offline."""
-        self.session = self.gateway._make_session(self.transport)
+        if self.session is None:
+            self.session = self.gateway._make_session(self.transport)
+        elif self.session.lifecycle != LIFE_NEW:
+            self.session.reset_for_request()
         if taken is not None:
             blob, server_state = taken
             self.hit = True
@@ -422,7 +588,11 @@ class ServingGateway:
         expected_per_client: int | None = None,
         minted: list[int] | None = None,
         refill_inflight: int | None = None,
-        miss_wait_seconds: float = 60.0,
+        miss_wait_seconds: float | None = None,
+        max_queue: int | None = None,
+        max_inflight_per_client: int = 1,
+        max_request_deferrals: int | None = None,
+        busy_retry_after: float = 0.05,
     ):
         if num_clients < 1:
             raise ValueError("need at least one client")
@@ -488,7 +658,22 @@ class ServingGateway:
         self._evictions_before = store.evictions
         self._connections: set[_Connection] = set()
         self._waiting: set[_Connection] = set()
-        self.miss_wait_seconds = miss_wait_seconds
+        # Admission knobs: explicit argument > environment > default.
+        self.miss_wait_seconds = resolve_wait_seconds(miss_wait_seconds)
+        self.max_queue = max(0, resolve_max_queue(max_queue))
+        self.max_inflight_per_client = max(1, max_inflight_per_client)
+        self.max_request_deferrals = max_request_deferrals
+        self.busy_retry_after = busy_retry_after
+        # Admission ledger: every REQ frame received is *issued* and gets
+        # exactly one of OFFER (admitted), BUSY (deferred), or GOAWAY
+        # (rejected) — clean runs balance admitted+deferred+rejected ==
+        # issued. All four mutate only on the selector thread.
+        self.connections_accepted = 0
+        self.requests_issued = 0
+        self.requests_admitted = 0
+        self.requests_deferred = 0
+        self.requests_rejected = 0
+        self._inflight: dict[str, int] = {}  # active requests per client
         self.listener: SocketListener | None = None
         self._selector = None
         self._refill_worker: _RefillWorker | None = None
@@ -582,10 +767,19 @@ class ServingGateway:
                 continue  # still worth holding for the in-flight mint
             self._waiting.discard(conn)
             try:
-                conn.open_offer(taken)
+                conn.begin_request(taken)
                 conn.advance()
             except (TransportError, ValueError) as exc:
                 self._drop(conn, error=exc)
+        # Idle keep-alive connections with queued requests: a completed
+        # request or a drained backlog since last round may have made
+        # them admissible.
+        for conn in list(self._connections):
+            if conn.state == _Connection.IDLE and conn.pending:
+                try:
+                    conn.advance()
+                except (TransportError, ValueError) as exc:
+                    self._drop(conn, error=exc)
         # Register write interest exactly while userspace outbox bytes
         # wait on kernel buffer space; drop it as soon as they drain.
         for conn in list(self._connections):
@@ -652,6 +846,12 @@ class ServingGateway:
             self._refill_worker.stop()
             self._refill_worker.join(timeout=timeout)
         for conn in list(self._connections):
+            # Tell live keep-alive peers the gateway is going away; the
+            # bounded close-flush makes a best effort to deliver it.
+            try:
+                conn.transport.send(encode_goaway("gateway shutting down"))
+            except TransportError:  # pragma: no cover - peer already gone
+                pass
             self._drop(conn, error=None)
         if self._selector is not None:
             try:
@@ -696,6 +896,11 @@ class ServingGateway:
             refill_overlap_seconds=worker.overlap_seconds if worker else 0.0,
             peak_live_sessions=self.peak_live_sessions,
             dropped_sessions=self.dropped_sessions,
+            connections_accepted=self.connections_accepted,
+            requests_issued=self.requests_issued,
+            requests_admitted=self.requests_admitted,
+            requests_deferred=self.requests_deferred,
+            requests_rejected=self.requests_rejected,
             occupancy=list(self._occupancy),
             phase_seconds={
                 k: round(v, 6) for k, v in self._phase_totals.items()
@@ -711,16 +916,16 @@ class ServingGateway:
         coherent picture without perturbing session transcripts.
         """
         served = list(self._served)
+        connections = list(self._connections)
         with self._state_lock:
             rates, buffered = self._rates_and_buffered_locked()
             pending = list(self._pending_mints)
             credits = list(self._credits)
+            backlog = self._backlog_locked()
+            inflight = sum(self._inflight.values())
             # Sessions, not sockets: a stats probe (or a pre-hello
             # connection) holds no session and must not count itself.
-            live = sum(
-                1 for conn in list(self._connections)
-                if conn.session is not None
-            )
+            live = sum(1 for conn in connections if conn.session is not None)
         clients = {}
         for c in range(self.num_clients):
             cid = self.client_id(c)
@@ -750,8 +955,30 @@ class ServingGateway:
             "live_sessions": live,
             "peak_live_sessions": self.peak_live_sessions,
             "dropped_sessions": self.dropped_sessions,
-            "queue_depth": max(0, live - 1),
+            # Requests in flight plus REQs queued behind per-client limits.
+            "queue_depth": inflight + sum(
+                len(conn.pending) for conn in connections
+            ),
             "refill_inflight": sum(pending),
+            "admission": {
+                "max_queue": self.max_queue,
+                "backlog": backlog,
+                "connections_accepted": self.connections_accepted,
+                "issued": self.requests_issued,
+                "admitted": self.requests_admitted,
+                "deferred": self.requests_deferred,
+                "rejected": self.requests_rejected,
+            },
+            "connections": [
+                {
+                    "client": conn.client_id,
+                    "state": conn.state,
+                    "requests_completed": conn.requests_completed,
+                    "queued": len(conn.pending),
+                }
+                for conn in connections
+                if conn.session is not None or conn.state != conn.HELLO
+            ],
             "store": {
                 "bytes": self.store.total_bytes,
                 "entries": self.store.entry_count,
@@ -776,6 +1003,98 @@ class ServingGateway:
 
     def _live_count(self) -> int:
         return len(self._connections)
+
+    def _register_hello(self, conn: _Connection) -> None:
+        """A protocol client introduced itself (stats probes never land here)."""
+        self.connections_accepted += 1
+
+    def _backlog_locked(self) -> int:
+        """The admission pressure signal (state lock held).
+
+        Held WAIT_STORE offers plus refill work still owed or in flight:
+        when this crosses ``max_queue`` the refill pipeline is behind and
+        new requests are deferred rather than silently piling on.
+        """
+        return (
+            len(self._waiting)
+            + sum(self._credits)
+            + sum(self._pending_mints)
+        )
+
+    def _note_outcome(self, client_id: str, outcome: str) -> None:
+        """Admission outcome counters (always-on stats + opt-in telemetry)."""
+        self._stats_registry.counter(
+            "gateway_requests_total", client=client_id, outcome=outcome
+        ).inc()
+        if METRICS.enabled:
+            METRICS.counter(
+                "gateway_requests_total", client=client_id, outcome=outcome
+            ).inc()
+
+    def _maybe_start(self, conn: _Connection) -> bool:
+        """Start the next queued request on an idle connection, if allowed.
+
+        Returns True when the connection left IDLE (a request was
+        admitted and is now running). Deferral (BUSY) and rejection
+        (GOAWAY) pop the request but leave/close the connection in place
+        — the peer decides what happens next — so both return False.
+        """
+        if conn.state != conn.IDLE or not conn.pending:
+            return False
+        with self._state_lock:
+            if self._inflight.get(conn.client_id, 0) >= self.max_inflight_per_client:
+                return False  # stays queued; a completion re-triggers us
+            over = self._backlog_locked() > self.max_queue
+            inflight_total = sum(self._inflight.values())
+            if not over:
+                self._inflight[conn.client_id] = (
+                    self._inflight.get(conn.client_id, 0) + 1
+                )
+        index = conn.pending.popleft()
+        if over:
+            conn.deferrals += 1
+            if (
+                self.max_request_deferrals is not None
+                and conn.deferrals > self.max_request_deferrals
+            ):
+                self.requests_rejected += 1
+                self._note_outcome(conn.client_id, "rejected")
+                try:
+                    conn.transport.send(
+                        encode_goaway("admission backlog over max_queue")
+                    )
+                except TransportError:  # pragma: no cover - peer gone
+                    pass
+                self._drop(conn, error=None)
+                return False
+            self.requests_deferred += 1
+            self._note_outcome(conn.client_id, "deferred")
+            conn.transport.send(encode_busy(self.busy_retry_after))
+            return False
+        conn.deferrals = 0
+        conn.request_index = index
+        conn.hit = False
+        conn.mint_seconds = 0.0
+        conn.request_started = time.perf_counter()
+        if TRACER.enabled and conn._track is not None:
+            conn._t_request_us = now_us()
+        # Requests already active when this one started (WAIT_STORE
+        # holders included — they hold an in-flight slot).
+        conn.queue_depth = inflight_total
+        self.requests_admitted += 1
+        self._note_outcome(conn.client_id, "admitted")
+        taken = self._take_precompute(conn.client_id)
+        if taken is None and self._mint_pending(conn.client_id):
+            # A refill for this client is already underway: hold the
+            # offer instead of duplicating the whole offline phase over
+            # the wire. poll() retries us each round; other sessions
+            # keep flowing meanwhile.
+            conn.state = conn.WAIT_STORE
+            conn.wait_deadline = time.perf_counter() + self.miss_wait_seconds
+            self._waiting.add(conn)
+            return True
+        conn.begin_request(taken)
+        return True
 
     def _make_session(self, transport):
         seed = derive_worker_seed(
@@ -821,12 +1140,12 @@ class ServingGateway:
     def _complete(self, conn: _Connection, online_seconds: float) -> None:
         from repro.runtime.serving import ServedRequest
 
-        latency = time.perf_counter() - conn.accepted
+        latency = time.perf_counter() - conn.request_started
         self._stats_registry.histogram(
             "gateway_request_seconds", client=conn.client_id
         ).observe(latency)
         self._stats_registry.counter(
-            "gateway_requests_total",
+            "gateway_served_total",
             client=conn.client_id,
             result="hit" if conn.hit else "miss",
         ).inc()
@@ -834,16 +1153,23 @@ class ServingGateway:
             METRICS.histogram(
                 "gateway_request_seconds", client=conn.client_id
             ).observe(latency)
+            METRICS.counter(
+                "gateway_served_total",
+                client=conn.client_id,
+                result="hit" if conn.hit else "miss",
+            ).inc()
         if conn._t_online_us is not None:
             TRACER.emit_since(
                 "gateway.online", conn._t_online_us, tid=conn._track,
                 client=conn.client_id,
             )
-        if conn._t_accept_us is not None:
+            conn._t_online_us = None
+        if conn._t_request_us is not None:
             TRACER.emit_since(
-                "gateway.request", conn._t_accept_us, tid=conn._track,
+                "gateway.request", conn._t_request_us, tid=conn._track,
                 client=conn.client_id, index=conn.request_index, hit=conn.hit,
             )
+            conn._t_request_us = None
         self._served.append(
             ServedRequest(
                 client=conn.client_id,
@@ -857,15 +1183,26 @@ class ServingGateway:
             )
         )
         self._sample("serve", conn.client_id)
+        conn.transport.send(encode_done(conn.request_index, conn.hit))
         c = self._client_index.get(conn.client_id)
-        if c is not None:
-            with self._state_lock:
+        with self._state_lock:
+            self._inflight[conn.client_id] = max(
+                0, self._inflight.get(conn.client_id, 0) - 1
+            )
+            if c is not None:
                 self._consumed[c] += 1
                 if self.refill and self._may_mint_locked(c):
                     self._credits[c] += 1
-            if self._refill_worker is not None:
-                self._refill_worker.kick()
-        self._drop(conn, error=None)
+        if c is not None and self._refill_worker is not None:
+            self._refill_worker.kick()
+        # Keep-alive: the connection survives the request. Recycle the
+        # session (connection-scoped state stays) and go back to IDLE so
+        # queued or future REQs on this socket can be admitted.
+        conn.session.reset_for_request()
+        conn.state = conn.IDLE
+        conn.requests_completed += 1
+        conn.hit = False
+        conn.mint_seconds = 0.0
 
     def _mint_pending(self, client_id: str) -> bool:
         """Is a refill for this client credited or already in flight?"""
@@ -880,6 +1217,17 @@ class ServingGateway:
             return
         self._connections.discard(conn)
         self._waiting.discard(conn)
+        had_active_request = conn.state in (
+            conn.WAIT_STORE, conn.OFFLINE, conn.ONLINE
+        )
+        if had_active_request:
+            # The admitted request dies with the connection: release its
+            # in-flight slot so the client's later connections still fit
+            # under the per-client concurrency limit.
+            with self._state_lock:
+                self._inflight[conn.client_id] = max(
+                    0, self._inflight.get(conn.client_id, 0) - 1
+                )
         try:
             self._selector.unregister(conn.transport)
         except (KeyError, ValueError):  # pragma: no cover - already gone
@@ -888,7 +1236,18 @@ class ServingGateway:
             conn.transport.close()
         except TransportError:  # pragma: no cover - peer already gone
             pass
-        if error is not None:
+        # Only connections that completed HELLO get a span: a GWS1 stats
+        # probe (or a peer that vanished pre-hello) holds no identity and
+        # must not clutter the trace with anonymous connection windows.
+        if conn._t_accept_us is not None and conn.state != conn.HELLO:
+            TRACER.emit_since(
+                "gateway.connection", conn._t_accept_us, tid=conn._track,
+                client=conn.client_id,
+                requests=conn.requests_completed,
+                error=repr(error) if error is not None else None,
+            )
+            conn._t_accept_us = None
+        if error is not None and had_active_request:
             self.dropped_sessions += 1
 
     def _sample(self, event: str, client_id: str) -> None:
@@ -970,6 +1329,144 @@ class ServingGateway:
 # -- client side -----------------------------------------------------------------
 
 
+class GatewayClient:
+    """Keep-alive client: one connection, any number of requests.
+
+    Wire lifecycle: HELLO once at connect, then per request
+    ``REQ → (BUSY backoff → REQ)* → OFFER → protocol → DONE``; GOAWAY
+    (either direction) ends the connection. The underlying
+    :class:`~repro.core.session.ClientSession` is connection-scoped and
+    recycled between requests via ``reset_for_request()``, so transport,
+    channel accounting, counters, and the shape-only lowering are all
+    amortized across requests. The ``issued``/``admitted``/``deferred``/
+    ``rejected`` attributes mirror the gateway's admission ledger from
+    this side of the wire.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        network,
+        params,
+        *,
+        garbler: str = "client",
+        client_id: str = "client0",
+        seed: int | None = None,
+        truncate_bits: int = 0,
+        lowered=None,
+        retries: int = 40,
+        max_busy_retries: int = 1000,
+    ):
+        from repro.core.session import ClientSession
+
+        self.client_id = client_id
+        self.garbler = garbler
+        self.truncate_bits = truncate_bits
+        self.max_busy_retries = max_busy_retries
+        self.issued = 0
+        self.admitted = 0
+        self.deferred = 0
+        self.rejected = 0
+        self._next_index = 0
+        self._closed = False
+        self.transport = SocketTransport.connect(host, port, retries=retries)
+        self.session = ClientSession(
+            network,
+            params=params,
+            garbler=garbler,
+            seed=seed,
+            truncate_bits=truncate_bits,
+            transport=self.transport,
+            lowered=lowered,
+        )
+        self.transport.send(encode_hello(client_id))
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, x: list[int], request_index: int | None = None) -> list[int]:
+        """One inference over the live connection; returns the logits.
+
+        Issues a REQ (honoring BUSY backoff with the server-suggested
+        retry-after), adopts the offered precompute half on a hit or runs
+        the full offline phase over the wire on a miss, drives the online
+        phase, and consumes the DONE acknowledgement.
+        """
+        from repro.core.protocol import split_offline_state
+        from repro.core.session import LIFE_NEW
+
+        if request_index is None:
+            request_index = self._next_index
+        self._next_index = request_index + 1
+        deferrals = 0
+        while True:
+            self.transport.send(encode_request(request_index))
+            self.issued += 1
+            frame = self.transport.recv(wait=True)
+            head = bytes(frame[:4])
+            if head == _BUSY_MAGIC:
+                self.deferred += 1
+                deferrals += 1
+                if deferrals > self.max_busy_retries:
+                    raise TransportError(
+                        f"request {request_index} deferred {deferrals} "
+                        "times; giving up"
+                    )
+                time.sleep(decode_busy(frame))
+                continue
+            if head == _GOAWAY_MAGIC:
+                self.rejected += 1
+                self._closed = True
+                reason = decode_goaway(frame) or "no reason given"
+                raise TransportError(
+                    f"gateway rejected request {request_index}: {reason}"
+                )
+            hit, blob = decode_offer(frame)
+            break
+        self.admitted += 1
+        session = self.session
+        if session.lifecycle != LIFE_NEW:
+            session.reset_for_request()
+        if hit:
+            client_state, _ = split_offline_state(
+                blob,
+                session.lowered,
+                session.relu_circuit(),
+                self.garbler,
+                self.truncate_bits,
+            )
+            session.load_offline_state(*client_state)
+        else:
+            session.run_offline()
+        logits = session.run_online(x)
+        done_index, _ = decode_done(self.transport.recv(wait=True))
+        if done_index != request_index:
+            raise TransportError(
+                f"gateway acknowledged request {done_index}, "
+                f"expected {request_index}"
+            )
+        return logits
+
+    def stats(self) -> dict:
+        """Mid-stream ``GWS1`` stats snapshot (only between requests)."""
+        self.transport.send(encode_stats_request())
+        return decode_stats_reply(self.transport.recv(wait=True))
+
+    def close(self) -> None:
+        """Graceful bye: best-effort GOAWAY, then close the socket."""
+        if not self._closed:
+            self._closed = True
+            try:
+                self.transport.send(encode_goaway("client done"))
+            except TransportError:  # pragma: no cover - peer already gone
+                pass
+        self.transport.close()
+
+
 def request_inference(
     host: str,
     port: int,
@@ -987,42 +1484,27 @@ def request_inference(
 ) -> list[int]:
     """One inference against a running gateway, from the client's side.
 
-    Connects, announces ``(client_id, request_index)``, adopts the
-    offered precompute half on a hit (or runs the full offline phase over
-    the wire on a miss), drives the online phase, and returns the logits.
-    ``lowered`` may carry a pre-built *shape-only* lowering to amortize
-    across requests; weights never materialize client-side either way.
+    A thin single-request wrapper over :class:`GatewayClient`: connect,
+    HELLO, one REQ cycle, GOAWAY, close. ``lowered`` may carry a
+    pre-built *shape-only* lowering to amortize across calls; weights
+    never materialize client-side either way.
     """
-    from repro.core.protocol import split_offline_state
-    from repro.core.session import ClientSession
-
-    transport = SocketTransport.connect(host, port, retries=retries)
+    client = GatewayClient(
+        host,
+        port,
+        network,
+        params,
+        garbler=garbler,
+        client_id=client_id,
+        seed=seed,
+        truncate_bits=truncate_bits,
+        lowered=lowered,
+        retries=retries,
+    )
     try:
-        session = ClientSession(
-            network,
-            params=params,
-            garbler=garbler,
-            seed=seed,
-            truncate_bits=truncate_bits,
-            transport=transport,
-            lowered=lowered,
-        )
-        transport.send(encode_hello(client_id, request_index))
-        hit, blob = decode_offer(transport.recv(wait=True))
-        if hit:
-            client_state, _ = split_offline_state(
-                blob,
-                session.lowered,
-                session.relu_circuit(),
-                garbler,
-                truncate_bits,
-            )
-            session.load_offline_state(*client_state)
-        else:
-            session.run_offline()
-        return session.run_online(x)
+        return client.request(x, request_index=request_index)
     finally:
-        transport.close()
+        client.close()
 
 
 def request_stats(host: str, port: int, *, retries: int = 40) -> dict:

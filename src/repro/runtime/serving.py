@@ -90,6 +90,14 @@ class ServingReport:
     refill_overlap_seconds: float = 0.0  # window with a mint in flight
     peak_live_sessions: int = 0  # most sockets live at once (gateway)
     dropped_sessions: int = 0  # client sockets that died mid-protocol
+    # Keep-alive admission ledger (gateway runs only; zero elsewhere).
+    # Invariant: requests_admitted + requests_deferred + requests_rejected
+    # == requests_issued once the run drains.
+    connections_accepted: int = 0  # HELLO handshakes completed
+    requests_issued: int = 0  # REQ frames received
+    requests_admitted: int = 0  # answered with an OFFER
+    requests_deferred: int = 0  # answered with BUSY (backlog over max_queue)
+    requests_rejected: int = 0  # answered with GOAWAY (deferral cap hit)
     occupancy: list[dict] = field(default_factory=list)
     # Exclusive-time latency decomposition of the drain window
     # (queue/store/he_linear/gc/ot/wire -> seconds; sums to
@@ -166,6 +174,11 @@ class ServingReport:
             "refill_overlap_seconds": round(self.refill_overlap_seconds, 6),
             "peak_live_sessions": self.peak_live_sessions,
             "dropped_sessions": self.dropped_sessions,
+            "connections_accepted": self.connections_accepted,
+            "requests_issued": self.requests_issued,
+            "requests_admitted": self.requests_admitted,
+            "requests_deferred": self.requests_deferred,
+            "requests_rejected": self.requests_rejected,
             "total_mint_seconds": round(self.total_mint_seconds, 6),
             "queue_depths": [r.queue_depth for r in self.requests],
             "occupancy": self.occupancy,
@@ -217,6 +230,8 @@ class ServingLoop:
         base_seed: int = 0,
         model_id: str = "serving",
         transport: str | None = None,
+        gateway_wait_seconds: float | None = None,
+        gateway_max_queue: int | None = None,
     ):
         if num_clients < 1:
             raise ValueError("need at least one client")
@@ -237,6 +252,11 @@ class ServingLoop:
         self.base_seed = base_seed
         self.model_id = model_id
         self.transport = transport
+        # Gateway admission knobs (concurrent mode only): None defers to
+        # the REPRO_GATEWAY_WAIT_S / REPRO_GATEWAY_MAX_QUEUE env vars and
+        # their defaults, resolved inside ServingGateway.
+        self.gateway_wait_seconds = gateway_wait_seconds
+        self.gateway_max_queue = gateway_max_queue
         self.minted = [0] * num_clients  # per-client mint counter (monotonic)
         self._occupancy: list[dict] = []
 
@@ -554,22 +574,23 @@ class ServingLoop:
         """Serve through the socket gateway: real concurrency, real wire.
 
         A :class:`~repro.runtime.gateway.ServingGateway` runs the selector
-        loop in *this* thread while one driver thread per client issues
-        its requests in order over loopback TCP (each driver blocks on
-        its own socket, so the GIL is free whenever a driver waits on the
-        gateway and vice versa; refill mints run in pool worker
-        processes). The gateway shares this loop's store, pool, and mint
-        counters, so seeds — and therefore logits — line up with the
-        sequential reference. Logits materialize client-side and are
-        merged into the report's :class:`ServedRequest` rows by
+        loop in *this* thread while one driver thread per client opens a
+        single keep-alive :class:`~repro.runtime.gateway.GatewayClient`
+        connection and issues all of its requests over it in order (each
+        driver blocks on its own socket, so the GIL is free whenever a
+        driver waits on the gateway and vice versa; refill mints run in
+        pool worker processes). The gateway shares this loop's store,
+        pool, and mint counters, so seeds — and therefore logits — line
+        up with the sequential reference. Logits materialize client-side
+        and are merged into the report's :class:`ServedRequest` rows by
         ``(client, index)``.
         """
         import threading
 
         from repro.core.lowering import lower_network
         from repro.runtime.gateway import (
+            GatewayClient,
             ServingGateway,
-            request_inference,
             request_stats,
         )
 
@@ -586,6 +607,8 @@ class ServingLoop:
             model_id=self.model_id,
             expected_per_client=requests_per_client,
             minted=self.minted,
+            miss_wait_seconds=self.gateway_wait_seconds,
+            max_queue=self.gateway_max_queue,
         )
         results: dict[tuple[str, int], list[int]] = {}
         errors: list[BaseException] = []
@@ -598,22 +621,26 @@ class ServingLoop:
 
         def drive(c: int) -> None:
             try:
-                for j in range(requests_per_client):
-                    logits = request_inference(
-                        gateway.host,
-                        gateway.port,
-                        self.network,
-                        self.params,
-                        inputs[c][j],
-                        garbler=self.garbler,
-                        client_id=self.client_id(c),
-                        request_index=j,
-                        seed=derive_worker_seed(
-                            self.base_seed + 0xC11E, c * 65536 + j
-                        ),
-                        lowered=client_lowered,
-                    )
-                    results[(self.client_id(c), j)] = logits
+                # One connection per client for the whole run; the session
+                # seed is connection-scoped (request-level randomness never
+                # leaves either endpoint, so logits don't depend on it).
+                client = GatewayClient(
+                    gateway.host,
+                    gateway.port,
+                    self.network,
+                    self.params,
+                    garbler=self.garbler,
+                    client_id=self.client_id(c),
+                    seed=derive_worker_seed(self.base_seed + 0xC11E, c),
+                    lowered=client_lowered,
+                )
+                try:
+                    for j in range(requests_per_client):
+                        results[(self.client_id(c), j)] = client.request(
+                            inputs[c][j], request_index=j
+                        )
+                finally:
+                    client.close()
             except BaseException as exc:  # surfaced after the serve loop
                 errors.append(exc)
 
@@ -715,6 +742,8 @@ def demo(
     pipelined: bool = False,
     concurrent: bool = False,
     transport: str | None = None,
+    gateway_wait_seconds: float | None = None,
+    gateway_max_queue: int | None = None,
 ) -> ServingReport:
     """Self-contained serving run on a tiny network.
 
@@ -757,6 +786,8 @@ def demo(
         loop = ServingLoop(
             network, params, num_clients, store, pool=pool, garbler="client",
             pipelined=pipelined, concurrent=concurrent, transport=transport,
+            gateway_wait_seconds=gateway_wait_seconds,
+            gateway_max_queue=gateway_max_queue,
         )
         inputs = loop.draw_inputs(requests_per_client)
         report = loop.run(requests_per_client, inputs=inputs)
@@ -783,6 +814,13 @@ def demo(
             f"  refill overlap {report.refill_overlap_seconds:.2f}s, peak "
             f"{report.peak_live_sessions} live session(s), "
             f"{report.dropped_sessions} dropped"
+        )
+        print(
+            f"  admission: {report.connections_accepted} connection(s), "
+            f"{report.requests_issued} issued = "
+            f"{report.requests_admitted} admitted + "
+            f"{report.requests_deferred} deferred + "
+            f"{report.requests_rejected} rejected"
         )
     if summary_path:
         summary = report.summary()

@@ -222,3 +222,47 @@ class TestSelectorHooks:
         client.close()
         client.flush()  # must not raise
         server.close()
+
+
+class TestBoundedCloseFlush:
+    """close() makes a best effort to deliver queued outbox bytes, but the
+    effort is bounded: a peer that never drains cannot pin close() (and
+    whoever called it — a gateway GOAWAY, a client bye) forever."""
+
+    def test_close_delivers_queued_frames_to_a_draining_peer(self):
+        client, server = SocketTransport.loopback_pair()
+        try:
+            # Overfill the kernel buffer so some bytes land in the
+            # userspace outbox, then close: the bounded flush must still
+            # push everything to a peer that is actively reading.
+            payload = b"\xab" * 300_000
+            client.send(payload)
+            client.send(b"tail")
+            client.close()
+            assert server.recv(wait=True) == payload
+            assert server.recv(wait=True) == b"tail"
+        finally:
+            client.close()
+            server.close()
+
+    def test_close_is_bounded_when_peer_never_drains(self, monkeypatch):
+        from repro.network import transport as transport_mod
+
+        monkeypatch.setattr(transport_mod, "_CLOSE_FLUSH_SECONDS", 0.3)
+        client, server = SocketTransport.loopback_pair()
+        try:
+            # Shrink both kernel buffers so the outbox genuinely backs up.
+            client._sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_SNDBUF, 8192
+            )
+            server._sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_RCVBUF, 8192
+            )
+            client.send(b"\xcd" * 8_000_000)  # far beyond kernel capacity
+            assert client.needs_flush  # userspace outbox is holding bytes
+            start = time.monotonic()
+            client.close()  # peer never reads: must give up, not hang
+            elapsed = time.monotonic() - start
+            assert elapsed < 5.0, f"close() blocked {elapsed:.1f}s"
+        finally:
+            server.close()

@@ -37,11 +37,24 @@ from repro.runtime import (
     request_inference,
 )
 from repro.runtime.gateway import (
+    DEFAULT_MAX_QUEUE,
+    DEFAULT_WAIT_SECONDS,
+    GatewayClient,
+    decode_busy,
+    decode_done,
+    decode_goaway,
     decode_hello,
     decode_offer,
+    decode_request,
+    encode_busy,
+    encode_done,
+    encode_goaway,
     encode_hello,
     encode_offer,
+    encode_request,
     pick_refill_client,
+    resolve_max_queue,
+    resolve_wait_seconds,
 )
 
 PARAMS = fast_params(n=256)
@@ -57,18 +70,66 @@ def _network(hidden=8):
 
 
 def test_gateway_wire_codecs_roundtrip():
-    assert decode_hello(encode_hello("client7", 3)) == ("client7", 3)
-    assert decode_hello(encode_hello("", 0)) == ("", 0)
+    assert decode_hello(encode_hello("client7")) == "client7"
+    assert decode_hello(encode_hello("")) == ""
+    assert decode_request(encode_request(3)) == 3
+    assert decode_request(encode_request(0)) == 0
     hit, blob = decode_offer(encode_offer(True, b"precompute-bytes"))
     assert hit and blob == b"precompute-bytes"
     hit, blob = decode_offer(encode_offer(False))
     assert not hit and blob == b""
+    assert decode_done(encode_done(7, True)) == (7, True)
+    assert decode_done(encode_done(0, False)) == (0, False)
+    assert decode_busy(encode_busy(0.25)) == 0.25
+    assert decode_busy(encode_busy(-1.0)) == 0.0  # clamped on encode
+    assert decode_goaway(encode_goaway("backlog over max_queue")) == (
+        "backlog over max_queue"
+    )
+    assert decode_goaway(encode_goaway()) == ""
     from repro.network.transport import TransportError
 
     with pytest.raises(TransportError):
         decode_hello(encode_offer(True, b"x"))
     with pytest.raises(TransportError):
-        decode_offer(encode_hello("client0", 0))
+        decode_offer(encode_hello("client0"))
+    with pytest.raises(TransportError):
+        decode_request(encode_done(0, False))
+    with pytest.raises(TransportError):
+        decode_busy(encode_goaway("nope"))
+
+
+def test_gateway_rejects_legacy_single_request_hello():
+    """A GWH1 peer gets a targeted error, not a generic frame mismatch."""
+    from repro.network.transport import TransportError
+
+    legacy = b"GWH1" + b"client0" + b"\x00\x00\x00\x00"
+    with pytest.raises(TransportError, match="GWH2 keep-alive"):
+        decode_hello(legacy)
+
+
+def test_admission_knob_resolution(monkeypatch):
+    """Explicit > environment > default, warning on unparseable env."""
+    monkeypatch.delenv("REPRO_GATEWAY_WAIT_S", raising=False)
+    monkeypatch.delenv("REPRO_GATEWAY_MAX_QUEUE", raising=False)
+    assert resolve_wait_seconds() == DEFAULT_WAIT_SECONDS
+    assert resolve_max_queue() == DEFAULT_MAX_QUEUE
+    assert resolve_wait_seconds(2.5) == 2.5
+    assert resolve_max_queue(3) == 3
+
+    monkeypatch.setenv("REPRO_GATEWAY_WAIT_S", "7.5")
+    monkeypatch.setenv("REPRO_GATEWAY_MAX_QUEUE", "12")
+    assert resolve_wait_seconds() == 7.5
+    assert resolve_max_queue() == 12
+    # Explicit still wins over the environment.
+    assert resolve_wait_seconds(1.0) == 1.0
+    assert resolve_max_queue(1) == 1
+
+    monkeypatch.setenv("REPRO_GATEWAY_WAIT_S", "soon")
+    monkeypatch.setenv("REPRO_GATEWAY_MAX_QUEUE", "lots")
+    with pytest.warns(RuntimeWarning, match="REPRO_GATEWAY_WAIT_S"):
+        assert resolve_wait_seconds() == DEFAULT_WAIT_SECONDS
+    with pytest.warns(RuntimeWarning, match="REPRO_GATEWAY_MAX_QUEUE"):
+        assert resolve_max_queue() == DEFAULT_MAX_QUEUE
 
 
 def test_pick_refill_client_prefers_earliest_miss():
@@ -234,7 +295,8 @@ def test_gateway_drops_dead_client_without_disturbing_others(tmp_path):
                 transport = SocketTransport.connect(
                     "127.0.0.1", gateway.port, retries=5
                 )
-                transport.send(encode_hello("client1", 0))
+                transport.send(encode_hello("client1"))
+                transport.send(encode_request(0))
                 hit, _ = decode_offer(transport.recv(wait=True))
                 assert hit
                 transport._sock.close()  # abrupt death, no clean close
@@ -310,3 +372,204 @@ def test_concurrent_throughput_beats_serialized(tmp_path):
         f"concurrent {concurrent.throughput_rps:.2f} req/s did not beat "
         f"serialized {serialized.throughput_rps:.2f} req/s"
     )
+
+
+# -- keep-alive connections and admission -----------------------------------------
+
+
+def test_keepalive_connections_serve_many_requests(tmp_path):
+    """4 clients x 4 requests over exactly 4 connections.
+
+    Each serving driver opens ONE keep-alive connection and issues all of
+    its requests over it (``connections_accepted == num_clients``, not
+    ``num_requests``), every logit vector matches the plaintext oracle —
+    plus a full sequential protocol reference per client — and the
+    admission ledger balances."""
+    network = _network()
+    store = PrecomputeStore(tmp_path)
+    with PrecomputePool(workers=1) as pool:
+        loop = ServingLoop(
+            network, PARAMS, 4, store, pool=pool, garbler="client",
+            concurrent=True,
+        )
+        inputs = loop.draw_inputs(4)
+        report = loop.run(4, inputs=inputs)
+
+    assert len(report.requests) == 16
+    assert report.connections_accepted == 4  # one socket per client, reused
+    assert report.requests_admitted == 16
+    assert report.requests_rejected == 0
+    assert (
+        report.requests_admitted
+        + report.requests_deferred
+        + report.requests_rejected
+        == report.requests_issued
+    )
+    assert report.dropped_sessions == 0
+    per_client: dict = {}
+    for request in report.requests:
+        per_client.setdefault(request.client, []).append(request.index)
+    assert all(sorted(v) == [0, 1, 2, 3] for v in per_client.values())
+    lowered = lower_network(network, PARAMS.t)
+    for request in report.requests:
+        c = int(request.client[len("client"):])
+        assert request.logits == plaintext_reference(
+            lowered, inputs[c][request.index]
+        )
+    # One full sequential protocol reference per client (logits are
+    # seed-independent, so the reference seed does not matter).
+    for c in range(4):
+        request = next(
+            r for r in report.requests
+            if r.client == f"client{c}" and r.index == 0
+        )
+        sequential = HybridProtocol(
+            network, PARAMS, garbler="client", seed=loop.mint_seed(c, 0),
+        )
+        sequential.run_offline()
+        assert request.logits == sequential.run_online(inputs[c][0])
+
+    summary = report.summary()
+    assert summary["connections_accepted"] == 4
+    assert summary["requests_issued"] == summary["requests_admitted"] + (
+        summary["requests_deferred"] + summary["requests_rejected"]
+    )
+
+
+def test_gateway_saturation_defers_and_recovers(tmp_path):
+    """``max_queue=0``: any REQ arriving while refill work is in flight
+    is answered BUSY; keep-alive clients back off and retry, every
+    request still completes with oracle-clean logits, and the admission
+    ledger balances with non-zero deferrals."""
+    network = _network()
+    store = PrecomputeStore(tmp_path)
+    with PrecomputePool(workers=1) as pool:
+        loop = ServingLoop(
+            network, PARAMS, 3, store, pool=pool, garbler="client",
+            concurrent=True, gateway_max_queue=0,
+        )
+        inputs = loop.draw_inputs(2)
+        report = loop.run(2, inputs=inputs)
+
+    assert len(report.requests) == 6
+    assert report.requests_deferred > 0  # the threshold actually bit
+    assert report.requests_rejected == 0  # deferral cap is unlimited here
+    assert report.requests_admitted == 6
+    assert (
+        report.requests_admitted
+        + report.requests_deferred
+        + report.requests_rejected
+        == report.requests_issued
+    )
+    lowered = lower_network(network, PARAMS.t)
+    for request in report.requests:
+        c = int(request.client[len("client"):])
+        assert request.logits == plaintext_reference(
+            lowered, inputs[c][request.index]
+        )
+
+
+def _pump_for_frame(gateway, transport, timeout=30.0):
+    """Poll the gateway's selector until the client socket yields a frame."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        gateway.poll(0.05)
+        frame = transport.recv(wait=False)
+        if frame is not None:
+            return frame
+    raise AssertionError("no frame from gateway within timeout")
+
+
+def test_gateway_busy_then_goaway_raw_frames(tmp_path):
+    """Raw admission wire semantics, single-threaded: a REQ over the
+    backlog threshold gets BUSY carrying the configured retry-after, and
+    blowing the deferral cap gets GOAWAY with a reason."""
+    network = _network()
+    store = PrecomputeStore(tmp_path)
+    with PrecomputePool(workers=1) as pool:
+        gateway = ServingGateway(
+            network, PARAMS, 1, store, pool=pool, garbler="client",
+            prefill=0, refill=False, max_queue=0, max_request_deferrals=1,
+            busy_retry_after=0.01,
+        )
+        gateway.start()
+        try:
+            # Fake an in-flight mint backlog so admission must defer.
+            with gateway._state_lock:
+                gateway._pending_mints[0] = 3
+            transport = SocketTransport.connect(
+                "127.0.0.1", gateway.port, retries=5
+            )
+            transport.send(encode_hello("client0"))
+            transport.send(encode_request(0))
+            assert decode_busy(_pump_for_frame(gateway, transport)) == 0.01
+            transport.send(encode_request(0))
+            reason = decode_goaway(_pump_for_frame(gateway, transport))
+            assert "backlog" in reason
+            transport.close()
+        finally:
+            with gateway._state_lock:
+                gateway._pending_mints[0] = 0
+            gateway.stop(drain=False)
+
+    assert gateway.requests_issued == 2
+    assert gateway.requests_deferred == 1
+    assert gateway.requests_rejected == 1
+    assert gateway.requests_admitted == 0
+    assert gateway.dropped_sessions == 0  # rejection is not a mid-protocol death
+
+
+def test_midstream_stats_on_keepalive_connection(tmp_path):
+    """A GWS1 probe between two requests on one live connection: the
+    stats frame is answered in-stream, the connection keeps serving, the
+    second request's logits are clean, and the whole connection used a
+    single recycled server session."""
+    network = _network()
+    store = PrecomputeStore(tmp_path)
+    oracle = lower_network(network, PARAMS.t)
+    shape = lower_network(network, PARAMS.t, shape_only=True)
+    box: dict = {}
+    errors = []
+    with PrecomputePool(workers=1) as pool:
+        gateway = ServingGateway(
+            network, PARAMS, 1, store, pool=pool, garbler="client",
+            expected_per_client=2,
+        )
+        gateway.start()
+
+        def drive():
+            try:
+                client = GatewayClient(
+                    "127.0.0.1", gateway.port, network, PARAMS,
+                    garbler="client", client_id="client0", lowered=shape,
+                )
+                try:
+                    box[0] = client.request(list(range(16)), request_index=0)
+                    box["stats"] = client.stats()
+                    box[1] = client.request(
+                        list(range(16, 32)), request_index=1
+                    )
+                finally:
+                    client.close()
+            except BaseException as exc:  # pragma: no cover - debug aid
+                errors.append(exc)
+
+        thread = threading.Thread(target=drive, daemon=True)
+        try:
+            thread.start()
+            gateway.serve(2, timeout=300.0)
+            thread.join(timeout=60.0)
+            gateway.check_refills()
+        finally:
+            gateway.stop()
+
+    assert errors == []
+    assert box[0] == plaintext_reference(oracle, list(range(16)))
+    assert box[1] == plaintext_reference(oracle, list(range(16, 32)))
+    stats = box["stats"]
+    assert stats["admission"]["connections_accepted"] == 1
+    rows = [r for r in stats["connections"] if r["client"] == "client0"]
+    assert rows and rows[0]["requests_completed"] == 1  # taken between reqs
+    assert gateway._session_counter == 1  # one session, recycled, not two
+    assert gateway.connections_accepted == 1
+    assert gateway.requests_admitted == 2

@@ -381,3 +381,87 @@ class TestWireVersioning:
         assert not proto.server.offline_done
         with pytest.raises(RuntimeError, match="offline phase must run"):
             proto.server.start_online()
+
+
+class TestSessionLifecycle:
+    """Connection/request split: sessions are explicit state machines that
+    can be recycled for the next request with ``reset_for_request()``."""
+
+    def _proto(self, seed=21):
+        net = tiny_mlp(tiny_dataset(size=4, classes=3), hidden=4)
+        net.randomize_weights(P, np.random.default_rng(0))
+        return HybridProtocol(net, PARAMS, garbler="client", seed=seed)
+
+    def test_lifecycle_progression(self):
+        from repro.core.session import (
+            LIFE_COMPLETE,
+            LIFE_NEW,
+            LIFE_ONLINE,
+            LIFE_READY,
+        )
+
+        proto = self._proto()
+        assert proto.client.lifecycle == LIFE_NEW
+        assert proto.server.lifecycle == LIFE_NEW
+        proto.run_offline()
+        assert proto.client.lifecycle == LIFE_READY
+        assert proto.server.lifecycle == LIFE_READY
+        proto.start_online([0] * 16)
+        assert proto.client.lifecycle == LIFE_ONLINE
+        assert proto.server.lifecycle == LIFE_ONLINE
+        for _ in proto.drive_steps():
+            pass
+        logits = proto.client.finish()
+        assert proto.client.lifecycle == LIFE_COMPLETE
+        assert proto.server.lifecycle == LIFE_COMPLETE
+        assert logits == proto.plaintext_reference([0] * 16)
+
+    def test_reset_recycles_sessions_for_next_request(self):
+        """One session pair, N requests: every request's logits match the
+        plaintext reference and channel accounting keeps accumulating."""
+        from repro.core.session import LIFE_NEW
+
+        proto = self._proto()
+        rng = np.random.default_rng(33)
+        proto.run_offline()
+        first_x = rng.integers(0, P, size=16).tolist()
+        assert proto.run_online(first_x) == proto.plaintext_reference(first_x)
+        bytes_after_first = proto.channel.total_bytes
+
+        proto.reset_for_request()
+        assert proto.client.lifecycle == LIFE_NEW
+        assert proto.server.lifecycle == LIFE_NEW
+        second_x = rng.integers(0, P, size=16).tolist()
+        proto.run_offline()
+        assert proto.run_online(second_x) == proto.plaintext_reference(second_x)
+        # Same transport, same channel: the books span both requests.
+        assert proto.channel.total_bytes > bytes_after_first
+
+    def test_repeat_offline_without_reset_rejected(self):
+        proto = self._proto()
+        proto.run_offline()
+        with pytest.raises(RuntimeError, match="reset_for_request"):
+            proto.client.start_offline()
+
+    def test_online_before_offline_rejected(self):
+        proto = self._proto()
+        with pytest.raises(RuntimeError, match="offline phase must run"):
+            proto.client.start_online([0] * 16)
+
+    def test_reset_mid_phase_rejected(self):
+        proto = self._proto()
+        proto.client.start_offline()
+        proto.server.start_offline()
+        proto.client.step()
+        with pytest.raises(RuntimeError, match="phase is in progress"):
+            proto.client.reset_for_request()
+
+    def test_online_rerun_from_complete_without_full_reset(self):
+        """COMPLETE -> start_online is legal: a stored precompute can be
+        reloaded into the same session objects (the gateway's hit path
+        after a recycle)."""
+        proto = self._proto()
+        proto.run_offline()
+        x = [1] * 16
+        logits = proto.run_online(x)
+        assert logits == proto.plaintext_reference(x)

@@ -395,7 +395,7 @@ def test_transport_frames_counted_by_direction_and_format():
     a, b = InMemoryTransport.pair()
     from repro.runtime.gateway import encode_hello
 
-    frame = encode_hello("client0", 0)
+    frame = encode_hello("client0")
     assert frame_format_name(frame) == "gateway_hello"
     a.send(frame)
     assert b.recv(wait=True) == frame
@@ -460,6 +460,9 @@ def test_concurrent_gateway_stats_phases_and_trace(tmp_path):
     assert stats["hit_rate"] == 1.0
     assert stats["dropped_sessions"] == 0
     assert stats["store"]["entries"] >= 0
+    assert stats["admission"]["issued"] == 2
+    assert stats["admission"]["admitted"] == 2
+    assert stats["admission"]["connections_accepted"] == 2
     for c in range(2):
         client = stats["clients"][f"client{c}"]
         assert client["requests"] == 1
@@ -489,8 +492,31 @@ def test_concurrent_gateway_stats_phases_and_trace(tmp_path):
     assert validate_trace_events(events) == count > 0
     names = {e["name"] for e in events}
     for expected in ("gateway.prefill", "gateway.step", "gateway.request",
-                     "gateway.take_precompute", "session.client.online"):
+                     "gateway.connection", "gateway.take_precompute",
+                     "session.client.online"):
         assert expected in names, f"missing span {expected!r}"
+    # The connection span must enclose its requests' spans: one keep-alive
+    # connection per client, each carrying its completed-request count.
+    conn_events = [e for e in events if e["name"] == "gateway.connection"]
+    assert len(conn_events) == 2
+    assert {e["args"]["client"] for e in conn_events} == {
+        "client0", "client1"
+    }
+    assert all(e["args"]["requests"] == 1 for e in conn_events)
+
+    # Admission outcomes land on gateway_requests_total{client, outcome},
+    # served results on gateway_served_total{client, result}.
+    counters = METRICS.snapshot()["counters"]
+    for c in range(2):
+        admitted = series_key(
+            "gateway_requests_total",
+            {"client": f"client{c}", "outcome": "admitted"},
+        )
+        assert counters[admitted] == 1
+        hits = series_key(
+            "gateway_served_total", {"client": f"client{c}", "result": "hit"}
+        )
+        assert counters[hits] == 1
 
 
 def test_stats_probe_leaves_no_transcript_trace(tmp_path):
