@@ -1,0 +1,149 @@
+"""Workload engine + capacity planner: one schedule, two executions.
+
+Generates a bursty, Zipf-skewed arrival schedule, replays the exact same
+schedule twice — once functionally against a live concurrent gateway
+(every logit checked against the plaintext oracle) and once analytically
+through the discrete-event engine — then calibrates the analytic service
+model from measured runs and asks the planner: how many pool workers and
+how many store entries do N clients at rate lambda need to meet a p95
+latency SLO?
+
+Run:  python examples/workload_capacity.py --clients 3 --rate 5 \
+          --plan-clients 8 --plan-rate 3
+
+The functional replay drives real keep-alive gateway sessions from one
+thread per client, sleeping to each arrival's scheduled time and backing
+off on BUSY with the server-suggested retry_after (decorrelated jitter).
+The analytic replay consumes the byte-identical schedule through the
+simulator, reusing the gateway's own refill-ordering and retry_after
+policy functions — model and system share one admission brain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+
+from repro.runtime.pool import PrecomputePool
+from repro.runtime.serving import demo_network_and_params
+from repro.runtime.store import PrecomputeStore
+from repro.workload import (
+    SLO,
+    BurstEnvelope,
+    CapacityPlanner,
+    calibrate,
+    poisson_schedule,
+    replay_analytic,
+    replay_functional,
+    zipf_rates,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=3)
+    parser.add_argument("--rate", type=float, default=5.0,
+                        help="aggregate offered rate (rps)")
+    parser.add_argument("--horizon", type=float, default=1.5)
+    parser.add_argument("--skew", type=float, default=1.5,
+                        help="Zipf exponent; client 0 is the hot client")
+    parser.add_argument("--budget-mb", type=float, default=0.2,
+                        help="store byte budget (tight -> evictions)")
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--plan-clients", type=int, default=8)
+    parser.add_argument("--plan-rate", type=float, default=3.0)
+    parser.add_argument("--slo-p95", type=float, default=2.0)
+    args = parser.parse_args()
+
+    network, params = demo_network_and_params()
+
+    # One schedule: bursty + skewed, seeded, canonical JSON bytes are
+    # the contract between the two executions below.
+    schedule = poisson_schedule(
+        args.clients,
+        zipf_rates(args.clients, args.rate, args.skew),
+        horizon=args.horizon,
+        seed=11,
+        name="burst-skewed",
+        burst=BurstEnvelope(on_seconds=args.horizon / 3,
+                            off_seconds=args.horizon / 3,
+                            off_factor=0.1, seed=3),
+        max_per_client=3,
+    )
+    print(f"schedule {schedule.name!r}: {schedule.total_requests} arrivals, "
+          f"per-client counts {schedule.request_counts()}, "
+          f"offered {schedule.offered_rate():.2f} rps")
+
+    # Execution 1: functional, against a live gateway under a tight
+    # store budget and max_queue=0 so the burst actually defers.
+    root = tempfile.mkdtemp(prefix="repro-workload-example-")
+    try:
+        store = PrecomputeStore(root, byte_budget=int(args.budget_mb * 1e6))
+        with PrecomputePool(workers=args.workers) as pool:
+            report = replay_functional(
+                schedule, network, params, store,
+                pool=pool, gateway_max_queue=0,
+            )
+            workers = pool.workers
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    measured = report.workloads[schedule.name]
+    print(f"functional: goodput {measured['goodput_rps']:.2f} rps, "
+          f"p95 {measured['latency_p95']:.2f}s, "
+          f"{report.requests_deferred} deferrals "
+          f"(ledger {report.requests_issued} issued = "
+          f"{report.requests_admitted} + {report.requests_deferred} + "
+          f"{report.requests_rejected})")
+
+    # Calibrate the analytic service model from small measured runs,
+    # validate on a held-out schedule, then run execution 2: the same
+    # schedule bytes through the discrete-event simulator.
+    model, calibration = calibrate(network, params, budget_mb=8.0)
+    validation = calibration["validation"]
+    print(f"calibrated ({model.fit['method']}): "
+          f"online {model.online_seconds * 1e3:.0f} ms, "
+          f"demand mint {model.demand_mint_seconds * 1e3:.0f} ms, "
+          f"refill mint {model.refill_mint_seconds * 1e3:.0f} ms; "
+          f"held-out throughput error {validation['throughput_error']:.1%}")
+
+    analytic = replay_analytic(
+        schedule,
+        model.service_model(workers=workers, store_entries=2, max_queue=0),
+    )
+    print(f"analytic (same schedule bytes): "
+          f"goodput {analytic['goodput_rps']:.2f} rps, "
+          f"p95 {analytic['latency_p95']:.2f}s, "
+          f"{analytic['deferred']} deferrals, "
+          f"{analytic['evictions']} evictions")
+
+    # The payoff: answer "how many workers / how much store?" for a
+    # bigger deployment without running it.
+    planner = CapacityPlanner(model)
+    plan = planner.plan(
+        clients=args.plan_clients,
+        rate=args.plan_rate,
+        workers_grid=[1, 2, 4],
+        store_grid=[4, 8, 16],
+        slo=SLO(p95_latency_seconds=args.slo_p95, max_deferral_rate=0.2),
+        horizon=20.0,
+        seed=0,
+    )
+    choice = plan["choice"]
+    if choice is None:
+        print(f"no grid point meets p95 <= {args.slo_p95:g}s for "
+              f"{args.plan_clients} clients at {args.plan_rate:g} rps")
+    else:
+        print(f"plan for {args.plan_clients} clients at "
+              f"{args.plan_rate:g} rps: {choice['workers']} worker(s), "
+              f"{choice['store_entries']} store entries "
+              f"(cost {choice['cost']:g}, predicted p95 "
+              f"{choice['latency_p95']:.2f}s, goodput "
+              f"{choice['goodput_rps']:.2f} rps)")
+        print(json.dumps({k: choice[k] for k in
+                          ("workers", "store_entries", "cost")}, sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

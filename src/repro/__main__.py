@@ -131,6 +131,131 @@ def main(argv: list[str] | None = None) -> int:
         help="with --serve: write the ServingReport summary JSON here",
     )
     parser.add_argument(
+        "--workload",
+        choices=("poisson", "closed", "burst", "skewed"),
+        default=None,
+        help="instead of experiments, replay a generated arrival schedule "
+        "against the concurrent gateway (poisson: uniform open-loop; "
+        "skewed: Zipf hot-client rates; burst: skewed + on/off envelope; "
+        "closed: think-time loop) and verify every logit against the "
+        "plaintext oracle",
+    )
+    parser.add_argument(
+        "--workload-clients",
+        type=int,
+        default=3,
+        metavar="N",
+        help="with --workload: number of clients (default 3)",
+    )
+    parser.add_argument(
+        "--workload-rate",
+        type=float,
+        default=4.0,
+        metavar="RPS",
+        help="with --workload (open-loop kinds): aggregate offered rate "
+        "in requests/second (default 4.0)",
+    )
+    parser.add_argument(
+        "--workload-horizon",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="with --workload (open-loop kinds): schedule horizon in "
+        "seconds (default 2.0)",
+    )
+    parser.add_argument(
+        "--workload-requests",
+        type=int,
+        default=3,
+        metavar="R",
+        help="with --workload: per-client request cap (open-loop) or "
+        "request count (closed-loop) (default 3)",
+    )
+    parser.add_argument(
+        "--workload-skew",
+        type=float,
+        default=1.2,
+        metavar="S",
+        help="with --workload skewed/burst: Zipf skew exponent — client "
+        "0 is the hot client (default 1.2)",
+    )
+    parser.add_argument(
+        "--workload-think",
+        type=float,
+        default=0.2,
+        metavar="S",
+        help="with --workload closed: mean exponential think time in "
+        "seconds (default 0.2)",
+    )
+    parser.add_argument(
+        "--workload-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --workload: schedule generator seed (default 0)",
+    )
+    parser.add_argument(
+        "--workload-budget-mb",
+        type=float,
+        default=8.0,
+        metavar="MB",
+        help="with --workload: global precompute store byte budget "
+        "(0 = unbounded; default 8.0)",
+    )
+    parser.add_argument(
+        "--workload-time-scale",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="with --workload: stretch (>1) or compress (<1) the "
+        "schedule's clock at replay time without changing its bytes",
+    )
+    parser.add_argument(
+        "--workload-out",
+        default=None,
+        metavar="PATH",
+        help="with --workload: write the JSON artifact (canonical "
+        "schedule + measured summary) here",
+    )
+    parser.add_argument(
+        "--plan",
+        action="store_true",
+        help="instead of experiments, run the capacity planner: calibrate "
+        "the analytic service model against measured gateway runs, "
+        "validate on a held-out schedule, and sweep (workers, store) "
+        "grids for the cheapest configuration meeting the SLO",
+    )
+    parser.add_argument(
+        "--plan-clients",
+        type=int,
+        default=8,
+        metavar="N",
+        help="with --plan: clients to plan for (default 8)",
+    )
+    parser.add_argument(
+        "--plan-rate",
+        type=float,
+        default=3.0,
+        metavar="RPS",
+        help="with --plan: aggregate offered rate to plan for "
+        "(default 3.0)",
+    )
+    parser.add_argument(
+        "--plan-slo-p95",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="with --plan: SLO ceiling on predicted p95 latency "
+        "(default 2.0 seconds)",
+    )
+    parser.add_argument(
+        "--plan-out",
+        default=None,
+        metavar="PATH",
+        help="with --plan: write the planner artifact JSON (calibration "
+        "runs, validation errors, sweep table, chosen config) here",
+    )
+    parser.add_argument(
         "--telemetry",
         action="store_true",
         help="enable the telemetry spine (structured tracing + metrics "
@@ -196,6 +321,39 @@ def main(argv: list[str] | None = None) -> int:
                 with open(args.metrics_out, "w", encoding="utf-8") as fh:
                     fh.write(METRICS.to_prometheus())
                 print(f"wrote metrics to {args.metrics_out}")
+        return 0
+
+    if args.workload is not None:
+        from repro.workload.cli import demo_workload
+
+        demo_workload(
+            args.workload,
+            clients=max(1, args.workload_clients),
+            rate=args.workload_rate,
+            horizon=args.workload_horizon,
+            requests=max(1, args.workload_requests),
+            skew=args.workload_skew,
+            think=args.workload_think,
+            seed=args.workload_seed,
+            workers=args.workers,
+            budget_mb=args.workload_budget_mb,
+            gateway_max_queue=args.gateway_max_queue,
+            time_scale=args.workload_time_scale,
+            out_path=args.workload_out,
+        )
+        return 0
+
+    if args.plan:
+        from repro.workload.cli import demo_plan
+
+        demo_plan(
+            clients=max(1, args.plan_clients),
+            rate=args.plan_rate,
+            workers=args.workers,
+            budget_mb=args.workload_budget_mb,
+            slo_p95=args.plan_slo_p95,
+            out_path=args.plan_out,
+        )
         return 0
 
     if args.list or not args.experiments:

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from repro.core.system import OfflineParallelism, SystemConfig, pipeline_times
 from repro.profiling.model_costs import Protocol
 from repro.simulation.engine import Container, Environment, Resource, Store
-from repro.simulation.workload import InferenceRequest, PoissonWorkload
+from repro.workload.generators import InferenceRequest, PoissonWorkload
 
 
 @dataclass(frozen=True)

@@ -25,7 +25,7 @@ from repro.network.bandwidth import TddLink
 from repro.profiling.devices import ATOM, EPYC, DeviceProfile
 from repro.profiling.model_costs import NetworkCostProfile, Protocol
 from repro.simulation.engine import Container, Environment, Resource, Store
-from repro.simulation.workload import InferenceRequest, PoissonWorkload
+from repro.workload.generators import InferenceRequest, PoissonWorkload
 
 
 class OfflineParallelism(Enum):

@@ -57,6 +57,10 @@ class SecureRandom:
         """Exponential inter-arrival draw (Poisson process) with given mean."""
         return self._rng.expovariate(1.0 / mean)
 
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """Uniform float in [low, high) (workload thinning / jitter draws)."""
+        return self._rng.uniform(low, high)
+
     def spawn(self) -> "SecureRandom":
         """Independent child stream (for per-request generators)."""
         return SecureRandom(self._rng.getrandbits(128))

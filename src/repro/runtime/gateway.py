@@ -62,6 +62,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import selectors
 import struct
 import threading
@@ -240,6 +241,37 @@ def resolve_max_queue(explicit: int | None = None) -> int:
     )
 
 
+MAX_RETRY_AFTER = 5.0
+
+
+def adaptive_retry_after(
+    backlog: int,
+    max_queue: int,
+    mean_mint_seconds: float,
+    mint_parallelism: int,
+    floor: float,
+    cap: float = MAX_RETRY_AFTER,
+) -> float:
+    """How long a deferred client should wait before re-issuing its REQ.
+
+    The backlog the admission check just measured drains at roughly
+    ``mint_parallelism / mean_mint_seconds`` mints per second, so the
+    *excess* over ``max_queue`` clears in about
+    ``excess * mean_mint_seconds / mint_parallelism`` — that is when a
+    retry has a real chance of being admitted. Telling the client
+    anything shorter buys nothing but wasted BUSY round-trips; anything
+    longer leaves admission slots idle. ``floor`` (the old fixed
+    ``busy_retry_after``) is both the fallback before any mint has been
+    timed and the lower clamp; ``cap`` bounds the hint when a burst
+    piles the backlog sky-high.
+    """
+    if mean_mint_seconds <= 0.0:
+        return floor  # no measured mints yet: the fixed constant stands
+    excess = max(1, backlog - max_queue)
+    drain = excess * mean_mint_seconds / max(1, mint_parallelism)
+    return min(cap, max(floor, drain))
+
+
 # -- refill jobs -----------------------------------------------------------------
 
 
@@ -353,6 +385,7 @@ class _RefillWorker(threading.Thread):
                 c, index, t0 = inflight.pop(job)
                 elapsed = time.perf_counter() - t0
                 self.refill_seconds += elapsed
+                gateway._note_mint_seconds(elapsed)
                 try:
                     blob = job.get()
                     gateway._admit(c, index, blob)
@@ -607,6 +640,14 @@ class ServingGateway:
         self.model_id = model_id
         self.truncate_bits = truncate_bits
         self.host = host
+        # Refill cap: one scalar for uniform drains, or one cap per client
+        # for skewed schedules whose clients carry unequal request counts.
+        if isinstance(expected_per_client, (list, tuple)):
+            if len(expected_per_client) != num_clients:
+                raise ValueError(
+                    "per-client refill caps must match num_clients"
+                )
+            expected_per_client = list(expected_per_client)
         self.expected_per_client = expected_per_client
         self.minted = minted if minted is not None else [0] * num_clients
         if len(self.minted) != num_clients:
@@ -664,6 +705,11 @@ class ServingGateway:
         self.max_inflight_per_client = max(1, max_inflight_per_client)
         self.max_request_deferrals = max_request_deferrals
         self.busy_retry_after = busy_retry_after
+        # Measured mint wall-clock (refill and demand mints alike) feeding
+        # the adaptive BUSY retry hint; busy_retry_after stays the floor
+        # and the fallback until the first mint completes.
+        self._mint_time_total = 0.0
+        self._mint_time_count = 0
         # Admission ledger: every REQ frame received is *issued* and gets
         # exactly one of OFFER (admitted), BUSY (deferred), or GOAWAY
         # (rejected) — clean runs balance admitted+deferred+rejected ==
@@ -922,6 +968,12 @@ class ServingGateway:
             pending = list(self._pending_mints)
             credits = list(self._credits)
             backlog = self._backlog_locked()
+            retry_after = self._retry_after_locked()
+            mean_mint = (
+                self._mint_time_total / self._mint_time_count
+                if self._mint_time_count
+                else 0.0
+            )
             inflight = sum(self._inflight.values())
             # Sessions, not sockets: a stats probe (or a pre-hello
             # connection) holds no session and must not count itself.
@@ -963,6 +1015,10 @@ class ServingGateway:
             "admission": {
                 "max_queue": self.max_queue,
                 "backlog": backlog,
+                # What the *next* deferred request would be told to wait,
+                # and the measured mean mint time behind it.
+                "retry_after": round(retry_after, 6),
+                "mean_mint_seconds": round(mean_mint, 6),
                 "connections_accepted": self.connections_accepted,
                 "issued": self.requests_issued,
                 "admitted": self.requests_admitted,
@@ -1045,6 +1101,7 @@ class ServingGateway:
             if self._inflight.get(conn.client_id, 0) >= self.max_inflight_per_client:
                 return False  # stays queued; a completion re-triggers us
             over = self._backlog_locked() > self.max_queue
+            retry_after = self._retry_after_locked() if over else 0.0
             inflight_total = sum(self._inflight.values())
             if not over:
                 self._inflight[conn.client_id] = (
@@ -1069,7 +1126,7 @@ class ServingGateway:
                 return False
             self.requests_deferred += 1
             self._note_outcome(conn.client_id, "deferred")
-            conn.transport.send(encode_busy(self.busy_retry_after))
+            conn.transport.send(encode_busy(retry_after))
             return False
         conn.deferrals = 0
         conn.request_index = index
@@ -1140,6 +1197,10 @@ class ServingGateway:
     def _complete(self, conn: _Connection, online_seconds: float) -> None:
         from repro.runtime.serving import ServedRequest
 
+        if not conn.hit and conn.mint_seconds > 0.0:
+            # Demand mints count toward the retry estimator too: under
+            # sustained misses they are the honest drain rate.
+            self._note_mint_seconds(conn.mint_seconds)
         latency = time.perf_counter() - conn.request_started
         self._stats_registry.histogram(
             "gateway_request_seconds", client=conn.client_id
@@ -1265,7 +1326,31 @@ class ServingGateway:
     def _may_mint_locked(self, c: int) -> bool:
         if self.expected_per_client is None:
             return True
-        return self.minted[c] < self.expected_per_client
+        cap = self.expected_per_client
+        if isinstance(cap, list):
+            cap = cap[c]
+        return self.minted[c] < cap
+
+    def _note_mint_seconds(self, seconds: float) -> None:
+        """Fold one completed mint's wall-clock into the retry estimator."""
+        with self._state_lock:
+            self._mint_time_total += seconds
+            self._mint_time_count += 1
+
+    def _retry_after_locked(self) -> float:
+        """The adaptive BUSY hint for the backlog just measured."""
+        mean = (
+            self._mint_time_total / self._mint_time_count
+            if self._mint_time_count
+            else 0.0
+        )
+        return adaptive_retry_after(
+            self._backlog_locked(),
+            self.max_queue,
+            mean,
+            self._refill_inflight,
+            self.busy_retry_after,
+        )
 
     def _reserve_mint(self, c: int) -> int:
         with self._state_lock:
@@ -1368,8 +1453,13 @@ class GatewayClient:
         self.admitted = 0
         self.deferred = 0
         self.rejected = 0
+        self.retry_sleep_seconds = 0.0  # total time spent in BUSY backoff
         self._next_index = 0
         self._closed = False
+        # Backoff jitter stream: seeded clients get deterministic sleeps
+        # (protocol randomness is untouched — logits never depend on it).
+        self._backoff_rng = random.Random(seed)
+        self._backoff_cap = 2 * MAX_RETRY_AFTER
         self.transport = SocketTransport.connect(host, port, retries=retries)
         self.session = ClientSession(
             network,
@@ -1403,6 +1493,7 @@ class GatewayClient:
             request_index = self._next_index
         self._next_index = request_index + 1
         deferrals = 0
+        backoff = 0.0
         while True:
             self.transport.send(encode_request(request_index))
             self.issued += 1
@@ -1416,7 +1507,19 @@ class GatewayClient:
                         f"request {request_index} deferred {deferrals} "
                         "times; giving up"
                     )
-                time.sleep(decode_busy(frame))
+                # Decorrelated jitter seeded by the server's hint: the
+                # first retry sleeps exactly retry_after (the server's
+                # best estimate of when the backlog clears); repeat
+                # deferrals spread out uniformly in [hint, 3 * previous]
+                # so a crowd of deferred clients doesn't re-stampede the
+                # gateway on one synchronized beat.
+                hint = max(0.0, decode_busy(frame))
+                backoff = min(
+                    self._backoff_cap,
+                    self._backoff_rng.uniform(hint, max(hint, 3.0 * backoff)),
+                )
+                self.retry_sleep_seconds += backoff
+                time.sleep(backoff)
                 continue
             if head == _GOAWAY_MAGIC:
                 self.rejected += 1
@@ -1455,6 +1558,17 @@ class GatewayClient:
         """Mid-stream ``GWS1`` stats snapshot (only between requests)."""
         self.transport.send(encode_stats_request())
         return decode_stats_reply(self.transport.recv(wait=True))
+
+    def local_stats(self) -> dict:
+        """This side of the admission ledger, plus backoff accounting."""
+        return {
+            "issued": self.issued,
+            "admitted": self.admitted,
+            "deferred": self.deferred,
+            "rejected": self.rejected,
+            "busy_retries": self.deferred,
+            "retry_sleep_seconds": round(self.retry_sleep_seconds, 6),
+        }
 
     def close(self) -> None:
         """Graceful bye: best-effort GOAWAY, then close the socket."""

@@ -106,6 +106,9 @@ class ServingReport:
     # Live gateway stats snapshot (per-client latency quantiles, queue
     # depth, store occupancy, refill in-flight). Concurrent runs only.
     gateway_stats: dict = field(default_factory=dict)
+    # Per-workload columns keyed by schedule name (latency p50/p95/p99,
+    # deferral rate, goodput). Populated by the workload drivers.
+    workloads: dict = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -186,6 +189,7 @@ class ServingReport:
                 k: round(v, 6) for k, v in self.phase_seconds.items()
             },
             "gateway_stats": self.gateway_stats,
+            "workloads": self.workloads,
         }
 
 

@@ -1,82 +1,18 @@
-"""Inference request workload generation (Poisson arrivals).
+"""Compatibility shim — the workload layer moved to ``repro.workload``.
 
-The paper generates inference requests from a Poisson process — i.e.
-exponential inter-arrival times — and serves them from a FIFO queue
-(§3, Figure 7). ``PoissonWorkload`` reproduces that, seeded for
-reproducible replications.
+The arrival-process generators outgrew this module (Poisson was the only
+process; the workload engine adds closed-loop, Zipf skew, and burst
+overlays on a typed :class:`~repro.workload.generators.Schedule`). The
+legacy names live in :mod:`repro.workload.generators` now; import from
+``repro.workload`` going forward.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.workload.generators import (
+    InferenceRequest,
+    PoissonWorkload,
+    deterministic_arrivals,
+)
 
-from repro.crypto.rng import SecureRandom
-
-
-@dataclass
-class InferenceRequest:
-    """One inference request and its measured latency decomposition."""
-
-    index: int
-    arrival_time: float
-    service_start: float | None = None
-    completion_time: float | None = None
-    offline_seconds: float = 0.0
-    online_seconds: float = 0.0
-    used_precompute: bool = False
-
-    @property
-    def queue_seconds(self) -> float:
-        if self.service_start is None:
-            return 0.0
-        return self.service_start - self.arrival_time
-
-    @property
-    def latency(self) -> float:
-        if self.completion_time is None:
-            raise ValueError("request has not completed")
-        return self.completion_time - self.arrival_time
-
-
-@dataclass
-class PoissonWorkload:
-    """Exponential inter-arrival request generator.
-
-    ``mean_interarrival`` is in seconds (the paper quotes workloads as
-    "1 request per N minutes", i.e. mean_interarrival = 60 N).
-    """
-
-    mean_interarrival: float
-    horizon: float
-    seed: int = 0
-    _rng: SecureRandom = field(init=False, repr=False)
-
-    def __post_init__(self) -> None:
-        if self.mean_interarrival <= 0:
-            raise ValueError("mean inter-arrival must be positive")
-        if self.horizon <= 0:
-            raise ValueError("horizon must be positive")
-        self._rng = SecureRandom(self.seed)
-
-    def arrival_times(self) -> list[float]:
-        """All arrival instants within the horizon."""
-        times = []
-        t = self._rng.exponential(self.mean_interarrival)
-        while t < self.horizon:
-            times.append(t)
-            t += self._rng.exponential(self.mean_interarrival)
-        return times
-
-    @property
-    def rate_per_minute(self) -> float:
-        return 60.0 / self.mean_interarrival
-
-
-def deterministic_arrivals(period: float, horizon: float) -> list[float]:
-    """Evenly spaced arrivals (for validation against analytic queueing)."""
-    times = []
-    t = period
-    while t < horizon:
-        times.append(t)
-        t += period
-    return times
+__all__ = ["InferenceRequest", "PoissonWorkload", "deterministic_arrivals"]

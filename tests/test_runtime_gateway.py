@@ -39,7 +39,9 @@ from repro.runtime import (
 from repro.runtime.gateway import (
     DEFAULT_MAX_QUEUE,
     DEFAULT_WAIT_SECONDS,
+    MAX_RETRY_AFTER,
     GatewayClient,
+    adaptive_retry_after,
     decode_busy,
     decode_done,
     decode_goaway,
@@ -573,3 +575,135 @@ def test_midstream_stats_on_keepalive_connection(tmp_path):
     assert gateway._session_counter == 1  # one session, recycled, not two
     assert gateway.connections_accepted == 1
     assert gateway.requests_admitted == 2
+
+
+# -- adaptive retry_after and client-side backoff ---------------------------------
+
+
+def test_adaptive_retry_after_scales_with_backlog():
+    floor = 0.05
+    # No measured mints yet: the fixed constant stands.
+    assert adaptive_retry_after(10, 0, 0.0, 4, floor) == floor
+    # One excess request, one worker: wait about one mint.
+    assert adaptive_retry_after(1, 0, 0.4, 1, floor) == pytest.approx(0.4)
+    # Deeper excess drains linearly...
+    assert adaptive_retry_after(3, 0, 0.4, 1, floor) == pytest.approx(1.2)
+    # ...and parallel mint slots divide it.
+    assert adaptive_retry_after(3, 0, 0.4, 2, floor) == pytest.approx(0.6)
+    # Backlog at/under the threshold still waits for >= one mint slot.
+    assert adaptive_retry_after(2, 8, 0.4, 1, floor) == pytest.approx(0.4)
+    # Tiny mint times clamp up to the floor, huge backlogs down to the cap.
+    assert adaptive_retry_after(1, 0, 0.001, 1, floor) == floor
+    assert adaptive_retry_after(10_000, 0, 0.4, 1, floor) == MAX_RETRY_AFTER
+    assert adaptive_retry_after(10_000, 0, 0.4, 1, floor, cap=2.0) == 2.0
+
+
+def test_gateway_retry_after_tracks_measured_mints(tmp_path):
+    """The BUSY hint starts at the fixed floor and follows the running
+    mean of measured mint times once the estimator has samples."""
+    network = _network()
+    with PrecomputePool(workers=1) as pool:
+        gateway = ServingGateway(
+            network, PARAMS, 2, PrecomputeStore(tmp_path), pool=pool,
+            garbler="client", max_queue=0,
+        )
+        assert gateway._retry_after_locked() == gateway.busy_retry_after
+        gateway._note_mint_seconds(0.4)
+        gateway._note_mint_seconds(0.6)
+        # Mean mint 0.5s, empty backlog -> one mint's worth of wait.
+        assert gateway._retry_after_locked() == pytest.approx(0.5)
+
+
+def test_gateway_per_client_refill_caps(tmp_path):
+    """A skewed schedule hands the gateway per-client expected counts."""
+    network = _network()
+    with PrecomputePool(workers=1) as pool:
+        with pytest.raises(ValueError, match="match num_clients"):
+            ServingGateway(
+                network, PARAMS, 2, PrecomputeStore(tmp_path / "bad"),
+                pool=pool, expected_per_client=[3],
+            )
+        gateway = ServingGateway(
+            network, PARAMS, 3, PrecomputeStore(tmp_path / "ok"), pool=pool,
+            garbler="client", expected_per_client=[3, 1, 0],
+        )
+        gateway.minted = [2, 1, 0]
+        assert gateway._may_mint_locked(0)  # under its cap
+        assert not gateway._may_mint_locked(1)  # at its cap
+        assert not gateway._may_mint_locked(2)  # zero-request client
+
+
+class _ScriptedTransport:
+    """Feeds a GatewayClient a scripted frame sequence; records sends."""
+
+    def __init__(self, frames):
+        self.frames = list(frames)
+        self.sent = []
+
+    def send(self, frame):
+        self.sent.append(bytes(frame))
+
+    def recv(self, wait=True):
+        return self.frames.pop(0)
+
+
+def _scripted_client(frames, seed=7):
+    """A GatewayClient wired to a scripted transport (no socket, no
+    session — only the admission/backoff path is exercised)."""
+    import random
+
+    client = object.__new__(GatewayClient)
+    client.client_id = "client0"
+    client.max_busy_retries = 1000
+    client.issued = client.admitted = client.deferred = client.rejected = 0
+    client.retry_sleep_seconds = 0.0
+    client._next_index = 0
+    client._closed = False
+    client._backoff_rng = random.Random(seed)
+    client._backoff_cap = 2 * MAX_RETRY_AFTER
+    client.transport = _ScriptedTransport(frames)
+    return client
+
+
+def test_client_backoff_honors_hint_with_decorrelated_jitter(monkeypatch):
+    """First retry sleeps exactly the server hint; later retries jitter
+    in [hint, 3 x previous] capped at 2 x MAX_RETRY_AFTER, and every
+    sleep lands in local_stats."""
+    from repro.network.transport import TransportError
+
+    sleeps = []
+    monkeypatch.setattr(time, "sleep", lambda s: sleeps.append(s))
+    hint = 0.2
+    frames = [encode_busy(hint)] * 4 + [encode_goaway("drained")]
+    client = _scripted_client(frames)
+    with pytest.raises(TransportError, match="drained"):
+        client.request([0])
+
+    assert len(sleeps) == 4
+    assert sleeps[0] == pytest.approx(hint)  # uniform(hint, hint) == hint
+    prev = sleeps[0]
+    for s in sleeps[1:]:
+        assert hint <= s <= min(2 * MAX_RETRY_AFTER, 3 * prev) + 1e-9
+        prev = s
+    stats = client.local_stats()
+    assert stats["issued"] == 5  # original + 4 retries
+    assert stats["deferred"] == stats["busy_retries"] == 4
+    assert stats["rejected"] == 1
+    assert stats["admitted"] == 0
+    assert stats["retry_sleep_seconds"] == pytest.approx(sum(sleeps), abs=1e-5)
+
+
+def test_client_backoff_seeded_determinism(monkeypatch):
+    monkeypatch.setattr(time, "sleep", lambda s: None)
+    from repro.network.transport import TransportError
+
+    def run(seed):
+        client = _scripted_client(
+            [encode_busy(0.1)] * 6 + [encode_goaway("bye")], seed=seed
+        )
+        with pytest.raises(TransportError):
+            client.request([0])
+        return client.retry_sleep_seconds
+
+    assert run(3) == run(3)
+    assert run(3) != run(4)
